@@ -1,0 +1,19 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper table or figure (scaled-down
+parameters, same code paths) and prints the rendered result so the
+run log doubles as the EXPERIMENTS.md data source. Heavy experiments
+run a single round via ``benchmark.pedantic``.
+"""
+
+import pytest
+
+
+def run_and_render(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` once and print its rendered result."""
+    result = benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    return result

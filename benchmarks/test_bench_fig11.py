@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 11 (RTT samples, bulk transfer).
+
+Scaled to a 2 MB transfer (the paper's 10 MB with identical code
+paths; counts scale linearly with the transfer size).
+"""
+
+from benchmarks.conftest import run_and_render
+from repro.experiments import fig11_rtt_samples
+
+
+def test_bench_fig11(benchmark):
+    result = run_and_render(
+        benchmark,
+        fig11_rtt_samples.run,
+        repetitions=1,
+        response_size=2 * 1024 * 1024,
+    )
+    rows = result.row_map()
+    # Implementations differ in obtainable samples (flow-update
+    # cadence), and the partial-exposure group logs a smaller share.
+    assert rows["mvfst"][1] > rows["picoquic"][1]
+    for client in ("neqo", "ngtcp2", "picoquic", "quic-go"):
+        assert rows[client][3] < 0.9
+    for client in ("aioquic", "go-x-net", "mvfst", "quiche"):
+        assert rows[client][3] > 0.9

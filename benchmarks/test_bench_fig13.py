@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 13 (Fig. 7 across RTTs)."""
+
+from benchmarks.conftest import run_and_render
+from repro.experiments import fig13_client_flight_loss_rtts
+
+
+def test_bench_fig13(benchmark):
+    result = run_and_render(
+        benchmark,
+        fig13_client_flight_loss_rtts.run,
+        http="h1",
+        repetitions=5,
+        rtts_ms=(1.0, 9.0, 20.0, 100.0),
+    )
+    # IACK improves the TTFB at every RTT for the regular clients.
+    for rtt, client, wfc, iack, improvement in result.rows:
+        if client in ("quic-go", "neqo", "aioquic") and improvement is not None:
+            assert improvement > 0.0, (rtt, client)

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 14 (ACK->SH delay per vantage)."""
+
+from benchmarks.conftest import run_and_render
+from repro.experiments import fig14_vantage_cdfs
+
+
+def test_bench_fig14(benchmark):
+    result = run_and_render(benchmark, fig14_vantage_cdfs.run, list_size=30_000)
+    # "IACK performance is similar across locations": per-CDN medians
+    # within a factor of two across vantages.
+    per_cdn = {}
+    for vantage_name, cdn, count, med in result.rows:
+        if med is not None and count >= 30:
+            per_cdn.setdefault(cdn, []).append(med)
+    for cdn, medians in per_cdn.items():
+        if len(medians) >= 2 and min(medians) > 0:
+            assert max(medians) / min(medians) < 2.0, cdn

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 2 (PTO evolution)."""
+
+from benchmarks.conftest import run_and_render
+from repro.experiments import fig2_pto_evolution
+
+
+def test_bench_fig2(benchmark):
+    result = run_and_render(benchmark, fig2_pto_evolution.run)
+    rows = result.row_map()
+    # 3 x Δt = 12 ms improvement at both RTTs.
+    assert rows["9 ms"][3] == 12.0
+    assert rows["25 ms"][3] == 12.0

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 6 (first-server-flight tail loss)."""
+
+from benchmarks.conftest import run_and_render
+from repro.experiments import fig6_server_flight_loss
+
+
+def test_bench_fig6_http1(benchmark):
+    result = run_and_render(
+        benchmark, fig6_server_flight_loss.run, http="h1", repetitions=10
+    )
+    rows = result.row_map()
+    # IACK penalty around the server's 200 ms default PTO (paper:
+    # 177-188 ms) for all clients except the aborting quiche.
+    for client in ("aioquic", "mvfst", "neqo", "ngtcp2", "quic-go"):
+        assert 140.0 <= rows[client][3] <= 220.0
+    # quiche aborts every IACK run over HTTP/1.1.
+    aborts = rows["quiche"][4]
+    assert aborts.endswith("/10")

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 7 (second-client-flight loss)."""
+
+from benchmarks.conftest import run_and_render
+from repro.experiments import fig7_client_flight_loss
+
+
+def test_bench_fig7_http1(benchmark):
+    result = run_and_render(
+        benchmark, fig7_client_flight_loss.run, http="h1", repetitions=10
+    )
+    rows = result.row_map()
+    # Paper: improvements 10..28 ms; picoquic does not benefit.
+    for client in ("aioquic", "mvfst", "neqo", "ngtcp2", "quic-go", "quiche"):
+        assert 5.0 <= rows[client][3] <= 35.0
+    assert abs(rows["picoquic"][3]) < 5.0
+    # go-x-net shows the largest improvement (paper: 28 ms).
+    assert rows["go-x-net"][3] == max(
+        row[3] for row in result.rows if row[3] is not None
+    )

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 8 (ACK->SH delay CDFs, Sao Paulo)."""
+
+from benchmarks.conftest import run_and_render
+from repro.experiments import fig8_ack_sh_delay
+
+
+def test_bench_fig8(benchmark):
+    result = run_and_render(
+        benchmark, fig8_ack_sh_delay.run, list_size=50_000
+    )
+    rows = result.row_map()
+    # Medians near the paper's (3.2 / 6.4 / 20.9 / 30.3 ms) and
+    # Akamai/Google significantly slower than Cloudflare.
+    assert abs(rows["Cloudflare"][2] - 3.2) < 1.5
+    assert rows["Akamai"][2] > rows["Amazon"][2] > rows["Cloudflare"][2]
+    assert rows["Google"][2] > rows["Cloudflare"][2]

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Table 1 (CDN IACK deployment)."""
+
+from benchmarks.conftest import run_and_render
+from repro.experiments import table1_cdn_deployment
+
+
+def test_bench_table1(benchmark):
+    result = run_and_render(
+        benchmark,
+        table1_cdn_deployment.run,
+        list_size=50_000,
+        days=2,
+    )
+    rows = result.row_map()
+    # Shares near Table 1: Cloudflare ~99.9 %, Fastly/Meta/Microsoft 0.
+    assert rows["Cloudflare"][2] > 98.0
+    assert rows["Fastly"][2] == 0.0
+    assert rows["Meta"][2] == 0.0
+    assert rows["Microsoft"][2] == 0.0
+    assert 25.0 <= rows["Amazon"][2] <= 55.0
+    assert 15.0 <= rows["Others"][2] <= 30.0
+    # Amazon shows the largest variation among the big CDNs.
+    assert rows["Amazon"][4] > rows["Cloudflare"][4]

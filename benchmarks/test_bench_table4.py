@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table 4 (default PTO / second-flight split)."""
+
+from benchmarks.conftest import run_and_render
+from repro.experiments import table4_client_defaults
+
+
+def test_bench_table4(benchmark):
+    result = run_and_render(benchmark, table4_client_defaults.run, repetitions=5)
+    for row in result.rows:
+        client, pto, paper_pto, declared, paper_decl, observed = row
+        # Registry equals the published table.
+        assert pto == paper_pto, client
+        assert declared == paper_decl, client
+        # Emulation produced flights matching the declared split (the
+        # quiche variants allow both 1 and 2 datagrams).
+        expected = len(declared.split(","))
+        if client == "quiche":
+            assert set(observed) <= {1, 2}
+        else:
+            assert observed == [expected], client

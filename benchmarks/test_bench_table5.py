@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table 5 (AS numbers per CDN)."""
+
+from benchmarks.conftest import run_and_render
+from repro.experiments import table5_as_numbers
+
+
+def test_bench_table5(benchmark):
+    result = run_and_render(benchmark, table5_as_numbers.run)
+    assert result.extra["matches"]

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""CDN deployment advisor: should *your* frontend enable instant ACK?
+
+Feeds a concrete deployment (certificate size, client RTT, frontend to
+certificate-store delay) through the paper's Table 2 decision
+procedure and the Figure 4 sweet-spot analysis, then validates the
+recommendation with a pair of emulated handshakes.
+
+    python examples/cdn_tuning.py --cert-size 1212 --rtt 9 --delta-t 20
+"""
+
+import argparse
+
+from repro.core.advisor import DeploymentAdvisor, LossScenario, Recommendation
+from repro.core.sweet_spot import classify_impact, reduced_latency_zone_boundary_ms
+from repro.core.pto_model import first_pto_reduction
+from repro.interop import Runner, Scenario
+from repro.quic.certs import Certificate
+from repro.quic.server import ServerMode
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cert-size", type=int, default=1212,
+                        help="certificate chain size [bytes]")
+    parser.add_argument("--rtt", type=float, default=9.0,
+                        help="typical client-frontend RTT [ms]")
+    parser.add_argument("--delta-t", type=float, default=20.0,
+                        help="frontend to certificate-store delay [ms]")
+    args = parser.parse_args()
+
+    advisor = DeploymentAdvisor()
+    print(f"deployment: cert={args.cert_size}B rtt={args.rtt}ms "
+          f"delta_t={args.delta_t}ms")
+    print(f"certificate exceeds 3x amplification budget: "
+          f"{advisor.certificate_exceeds_budget(args.cert_size)}")
+    print(f"spurious-retransmit boundary (3 x RTT): "
+          f"{reduced_latency_zone_boundary_ms(args.rtt):.1f} ms")
+    print(f"expected first-PTO reduction from IACK: "
+          f"{first_pto_reduction(args.rtt, args.delta_t):.1f} ms")
+    print(f"impact class: "
+          f"{classify_impact(args.rtt, args.delta_t).value}\n")
+
+    print("Table 2 advice per scenario:")
+    for loss in LossScenario:
+        advice = advisor.advise(args.cert_size, args.rtt, args.delta_t, loss)
+        print(f"  {loss.value:40s} -> {advice.recommendation.value}")
+        print(f"    {advice.reason}")
+
+    print("\nEmulated validation (no loss):")
+    runner = Runner()
+    certificate = Certificate(name="custom", chain_size=args.cert_size)
+    ttfbs = {}
+    for mode in (ServerMode.WFC, ServerMode.IACK):
+        scenario = Scenario(
+            client="quic-go", mode=mode, http="h3", rtt_ms=args.rtt,
+            delta_t_ms=args.delta_t, certificate=certificate,
+        )
+        result = runner.run_once(scenario, seed=1)
+        ttfbs[mode] = result.ttfb_ms
+        print(f"  {mode.name:4s}: TTFB {result.ttfb_ms:7.2f} ms  "
+              f"first PTO {result.client_stats.first_pto_ms:6.1f} ms  "
+              f"probes {result.client_stats.probes_sent}")
+    no_loss = advisor.advise(args.cert_size, args.rtt, args.delta_t,
+                             LossScenario.NONE)
+    print(f"\nadvice for the no-loss case: {no_loss.recommendation.value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro — reproduction of *ReACKed QUICer* (IMC 2024).
+
+This package reproduces the systems and experiments of
+
+    Mücke, Nawrocki, Hiesgen, Schmidt, Wählisch.
+    "ReACKed QUICer: Measuring the Performance of Instant Acknowledgments
+    in QUIC Handshakes." ACM IMC 2024.
+
+Subpackages
+-----------
+``repro.sim``
+    Deterministic discrete-event network simulator (links, delay,
+    bandwidth, indexed datagram loss, traces).
+``repro.quic``
+    A from-scratch QUIC handshake and transfer implementation: wire
+    format, packet number spaces, coalescing, RFC 9002 loss recovery,
+    anti-amplification, simulated TLS 1.3.
+``repro.http``
+    Minimal HTTP/1.1 and HTTP/3 semantics on top of QUIC streams.
+``repro.impls``
+    Implementation profiles for the eight client stacks and the server
+    stacks the paper studies (default PTOs, coalescing, quirks).
+``repro.qlog``
+    Structured qlog-style event logging with per-implementation
+    metric-exposure policies.
+``repro.interop``
+    QUIC-Interop-Runner-style scenario harness.
+``repro.wild``
+    Synthetic macroscopic Internet: Tranco-like toplist, AS database,
+    CDN deployment models, QScanner-like prober, Cloudflare
+    longitudinal model.
+``repro.core``
+    The paper's analytical contribution: PTO evolution model,
+    sweet-spot analysis, deployment advisor, PTO calculation from logs.
+``repro.analysis``
+    Statistics and table/series rendering helpers.
+``repro.experiments``
+    One module per paper table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.pto_model import PtoModel, first_pto_reduction
+from repro.core.advisor import DeploymentAdvisor, Recommendation
+from repro.quic.recovery import RttEstimator
+from repro.impls.registry import client_profile, CLIENT_PROFILES
+
+__all__ = [
+    "PtoModel",
+    "first_pto_reduction",
+    "DeploymentAdvisor",
+    "Recommendation",
+    "RttEstimator",
+    "client_profile",
+    "CLIENT_PROFILES",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Statistics and rendering helpers shared by the experiments."""
+
+from repro.analysis.stats import (
+    cdf,
+    median,
+    percentile,
+    percentile_interval,
+    summarize,
+)
+from repro.analysis.render import render_series, render_table
+
+__all__ = [
+    "median",
+    "percentile",
+    "percentile_interval",
+    "cdf",
+    "summarize",
+    "render_table",
+    "render_series",
+]

@@ -1,0 +1,36 @@
+"""The paper's analytical core.
+
+* :mod:`repro.core.pto_model` — numerical PTO-evolution model
+  (Figure 2) and the first-PTO-reduction formula.
+* :mod:`repro.core.sweet_spot` — when instant ACK helps, when it
+  causes spurious retransmissions (Figure 4).
+* :mod:`repro.core.advisor` — the deployment guidelines of Table 2 as
+  an executable decision procedure.
+* :mod:`repro.core.pto_calc` — PTO reconstruction from packet logs
+  "according to the standard" (§3), used to cross-check
+  implementation-reported metrics.
+"""
+
+from repro.core.advisor import DeploymentAdvisor, LossScenario, Recommendation
+from repro.core.pto_calc import PtoCalculator, pto_series_from_qlog
+from repro.core.pto_model import PtoModel, first_pto_reduction
+from repro.core.sweet_spot import (
+    InstantAckImpact,
+    classify_impact,
+    spurious_retransmissions_expected,
+    sweep,
+)
+
+__all__ = [
+    "PtoModel",
+    "first_pto_reduction",
+    "DeploymentAdvisor",
+    "LossScenario",
+    "Recommendation",
+    "InstantAckImpact",
+    "classify_impact",
+    "spurious_retransmissions_expected",
+    "sweep",
+    "PtoCalculator",
+    "pto_series_from_qlog",
+]

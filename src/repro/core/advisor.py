@@ -1,0 +1,134 @@
+"""Deployment advisor — the paper's Table 2 as an executable policy.
+
+"Optimally, servers should adjust the utilization of instant ACK
+depending on the expected certificate size and current frontend to
+certificate store delay" (Appendix C). :class:`DeploymentAdvisor`
+implements exactly the published decision table and explains each
+recommendation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.sweet_spot import CLIENT_PTO_FACTOR
+from repro.quic.amplification import AMPLIFICATION_FACTOR
+from repro.quic.packet import INITIAL_MIN_DATAGRAM
+
+
+class LossScenario(enum.Enum):
+    """The loss columns of Table 2."""
+
+    NONE = "no loss"
+    FIRST_SERVER_FLIGHT_TAIL = "first server flight except first datagram"
+    SECOND_CLIENT_FLIGHT = "second client flight"
+
+
+class Recommendation(enum.Enum):
+    WFC = "wait for certificate"
+    IACK = "instant ACK"
+
+
+@dataclass(frozen=True)
+class Advice:
+    recommendation: Recommendation
+    reason: str
+
+
+class DeploymentAdvisor:
+    """Recommends WFC or IACK per Table 2.
+
+    Parameters
+    ----------
+    amplification_budget_bytes:
+        Bytes the server may send before validation — 3x the client's
+        first (1200 B) datagram by default.
+    handshake_overhead_bytes:
+        Non-certificate bytes of the first server flight (ServerHello,
+        EncryptedExtensions, CertificateVerify, Finished, headers).
+    """
+
+    def __init__(
+        self,
+        amplification_budget_bytes: int = AMPLIFICATION_FACTOR * INITIAL_MIN_DATAGRAM,
+        handshake_overhead_bytes: int = 700,
+    ):
+        self.amplification_budget_bytes = amplification_budget_bytes
+        self.handshake_overhead_bytes = handshake_overhead_bytes
+
+    def certificate_exceeds_budget(self, certificate_size: int) -> bool:
+        return (
+            certificate_size + self.handshake_overhead_bytes
+            > self.amplification_budget_bytes
+        )
+
+    def advise(
+        self,
+        certificate_size: int,
+        rtt_ms: float,
+        delta_t_ms: float,
+        loss: LossScenario = LossScenario.NONE,
+    ) -> Advice:
+        """Table 2, row by row."""
+        if certificate_size <= 0:
+            raise ValueError("certificate size must be positive")
+        if rtt_ms <= 0:
+            raise ValueError("RTT must be positive")
+        if delta_t_ms < 0:
+            raise ValueError("Δt cannot be negative")
+        exceeds = self.certificate_exceeds_budget(certificate_size)
+        if exceeds:
+            # Row (2): IACK in every column — probes raise the budget.
+            return Advice(
+                Recommendation.IACK,
+                "certificate exceeds the anti-amplification budget; "
+                "earlier client probes raise the server's sending budget",
+            )
+        # Row (1): certificate fits the budget.
+        if loss is LossScenario.FIRST_SERVER_FLIGHT_TAIL:
+            return Advice(
+                Recommendation.WFC,
+                "an instant ACK gives the server no RTT sample, so its "
+                "retransmission waits for the default PTO",
+            )
+        if loss is LossScenario.SECOND_CLIENT_FLIGHT:
+            return Advice(
+                Recommendation.IACK,
+                "the accurate first RTT sample shortens the client PTO, "
+                "so the lost request is resent sooner",
+            )
+        if delta_t_ms < CLIENT_PTO_FACTOR * rtt_ms:
+            return Advice(
+                Recommendation.IACK,
+                "Δt below the client PTO (3 x RTT): faster loss reaction "
+                "without spurious retransmissions",
+            )
+        return Advice(
+            Recommendation.WFC,
+            "Δt at or above the client PTO (3 x RTT): instant ACK would "
+            "cause spurious client probes and futile server load",
+        )
+
+    def table2(self, rtt_ms: float = 9.0):
+        """Render the full decision table as nested dicts (for the
+        table2 experiment and tests)."""
+        small = self.amplification_budget_bytes - self.handshake_overhead_bytes
+        large = self.amplification_budget_bytes + 1
+        rows = {}
+        for label, cert in (("fits", small), ("exceeds", large)):
+            rows[label] = {
+                "first_server_flight_tail": self.advise(
+                    cert, rtt_ms, 0.0, LossScenario.FIRST_SERVER_FLIGHT_TAIL
+                ).recommendation,
+                "second_client_flight": self.advise(
+                    cert, rtt_ms, 0.0, LossScenario.SECOND_CLIENT_FLIGHT
+                ).recommendation,
+                "no_loss_small_delta": self.advise(
+                    cert, rtt_ms, rtt_ms, LossScenario.NONE
+                ).recommendation,
+                "no_loss_large_delta": self.advise(
+                    cert, rtt_ms, CLIENT_PTO_FACTOR * rtt_ms + 1.0, LossScenario.NONE
+                ).recommendation,
+            }
+        return rows

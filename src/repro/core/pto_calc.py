@@ -1,0 +1,97 @@
+"""PTO reconstruction from packet logs "according to the standard".
+
+"To ensure consistency, we calculate PTOs based on sent and received
+packets according to the standard [RFC 9002]" (§3) — independent of
+what each implementation's qlog ``recovery:metrics_updated`` events
+claim, and used as the fallback "when RTT variance is not available,
+we calculate it from the sent and received packets instead"
+(Appendix E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.qlog.events import PacketEvent, QlogEvent
+from repro.quic.recovery import GRANULARITY_MS, RttEstimator
+
+
+@dataclass(frozen=True)
+class PtoPoint:
+    """PTO value after one RTT sample."""
+
+    time_ms: float
+    sample_ms: float
+    smoothed_rtt_ms: float
+    rttvar_ms: float
+    pto_ms: float
+
+
+class PtoCalculator:
+    """Standard-conformant PTO calculation from packet events."""
+
+    def __init__(self, granularity_ms: float = GRANULARITY_MS):
+        self.granularity_ms = granularity_ms
+
+    def from_events(self, events: List[QlogEvent]) -> List[PtoPoint]:
+        """Replay ``packet_sent``/``packet_received`` events and emit a
+        PTO point per RTT sample.
+
+        A sample is taken when a received packet newly acknowledges an
+        ack-eliciting sent packet with the largest acknowledged packet
+        number in its space (RFC 9002 §5.1).
+        """
+        sent_times: Dict[tuple, float] = {}
+        sent_eliciting: Dict[tuple, bool] = {}
+        largest_acked: Dict[str, int] = {}
+        estimator = RttEstimator()
+        points: List[PtoPoint] = []
+        for event in sorted(
+            (e for e in events if isinstance(e, PacketEvent)),
+            key=lambda e: e.time_ms,
+        ):
+            key_space = event.space
+            if event.name == "packet_sent":
+                key = (key_space, event.packet_number)
+                sent_times[key] = event.time_ms
+                sent_eliciting[key] = event.ack_eliciting
+            elif event.name == "packet_received" and event.newly_acked:
+                largest = max(event.newly_acked)
+                prior = largest_acked.get(key_space)
+                if prior is not None and largest <= prior:
+                    continue
+                largest_acked[key_space] = largest
+                key = (key_space, largest)
+                if key not in sent_times or not sent_eliciting.get(key, False):
+                    continue
+                sample = event.time_ms - sent_times[key]
+                if sample <= 0:
+                    continue
+                estimator.update(sample)
+                assert estimator.smoothed_rtt is not None
+                assert estimator.rttvar is not None
+                pto = estimator.smoothed_rtt + max(
+                    4.0 * estimator.rttvar, self.granularity_ms
+                )
+                points.append(
+                    PtoPoint(
+                        time_ms=event.time_ms,
+                        sample_ms=sample,
+                        smoothed_rtt_ms=estimator.smoothed_rtt,
+                        rttvar_ms=estimator.rttvar,
+                        pto_ms=pto,
+                    )
+                )
+        return points
+
+    def first_pto(self, events: List[QlogEvent]) -> Optional[float]:
+        points = self.from_events(events)
+        if not points:
+            return None
+        return points[0].pto_ms
+
+
+def pto_series_from_qlog(events: List[QlogEvent]) -> List[float]:
+    """Convenience: just the PTO values, in time order."""
+    return [point.pto_ms for point in PtoCalculator().from_events(events)]

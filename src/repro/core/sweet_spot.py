@@ -1,0 +1,89 @@
+"""Sweet-spot analysis: when does instant ACK help? (paper Figure 4).
+
+"Spurious retransmits happen if the delay between Frontend Server and
+Cert Store (Δt) is larger than the PTO set by the client" — the client
+PTO after an instant ACK is ≈ 3 x RTT, so the boundary is Δt = 3 RTT.
+Below it, IACK buys latency under loss; above it, the client's probes
+are spurious (though they still help when the server is stalled by
+the anti-amplification limit).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.core.pto_model import first_pto_reduction_rtt_units
+
+#: The client PTO after an instant ACK is 3 x RTT (first-sample init).
+CLIENT_PTO_FACTOR = 3.0
+
+
+class InstantAckImpact(enum.Enum):
+    """Figure 4's two regions, plus the amplification-stall case."""
+
+    REDUCED_LATENCY = "reduced latency"
+    SPURIOUS_RETRANSMISSIONS = "spurious retransmissions"
+    #: Spurious probes that nonetheless speed up the handshake because
+    #: the server is blocked by the anti-amplification limit (§4.1).
+    SPURIOUS_BUT_UNBLOCKS = "spurious but unblocks amplification"
+
+
+def spurious_retransmissions_expected(rtt_ms: float, delta_t_ms: float) -> bool:
+    """Whether Δt exceeds the client PTO (3 x RTT)."""
+    if rtt_ms <= 0:
+        raise ValueError("RTT must be positive")
+    if delta_t_ms < 0:
+        raise ValueError("Δt cannot be negative")
+    return delta_t_ms > CLIENT_PTO_FACTOR * rtt_ms
+
+
+def classify_impact(
+    rtt_ms: float,
+    delta_t_ms: float,
+    server_amplification_blocked: bool = False,
+) -> InstantAckImpact:
+    """Classify the impact of enabling instant ACK for one deployment."""
+    if not spurious_retransmissions_expected(rtt_ms, delta_t_ms):
+        return InstantAckImpact.REDUCED_LATENCY
+    if server_amplification_blocked:
+        return InstantAckImpact.SPURIOUS_BUT_UNBLOCKS
+    return InstantAckImpact.SPURIOUS_RETRANSMISSIONS
+
+
+@dataclass(frozen=True)
+class SweetSpotPoint:
+    """One (RTT, Δt) point of the Figure 4 sweep."""
+
+    rtt_ms: float
+    delta_t_ms: float
+    pto_reduction_rtt_units: float
+    spurious: bool
+
+
+def sweep(
+    rtt_values_ms: Iterable[float],
+    delta_t_values_ms: Iterable[float],
+) -> List[SweetSpotPoint]:
+    """Full Figure 4 sweep: PTO reduction (in RTT units) and the
+    spurious-retransmission flag for every (RTT, Δt) pair."""
+    points: List[SweetSpotPoint] = []
+    for delta in delta_t_values_ms:
+        for rtt in rtt_values_ms:
+            points.append(
+                SweetSpotPoint(
+                    rtt_ms=rtt,
+                    delta_t_ms=delta,
+                    pto_reduction_rtt_units=first_pto_reduction_rtt_units(rtt, delta),
+                    spurious=spurious_retransmissions_expected(rtt, delta),
+                )
+            )
+    return points
+
+
+def reduced_latency_zone_boundary_ms(rtt_ms: float) -> float:
+    """The largest Δt that avoids spurious retransmissions: 3 x RTT."""
+    if rtt_ms <= 0:
+        raise ValueError("RTT must be positive")
+    return CLIENT_PTO_FACTOR * rtt_ms

@@ -1,0 +1,35 @@
+"""One module per table and figure of the paper's evaluation.
+
+Every module exposes ``run(...)`` returning an
+:class:`~repro.experiments.common.ExperimentResult` whose ``render()``
+prints the same rows/series the paper reports, and declares the
+paper's published values for EXPERIMENTS.md comparison. Benchmarks
+under ``benchmarks/`` wrap these entry points one-to-one.
+"""
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]
+
+#: Experiment id -> module name, for discovery by the CLI example.
+EXPERIMENT_INDEX = {
+    "fig2": "repro.experiments.fig2_pto_evolution",
+    "fig4": "repro.experiments.fig4_sweet_spot",
+    "fig5": "repro.experiments.fig5_ttfb_amplification",
+    "fig6": "repro.experiments.fig6_server_flight_loss",
+    "fig7": "repro.experiments.fig7_client_flight_loss",
+    "fig8": "repro.experiments.fig8_ack_sh_delay",
+    "fig9": "repro.experiments.fig9_cloudflare_timeseries",
+    "fig10": "repro.experiments.fig10_ack_delay_field",
+    "fig11": "repro.experiments.fig11_rtt_samples",
+    "fig12": "repro.experiments.fig12_server_flight_loss_rtts",
+    "fig13": "repro.experiments.fig13_client_flight_loss_rtts",
+    "fig14": "repro.experiments.fig14_vantage_cdfs",
+    "fig15": "repro.experiments.fig15_cloudflare_locations",
+    "fig16": "repro.experiments.fig16_pto_improvement",
+    "table1": "repro.experiments.table1_cdn_deployment",
+    "table2": "repro.experiments.table2_guidelines",
+    "table3": "repro.experiments.table3_server_ack_delay",
+    "table4": "repro.experiments.table4_client_defaults",
+    "table5": "repro.experiments.table5_as_numbers",
+}

@@ -1,0 +1,52 @@
+"""Shared experiment plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.render import render_table
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment: named rows plus free-form series.
+
+    ``rows`` render as the experiment's primary table;
+    ``paper_reference`` documents the corresponding published values
+    so EXPERIMENTS.md can show paper-vs-measured side by side.
+    """
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[Any]]
+    paper_reference: Dict[str, Any] = field(default_factory=dict)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        return render_table(self.headers, self.rows, title=f"[{self.experiment_id}] {self.title}")
+
+    def row_map(self, key_column: int = 0) -> Dict[Any, List[Any]]:
+        """Index rows by one column (usually the first)."""
+        return {row[key_column]: row for row in self.rows}
+
+
+#: Clients in the order the paper's figures list them.
+CLIENT_ORDER = (
+    "aioquic",
+    "go-x-net",
+    "mvfst",
+    "neqo",
+    "ngtcp2",
+    "picoquic",
+    "quic-go",
+    "quiche",
+)
+
+#: HTTP/3-capable clients (go-x-net "does not implement HTTP/3").
+H3_CLIENT_ORDER = tuple(c for c in CLIENT_ORDER if c != "go-x-net")
+
+
+def clients_for(http: str):
+    return CLIENT_ORDER if http == "h1" else H3_CLIENT_ORDER

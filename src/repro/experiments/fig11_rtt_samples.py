@@ -1,0 +1,80 @@
+"""Figure 11: RTT samples available vs exposed, 10 MB at 100 ms RTT.
+
+"Number of exposed RTT samples and newly acknowledging ACKs for 10 MB
+file transfer at 100 ms RTT, WFC. Due to different use of
+ACK-eliciting packets ... implementations vary in the amount of RTT
+samples they can obtain. They also expose different shares of the
+recovery:metric updates" — aioquic, go-x-net, mvfst, and quiche
+expose the maximum; neqo, ngtcp2, picoquic, and quic-go a smaller
+fraction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.common import ExperimentResult, CLIENT_ORDER
+from repro.interop.runner import Runner, Scenario, SIZE_10MB
+from repro.qlog.analysis import count_metric_updates, count_new_ack_packets
+from repro.quic.server import ServerMode
+
+RTT_MS = 100.0
+
+#: Full-exposure implementations per Appendix E.
+FULL_EXPOSURE = {"aioquic", "go-x-net", "mvfst", "quiche"}
+
+
+def run(
+    repetitions: int = 3,
+    rtt_ms: float = RTT_MS,
+    response_size: int = SIZE_10MB,
+    http: str = "h1",
+) -> ExperimentResult:
+    runner = Runner()
+    rows: List[List[object]] = []
+    for client in CLIENT_ORDER:
+        metric_counts: List[int] = []
+        ack_counts: List[int] = []
+        for rep in range(repetitions):
+            scenario = Scenario(
+                client=client,
+                mode=ServerMode.WFC,
+                http=http,
+                rtt_ms=rtt_ms,
+                response_size=response_size,
+                timeout_ms=600_000.0,
+            )
+            result = runner.run_once(scenario, seed=rep)
+            metric_counts.append(count_metric_updates(result.client_qlog.events))
+            ack_counts.append(count_new_ack_packets(result.client_qlog.events))
+        metric_avg = sum(metric_counts) / len(metric_counts)
+        ack_avg = sum(ack_counts) / len(ack_counts)
+        rows.append(
+            [
+                client,
+                round(ack_avg, 1),
+                round(metric_avg, 1),
+                round(metric_avg / ack_avg, 2) if ack_avg else None,
+                "full" if client in FULL_EXPOSURE else "partial",
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="fig11",
+        title=(
+            f"RTT samples: packets with new ACKs vs exposed metric "
+            f"updates ({response_size // (1024 * 1024)}MB @{rtt_ms:.0f}ms, WFC)"
+        ),
+        headers=[
+            "client", "packets with new ACKs", "metric updates",
+            "exposed share", "paper exposure",
+        ],
+        rows=rows,
+        paper_reference={
+            "full_exposure": sorted(FULL_EXPOSURE),
+            "partial_exposure": sorted(set(CLIENT_ORDER) - FULL_EXPOSURE),
+        },
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run(repetitions=1).render())

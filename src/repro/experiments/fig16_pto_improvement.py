@@ -1,0 +1,85 @@
+"""Figure 16: first-PTO improvement of IACK over WFC across RTTs.
+
+"Improvement of the first PTO, based on recovery metric updates in
+Qlog. The variance is calculated from the logged packet receptions,
+if it is not provided by the implementation ... Implementations
+exhibit similar PTO improvements across all RTTs" — the paper reports
+median improvements between 7 ms and 24.7 ms (§4.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.stats import median
+from repro.core.pto_calc import PtoCalculator
+from repro.experiments.common import ExperimentResult, CLIENT_ORDER
+from repro.interop.runner import Runner, Scenario, SIZE_10KB
+from repro.qlog.analysis import first_pto_from_qlog
+from repro.quic.server import ServerMode
+
+RTTS_MS = (1.0, 9.0, 20.0, 50.0, 100.0, 200.0, 300.0)
+
+
+def _first_pto(result) -> Optional[float]:
+    """First PTO from the qlog, falling back to the packet-event
+    reconstruction when metrics are unavailable (Appendix E)."""
+    value = first_pto_from_qlog(result.client_qlog.events)
+    if value is not None:
+        return value
+    return PtoCalculator().first_pto(result.client_qlog.events)
+
+
+def run(
+    http: str = "h1",
+    repetitions: int = 10,
+    rtts_ms=RTTS_MS,
+) -> ExperimentResult:
+    runner = Runner()
+    rows: List[List[object]] = []
+    for client in CLIENT_ORDER:
+        http_version = "h1" if client == "go-x-net" else http
+        for rtt in rtts_ms:
+            ptos = {}
+            for mode in (ServerMode.WFC, ServerMode.IACK):
+                scenario = Scenario(
+                    client=client,
+                    mode=mode,
+                    http=http_version,
+                    rtt_ms=rtt,
+                    response_size=SIZE_10KB,
+                )
+                results = runner.run_repetitions(scenario, repetitions)
+                ptos[mode.name] = median(
+                    [_first_pto(r) for r in results]
+                )
+            wfc, iack = ptos["WFC"], ptos["IACK"]
+            improvement = None
+            if wfc is not None and iack is not None:
+                improvement = round(wfc - iack, 1)
+            rows.append(
+                [
+                    client,
+                    rtt,
+                    None if wfc is None else round(wfc, 1),
+                    None if iack is None else round(iack, 1),
+                    improvement,
+                ]
+            )
+    return ExperimentResult(
+        experiment_id="fig16",
+        title="First-PTO improvement (qlog-derived) across RTTs",
+        headers=[
+            "client", "RTT [ms]", "first PTO WFC [ms]",
+            "first PTO IACK [ms]", "improvement [ms]",
+        ],
+        rows=rows,
+        paper_reference={
+            "median_improvement_range_ms": (7.0, 24.7),
+            "note": "improvement roughly constant across RTTs per client",
+        },
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run(repetitions=3, rtts_ms=(9.0, 100.0)).render())

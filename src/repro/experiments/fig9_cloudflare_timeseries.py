@@ -1,0 +1,103 @@
+"""Figure 9: Cloudflare reception latency over one week (Sao Paulo).
+
+"Reception latency and 50 % percentile interval of ACK and SH, either
+separately in sequential packets or coalesced ACK–SH from Cloudflare
+in Sao Paulo, BR. SH in coalesced messages arrive faster than
+separate SH." Median IACK arrives 2.1 ms before the SH in Sao Paulo;
+delays are larger during local daytime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.stats import median, percentile_interval
+from repro.experiments.common import ExperimentResult
+from repro.wild.cloudflare import (
+    CloudflareLongitudinalStudy,
+    filter_valid,
+)
+from repro.wild.vantage import vantage
+
+
+def run(
+    vantage_name: str = "Sao Paulo",
+    days: int = 7,
+    seed: int = 0,
+) -> ExperimentResult:
+    study = CloudflareLongitudinalStudy(vantage(vantage_name), seed=seed)
+    samples = filter_valid(study.run(minutes=days * 24 * 60))
+    ack_latencies = [
+        s.ack_latency_ms for s in samples if s.kind in ("ACK", "SH") and s.ack_latency_ms
+    ]
+    separate_sh = [s.sh_latency_ms for s in samples if s.kind == "SH" and s.sh_latency_ms]
+    coalesced = [
+        s.sh_latency_ms for s in samples if s.kind == "ACK,SH" and s.sh_latency_ms
+    ]
+    gaps = [
+        s.sh_latency_ms - s.ack_latency_ms
+        for s in samples
+        if s.kind == "SH" and s.sh_latency_ms is not None and s.ack_latency_ms is not None
+    ]
+    day_gaps = [
+        s.sh_latency_ms - s.ack_latency_ms
+        for s in samples
+        if s.kind == "SH"
+        and s.sh_latency_ms is not None
+        and s.ack_latency_ms is not None
+        and 10 <= s.local_hour_of_day < 20
+    ]
+    night_gaps = [
+        s.sh_latency_ms - s.ack_latency_ms
+        for s in samples
+        if s.kind == "SH"
+        and s.sh_latency_ms is not None
+        and s.ack_latency_ms is not None
+        and (s.local_hour_of_day < 6 or s.local_hour_of_day >= 22)
+    ]
+    rows: List[List[object]] = []
+    for label, values in (
+        ("ACK", ack_latencies),
+        ("SH (separate)", separate_sh),
+        ("ACK,SH (coalesced)", coalesced),
+    ):
+        med = median(values)
+        interval = percentile_interval(values, 50.0)
+        rows.append(
+            [
+                label,
+                len(values),
+                None if med is None else round(med, 2),
+                None if interval is None else f"[{interval[0]:.2f}, {interval[1]:.2f}]",
+            ]
+        )
+    rows.append(["IACK->SH gap", len(gaps), round(median(gaps) or 0.0, 2), None])
+    rows.append(["gap (daytime)", len(day_gaps), round(median(day_gaps) or 0.0, 2), None])
+    rows.append(["gap (night)", len(night_gaps), round(median(night_gaps) or 0.0, 2), None])
+    coalesced_med = median(coalesced)
+    separate_med = median(separate_sh)
+    return ExperimentResult(
+        experiment_id="fig9",
+        title=f"Cloudflare reception latency, {vantage_name}, {days} days",
+        headers=["series", "n", "median [ms]", "50% interval"],
+        rows=rows,
+        paper_reference={
+            "iack_to_sh_gap_ms": 2.1,
+            "note": (
+                "coalesced SH faster than separate SH; daytime gaps "
+                "exceed nighttime gaps"
+            ),
+        },
+        extra={
+            "coalesced_faster": (
+                coalesced_med is not None
+                and separate_med is not None
+                and coalesced_med < separate_med
+            ),
+            "samples": len(samples),
+        },
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run(days=2).render())

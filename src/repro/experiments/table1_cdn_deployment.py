@@ -1,0 +1,86 @@
+"""Table 1: instant ACK deployment per CDN on the Tranco Top 1M.
+
+"Domains from the Tranco Top 1M hosted by CDNs, share of instant ACK
+deployment, and maximum difference between measurements. Deployment
+share and maximum variation are aggregated across vantage points and
+repetitions."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.common import ExperimentResult
+from repro.wild.asdb import Cdn
+from repro.wild.cdn import DEPLOYMENTS
+from repro.wild.qscanner import QScanner, deployment_share
+from repro.wild.tranco import TrancoGenerator
+from repro.wild.vantage import VANTAGE_POINTS, vantage
+
+PAPER_SHARES = {
+    Cdn.AKAMAI: (533, 32.2, 12.9),
+    Cdn.AMAZON: (4338, 41.0, 18.0),
+    Cdn.CLOUDFLARE: (247407, 99.9, 0.1),
+    Cdn.FASTLY: (3960, 0.0, 0.0),
+    Cdn.GOOGLE: (6062, 11.5, 11.5),
+    Cdn.META: (112, 0.0, 0.0),
+    Cdn.MICROSOFT: (34, 0.0, 0.0),
+    Cdn.OTHERS: (26404, 21.5, 2.3),
+}
+
+
+def run(
+    list_size: int = 100_000,
+    days: int = 2,
+    vantage_names=None,
+    seed: int = 0,
+) -> ExperimentResult:
+    if vantage_names is None:
+        vantage_names = sorted(VANTAGE_POINTS)
+    generator = TrancoGenerator(list_size=list_size, seed=seed)
+    domains = generator.quic_domains()
+    #: shares[(vantage, day)][cdn] = share
+    measurements: List[Dict[Cdn, float]] = []
+    counts: Dict[Cdn, int] = {}
+    for domain in domains:
+        counts[domain.cdn] = counts.get(domain.cdn, 0) + 1
+    for vantage_name in vantage_names:
+        scanner = QScanner(vantage(vantage_name), seed=seed)
+        for day in range(days):
+            results = scanner.probe(domains, day=day)
+            measurements.append(deployment_share(results))
+    rows: List[List[object]] = []
+    for cdn in Cdn:
+        shares = [m.get(cdn, 0.0) * 100.0 for m in measurements]
+        max_share = max(shares) if shares else 0.0
+        variation = (max(shares) - min(shares)) if shares else 0.0
+        paper_domains, paper_share, paper_variation = PAPER_SHARES[cdn]
+        rows.append(
+            [
+                cdn.value,
+                counts.get(cdn, 0),
+                round(max_share, 1),
+                paper_share,
+                round(variation, 1),
+                paper_variation,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="table1",
+        title=(
+            f"IACK deployment per CDN ({list_size} domains, "
+            f"{len(vantage_names)} vantages x {days} days)"
+        ),
+        headers=[
+            "CDN", "domains", "enabled max [%]", "paper [%]",
+            "variation [%]", "paper variation [%]",
+        ],
+        rows=rows,
+        paper_reference={
+            "shares": {c.value: v for c, v in PAPER_SHARES.items()},
+        },
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run(list_size=20_000, days=1, vantage_names=["Sao Paulo"]).render())

@@ -1,0 +1,65 @@
+"""Table 2: deployment suggestions with and without packet loss.
+
+The advisor's decision table must match the published one exactly:
+
+====================  ===================  ==============  ==========  ==========
+certificate size      first server flight  second client   no loss     no loss
+vs amplification      except first dgram   flight          dt < 3RTT   dt >= 3RTT
+====================  ===================  ==============  ==========  ==========
+(1) fits budget       WFC                  IACK            IACK        WFC
+(2) exceeds budget    IACK                 IACK            IACK        IACK
+====================  ===================  ==============  ==========  ==========
+"""
+
+from __future__ import annotations
+
+from repro.core.advisor import DeploymentAdvisor, Recommendation
+from repro.experiments.common import ExperimentResult
+
+PAPER_TABLE = {
+    "fits": {
+        "first_server_flight_tail": Recommendation.WFC,
+        "second_client_flight": Recommendation.IACK,
+        "no_loss_small_delta": Recommendation.IACK,
+        "no_loss_large_delta": Recommendation.WFC,
+    },
+    "exceeds": {
+        "first_server_flight_tail": Recommendation.IACK,
+        "second_client_flight": Recommendation.IACK,
+        "no_loss_small_delta": Recommendation.IACK,
+        "no_loss_large_delta": Recommendation.IACK,
+    },
+}
+
+
+def run(rtt_ms: float = 9.0) -> ExperimentResult:
+    advisor = DeploymentAdvisor()
+    table = advisor.table2(rtt_ms=rtt_ms)
+    rows = []
+    matches = True
+    for cert_row, columns in table.items():
+        for column, recommendation in columns.items():
+            expected = PAPER_TABLE[cert_row][column]
+            ok = recommendation is expected
+            matches = matches and ok
+            rows.append(
+                [
+                    cert_row,
+                    column,
+                    recommendation.name,
+                    expected.name,
+                    "ok" if ok else "MISMATCH",
+                ]
+            )
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Deployment guidelines (advisor vs paper Table 2)",
+        headers=["certificate", "scenario", "advisor", "paper", "status"],
+        rows=rows,
+        paper_reference={"matches_paper": matches},
+        extra={"matches": matches},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

@@ -1,0 +1,27 @@
+"""HTTP semantics over QUIC streams.
+
+The paper requests files via HTTP/1.1 and HTTP/3 (§3) and observes
+that "HTTP/3 generally has a lower TTFB because the first STREAM frame
+received from the server is the Control Stream with the SETTINGS
+frame, which is sent by the server immediately after the handshake
+completes. Compared to HTTP/1.1, this is one RTT faster" (Figure 5).
+These classes encode exactly that difference: HTTP/3 servers emit
+SETTINGS on their control stream at handshake completion; HTTP/1.1
+servers send nothing until the request arrives.
+"""
+
+from repro.http.base import HttpSemantics, RequestSpec
+from repro.http.http1 import Http1Semantics
+from repro.http.http3 import Http3Semantics
+
+__all__ = ["HttpSemantics", "RequestSpec", "Http1Semantics", "Http3Semantics"]
+
+
+def semantics_for(version: str) -> HttpSemantics:
+    """Factory: ``"h1"``/``"http/1.1"`` or ``"h3"``/``"http/3"``."""
+    normalized = version.lower()
+    if normalized in ("h1", "http/1.1", "http1", "hq-interop"):
+        return Http1Semantics()
+    if normalized in ("h3", "http/3", "http3"):
+        return Http3Semantics()
+    raise ValueError(f"unknown HTTP version {version!r}")

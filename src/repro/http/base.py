@@ -1,0 +1,51 @@
+"""Common interface for the HTTP mappings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """What the client asks for: a resource of a given size."""
+
+    path: str = "/file"
+    response_size: int = 10 * 1024
+
+    def __post_init__(self) -> None:
+        if self.response_size <= 0:
+            raise ValueError("response size must be positive")
+
+
+@dataclass(frozen=True)
+class StreamWrite:
+    """One stream write: ``(stream_id, size, fin, label)``."""
+
+    stream_id: int
+    size: int
+    fin: bool
+    label: str
+
+
+class HttpSemantics:
+    """How requests/responses map onto QUIC streams."""
+
+    name: str = "http"
+
+    def client_writes(self, request: RequestSpec) -> List[StreamWrite]:
+        """Stream writes the client performs right after the handshake."""
+        raise NotImplementedError
+
+    def server_handshake_writes(self) -> List[StreamWrite]:
+        """Stream writes the server performs the moment its handshake
+        completes — before any request arrives."""
+        raise NotImplementedError
+
+    def server_response_writes(self, request: RequestSpec) -> List[StreamWrite]:
+        """Stream writes carrying the response."""
+        raise NotImplementedError
+
+    @property
+    def request_stream_id(self) -> int:
+        return 0

@@ -1,0 +1,38 @@
+"""HTTP/1.1-over-QUIC (hq-interop style, as used by the QUIC Interop
+Runner): plain request bytes on stream 0, raw response bytes back on
+the same stream. Nothing is sent by the server until the request
+arrives — hence the extra RTT relative to HTTP/3 in Figure 5."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.http.base import HttpSemantics, RequestSpec, StreamWrite
+
+
+class Http1Semantics(HttpSemantics):
+    name = "http/1.1"
+
+    def client_writes(self, request: RequestSpec) -> List[StreamWrite]:
+        request_line = f"GET {request.path}\r\n"
+        return [
+            StreamWrite(
+                stream_id=0,
+                size=len(request_line.encode()),
+                fin=True,
+                label="http1-request",
+            )
+        ]
+
+    def server_handshake_writes(self) -> List[StreamWrite]:
+        return []
+
+    def server_response_writes(self, request: RequestSpec) -> List[StreamWrite]:
+        return [
+            StreamWrite(
+                stream_id=0,
+                size=request.response_size,
+                fin=True,
+                label="http1-response",
+            )
+        ]

@@ -1,0 +1,136 @@
+"""The :class:`ImplProfile` dataclass — one QUIC stack's parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.qlog.writer import ExposurePolicy
+
+
+@dataclass(frozen=True)
+class SecondFlightVariant:
+    """One way an implementation coalesces its second client flight.
+
+    ``probability`` selects among variants per run (quiche sometimes
+    sends two datagrams instead of one, Appendix F); ``datagrams`` is
+    the number of UDP datagrams the flight spans.
+    """
+
+    probability: float
+    datagrams: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError("variant probability must be in (0, 1]")
+        if not 1 <= self.datagrams <= 4:
+            raise ValueError("second flight spans 1..4 datagrams")
+
+
+@dataclass(frozen=True)
+class ImplProfile:
+    """Behavioral parameters of one QUIC implementation.
+
+    Client-relevant and server-relevant fields coexist; the connection
+    classes read what applies to their role.
+    """
+
+    name: str
+    #: Initial/default PTO before any RTT sample (paper Table 4).
+    default_pto_ms: float
+    #: Number of UDP datagrams the second client flight spans, as
+    #: 1-based datagram indices sent by the client (paper Table 4;
+    #: datagram 1 is the ClientHello).
+    second_flight_indices: Tuple[int, ...] = (2, 3, 4)
+    #: Probabilistic coalescing variants; when set, overrides
+    #: ``second_flight_indices`` count per run (quiche, Appendix F).
+    second_flight_variants: Tuple[SecondFlightVariant, ...] = ()
+    supports_http3: bool = True
+    max_ack_delay_ms: float = 25.0
+
+    # -- RTT estimation and PTO quirks (Appendix E, §4) ---------------
+    rtt_variant: str = "standard"  # "aioquic" for aioquic
+    use_initial_ack_rtt_sample: bool = True  # False: picoquic
+    anti_deadlock_probe_from_sent_time: bool = False  # True: mvfst, picoquic
+    misinit_srtt_probability: float = 0.0  # go-x-net
+    misinit_srtt_ms: float = 90.0
+
+    # -- processing-time model (§4.1 "QUIC stack delays") --------------
+    #: Extra client processing before an RTT sample is taken from a
+    #: datagram that coalesces ACK with TLS crypto (vs a bare ACK).
+    coalesced_processing_penalty_ms: float = 3.0
+    #: Uniform jitter half-width applied to the penalty per datagram.
+    penalty_jitter_ms: float = 0.5
+    #: Base processing delay for a non-crypto datagram.
+    base_processing_ms: float = 0.05
+
+    # -- quiche quirks (§4.1, §4.2, Appendix F) ------------------------
+    #: Drop a coalesced datagram whose Initial ACK (newly) acknowledges
+    #: one of our PING probes ("drops replies to PING frames as
+    #: invalid together with coalesced packets").
+    drops_ping_ack_coalesced: bool = False
+    #: Abort when the same connection ID is retired twice (observed
+    #: for quiche over HTTP/1.1 only).
+    aborts_on_duplicate_cid_retirement: bool = False
+
+    # -- server-side fields --------------------------------------------
+    #: ACK delay reported in the first Initial ACK (paper Table 3).
+    initial_ack_delay_ms: float = 0.0
+    #: ACK delay in the Handshake space; None = the implementation
+    #: sends no acknowledgment in that space (11 of 16 stacks).
+    handshake_ack_delay_ms: Optional[float] = 0.0
+    #: msquic sends no Initial/Handshake ACKs at all.
+    sends_initial_ack: bool = True
+    #: Server processing time to compile ServerHello/cert/signature
+    #: ("signature calculation is the single most CPU consuming
+    #: function", §4.1).
+    crypto_processing_ms: float = 1.0
+    crypto_processing_jitter_ms: float = 0.3
+    #: Processing time to emit an instant ACK (Initial keys only).
+    iack_processing_ms: float = 0.1
+    #: Whether the server pads its instant ACK to probe the path MTU,
+    #: as Cloudflare does (§5) — consumes amplification budget.
+    pads_instant_ack: bool = False
+
+    # -- qlog exposure (Appendix E) -------------------------------------
+    qlog_metrics_exposure: float = 1.0
+    qlog_logs_rtt_variance: bool = True
+    qlog_timestamp_resolution: str = "us"
+
+    # -- ack policy -----------------------------------------------------
+    #: Acknowledge every n-th ack-eliciting packet in the application
+    #: space (2 is the RFC 9000 §13.2.2 recommendation).
+    ack_every_n: int = 2
+    #: Send PING keep-alives during long transfers, which creates
+    #: extra RTT samples (Figure 11 discussion).
+    sends_keepalive_pings: bool = False
+    #: Send a MAX_DATA flow-control update every this many received
+    #: bytes. These ack-eliciting updates are a downloading client's
+    #: main RTT-sample source; implementations differ widely in update
+    #: frequency, which spreads the Figure 11 sample counts.
+    flow_update_interval_bytes: int = 16 * 1024
+
+    def __post_init__(self) -> None:
+        if self.default_pto_ms <= 0:
+            raise ValueError("default PTO must be positive")
+        if not self.second_flight_indices:
+            raise ValueError("second flight needs at least one datagram")
+        if list(self.second_flight_indices) != sorted(self.second_flight_indices):
+            raise ValueError("second flight indices must be sorted")
+        if self.second_flight_variants:
+            total = sum(v.probability for v in self.second_flight_variants)
+            if not 0.999 <= total <= 1.001:
+                raise ValueError("variant probabilities must sum to 1")
+        if self.ack_every_n < 1:
+            raise ValueError("ack_every_n must be >= 1")
+
+    @property
+    def second_flight_datagram_count(self) -> int:
+        return len(self.second_flight_indices)
+
+    def exposure_policy(self) -> ExposurePolicy:
+        return ExposurePolicy(
+            metrics_exposure=self.qlog_metrics_exposure,
+            logs_rtt_variance=self.qlog_logs_rtt_variance,
+            timestamp_resolution=self.qlog_timestamp_resolution,
+        )

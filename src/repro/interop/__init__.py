@@ -1,0 +1,23 @@
+"""QUIC-Interop-Runner-style emulation harness.
+
+The paper "emulate[s] network conditions using the QUIC Interop Runner
+(QIR), a container-based framework for interoperability testing"
+(§3): a client implementation and a server joined by an emulated path,
+with packet captures and qlog collected from both sides, 100
+repetitions per condition. :class:`~repro.interop.runner.Runner`
+reproduces that harness on the discrete-event simulator.
+"""
+
+from repro.interop.runner import RunResult, Runner, Scenario
+from repro.interop.scenarios import (
+    first_server_flight_tail_loss,
+    second_client_flight_loss,
+)
+
+__all__ = [
+    "Runner",
+    "RunResult",
+    "Scenario",
+    "first_server_flight_tail_loss",
+    "second_client_flight_loss",
+]

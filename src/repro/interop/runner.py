@@ -1,0 +1,201 @@
+"""The scenario runner: one emulated QUIC connection per run.
+
+A :class:`Scenario` is the full parameterization of one testbed
+condition (client implementation, server mode, HTTP version, RTT,
+Δt, certificate, file size, loss patterns); :class:`Runner` executes
+it for any number of repetitions with distinct seeds and collects
+:class:`RunResult` artifacts (stats, qlogs, packet trace).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.http import semantics_for
+from repro.http.base import RequestSpec
+from repro.impls.registry import QUIC_GO_SERVER, client_profile
+from repro.impls.profile import ImplProfile
+from repro.qlog.writer import QlogWriter
+from repro.quic.certs import Certificate, SMALL_CERTIFICATE
+from repro.quic.client import ClientConnection
+from repro.quic.connection import ConnectionStats
+from repro.quic.server import ServerConfig, ServerConnection, ServerMode
+from repro.sim.engine import EventLoop
+from repro.sim.link import DEFAULT_BANDWIDTH_BPS
+from repro.sim.loss import LossPattern
+from repro.sim.network import Network
+from repro.sim.trace import Tracer
+
+#: 10 KB and 10 MB transfer sizes used throughout the paper (§3).
+SIZE_10KB = 10 * 1024
+SIZE_10MB = 10 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One testbed condition."""
+
+    client: str = "quic-go"
+    mode: ServerMode = ServerMode.WFC
+    http: str = "h1"
+    rtt_ms: float = 9.0
+    delta_t_ms: float = 0.0
+    certificate: Certificate = field(default_factory=lambda: SMALL_CERTIFICATE)
+    response_size: int = SIZE_10KB
+    bandwidth_bps: Optional[float] = DEFAULT_BANDWIDTH_BPS
+    client_to_server_loss: Optional[LossPattern] = None
+    server_to_client_loss: Optional[LossPattern] = None
+    pad_instant_ack: bool = False
+    timeout_ms: float = 60_000.0
+
+    def with_mode(self, mode: ServerMode) -> "Scenario":
+        return replace(self, mode=mode)
+
+    def describe(self) -> str:
+        loss = ""
+        if self.client_to_server_loss or self.server_to_client_loss:
+            loss = (
+                f" loss(c2s={self.client_to_server_loss!r},"
+                f" s2c={self.server_to_client_loss!r})"
+            )
+        return (
+            f"{self.client}/{self.http} {self.mode.name} rtt={self.rtt_ms}ms "
+            f"dt={self.delta_t_ms}ms cert={self.certificate.name} "
+            f"size={self.response_size}B{loss}"
+        )
+
+
+@dataclass
+class RunResult:
+    """Artifacts of one emulated connection."""
+
+    scenario: Scenario
+    seed: int
+    client_stats: ConnectionStats
+    server_stats: ConnectionStats
+    client_qlog: QlogWriter
+    server_qlog: QlogWriter
+    tracer: Tracer
+    client: ClientConnection
+    server: ServerConnection
+    duration_ms: float
+
+    @property
+    def ttfb_ms(self) -> Optional[float]:
+        return self.client_stats.ttfb_relative_ms
+
+    @property
+    def response_ttfb_ms(self) -> Optional[float]:
+        """First payload byte on the request stream — the metric of
+        the loss-scenario figures ("the first payload byte after the
+        loss event", Appendix F)."""
+        return self.client_stats.response_ttfb_relative_ms
+
+    @property
+    def completed(self) -> bool:
+        return self.client_stats.completed
+
+    @property
+    def first_pto_ms(self) -> Optional[float]:
+        return self.client_stats.first_pto_ms
+
+
+class Runner:
+    """Executes scenarios on the discrete-event simulator."""
+
+    def __init__(self, base_seed: int = 0):
+        self.base_seed = base_seed
+
+    def run_once(self, scenario: Scenario, seed: Optional[int] = None) -> RunResult:
+        """Run a single connection and return its artifacts."""
+        seed = self.base_seed if seed is None else seed
+        loop = EventLoop()
+        tracer = Tracer()
+        profile = client_profile(scenario.client)
+        http_client = semantics_for(scenario.http)
+        http_server = semantics_for(scenario.http)
+        # Fresh, copied loss patterns would be nicer; reset() restores
+        # stateful ones (RandomLoss) for reuse across repetitions.
+        if scenario.client_to_server_loss is not None:
+            scenario.client_to_server_loss.reset()
+        if scenario.server_to_client_loss is not None:
+            scenario.server_to_client_loss.reset()
+        network = Network.for_rtt(
+            loop,
+            rtt_ms=scenario.rtt_ms,
+            bandwidth_bps=scenario.bandwidth_bps,
+            client_to_server_loss=scenario.client_to_server_loss,
+            server_to_client_loss=scenario.server_to_client_loss,
+            tracer=tracer,
+        )
+        # String seeds are hashed (SHA-512) by random.Random, giving
+        # well-mixed first draws even for sequential repetition seeds.
+        rng_client = random.Random(f"client:{seed}")
+        rng_server = random.Random(f"server:{seed}")
+        request = RequestSpec(response_size=scenario.response_size)
+        client = ClientConnection(
+            loop,
+            profile,
+            http_client,
+            request=request,
+            rng=rng_client,
+            name="client",
+        )
+        server_config = ServerConfig(
+            mode=scenario.mode,
+            delta_t_ms=scenario.delta_t_ms,
+            certificate=scenario.certificate,
+            pad_instant_ack=scenario.pad_instant_ack,
+        )
+        server = ServerConnection(
+            loop,
+            QUIC_GO_SERVER,
+            http_server,
+            config=server_config,
+            rng=rng_server,
+            name="server",
+        )
+        server.set_request_spec(request)
+        client.attach_transport(
+            lambda dgram, size: network.send_from(network.client, dgram, size)
+        )
+        server.attach_transport(
+            lambda dgram, size: network.send_from(network.server, dgram, size)
+        )
+        network.client.attach(client.on_datagram)
+        network.server.attach(server.on_datagram)
+        client.start()
+        loop.run(until=scenario.timeout_ms)
+        if not client.stats.completed and client.stats.aborted is None:
+            client.stats.aborted = "timeout"
+        return RunResult(
+            scenario=scenario,
+            seed=seed,
+            client_stats=client.snapshot_stats(),
+            server_stats=server.snapshot_stats(),
+            client_qlog=client.qlog,
+            server_qlog=server.qlog,
+            tracer=tracer,
+            client=client,
+            server=server,
+            duration_ms=loop.now,
+        )
+
+    def run_repetitions(
+        self, scenario: Scenario, repetitions: int = 100
+    ) -> List[RunResult]:
+        """Run a scenario ``repetitions`` times with distinct seeds —
+        the paper repeats every test 100 times (§3)."""
+        if repetitions <= 0:
+            raise ValueError("repetitions must be positive")
+        return [
+            self.run_once(scenario, seed=self.base_seed + i)
+            for i in range(repetitions)
+        ]
+
+
+def profile_for(scenario: Scenario) -> ImplProfile:
+    """The client profile a scenario resolves to."""
+    return client_profile(scenario.client)

@@ -1,0 +1,38 @@
+"""Qlog-style structured logging (draft-ietf-quic-qlog-main-schema).
+
+"Qlog, a structured logging format for QUIC, contains data about sent
+packets, received packets, and recovery:metrics, including the
+smoothed RTT and RTT variation calculated by the implementation.
+Nonetheless, implementations differ in how often and how exhaustive
+recovery:metrics are exposed" (§3). This package models both the
+event stream and those per-implementation exposure differences
+(Appendix E): exposure share, timestamp resolution, and whether RTT
+variance is logged at all.
+"""
+
+from repro.qlog.events import (
+    EventCategory,
+    MetricsUpdated,
+    PacketEvent,
+    QlogEvent,
+)
+from repro.qlog.writer import ExposurePolicy, QlogWriter
+from repro.qlog.analysis import (
+    count_metric_updates,
+    count_new_ack_packets,
+    first_pto_from_qlog,
+    metric_series,
+)
+
+__all__ = [
+    "QlogEvent",
+    "PacketEvent",
+    "MetricsUpdated",
+    "EventCategory",
+    "QlogWriter",
+    "ExposurePolicy",
+    "count_metric_updates",
+    "count_new_ack_packets",
+    "first_pto_from_qlog",
+    "metric_series",
+]

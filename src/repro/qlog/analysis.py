@@ -1,0 +1,67 @@
+"""Helpers for analyzing qlog event streams.
+
+These mirror the paper's post-processing: counting metric updates
+versus theoretically possible RTT samples (Figure 11), and deriving
+the first PTO from logged metrics (Figure 16).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.qlog.events import MetricsUpdated, PacketEvent, QlogEvent
+
+
+def count_metric_updates(events: List[QlogEvent]) -> int:
+    """Number of logged ``recovery:metrics_updated`` events."""
+    return sum(1 for e in events if isinstance(e, MetricsUpdated))
+
+
+def count_new_ack_packets(events: List[QlogEvent]) -> int:
+    """Packets received that newly acknowledged at least one packet —
+    the theoretical maximum number of RTT samples (Figure 11)."""
+    return sum(
+        1
+        for e in events
+        if isinstance(e, PacketEvent)
+        and e.name == "packet_received"
+        and e.newly_acked
+    )
+
+
+def metric_series(events: List[QlogEvent]) -> List[MetricsUpdated]:
+    """All metric updates in time order."""
+    series = [e for e in events if isinstance(e, MetricsUpdated)]
+    series.sort(key=lambda e: e.time_ms)
+    return series
+
+
+def first_smoothed_rtt(events: List[QlogEvent]) -> Optional[Tuple[float, Optional[float]]]:
+    """First logged ``(smoothed_rtt, rtt_variance)``; variance may be
+    ``None`` for implementations that do not expose it."""
+    for event in metric_series(events):
+        if event.smoothed_rtt_ms is not None:
+            return (event.smoothed_rtt_ms, event.rtt_variance_ms)
+    return None
+
+
+def first_pto_from_qlog(
+    events: List[QlogEvent],
+    granularity_ms: float = 1.0,
+    fallback_variance_factor: float = 0.5,
+) -> Optional[float]:
+    """First PTO derivable from the qlog.
+
+    ``PTO = srtt + max(4 * rttvar, granularity)``. When the
+    implementation does not log RTT variance the paper calculates it
+    "from the sent and received packets instead"; with a single sample
+    that reconstruction is ``sample / 2``, which
+    ``fallback_variance_factor`` encodes.
+    """
+    first = first_smoothed_rtt(events)
+    if first is None:
+        return None
+    srtt, rttvar = first
+    if rttvar is None:
+        rttvar = srtt * fallback_variance_factor
+    return srtt + max(4.0 * rttvar, granularity_ms)

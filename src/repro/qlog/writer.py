@@ -1,0 +1,137 @@
+"""Qlog writers with per-implementation exposure policies.
+
+Appendix E: "timestamps are provided with different resolutions, i.e.,
+µs, ms, and s, and neqo, mvfst and picoquic do not log RTT variance
+... aioquic, go-x-net, mvfst, and quiche expose the maximum of PTO
+updates available, while neqo, ngtcp2, picoquic, and quic-go rely on a
+smaller fraction of the samples."
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.qlog.events import MetricsUpdated, PacketEvent, QlogEvent
+
+_RESOLUTION_QUANTUM_MS = {"us": 0.001, "ms": 1.0, "s": 1000.0}
+
+
+@dataclass(frozen=True)
+class ExposurePolicy:
+    """How much of the connection's internals reach the qlog."""
+
+    #: Share of recovery metric updates that are actually logged.
+    metrics_exposure: float = 1.0
+    #: Whether ``rtt_variance`` is included in metric events.
+    logs_rtt_variance: bool = True
+    #: Timestamp resolution: "us", "ms", or "s".
+    timestamp_resolution: str = "us"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.metrics_exposure <= 1.0:
+            raise ValueError("metrics_exposure must be in [0, 1]")
+        if self.timestamp_resolution not in _RESOLUTION_QUANTUM_MS:
+            raise ValueError(
+                f"unknown timestamp resolution {self.timestamp_resolution!r}"
+            )
+
+    def quantize(self, time_ms: float) -> float:
+        quantum = _RESOLUTION_QUANTUM_MS[self.timestamp_resolution]
+        return round(time_ms / quantum) * quantum
+
+
+class QlogWriter:
+    """Collects events for one endpoint ("vantage point" in qlog terms)."""
+
+    def __init__(
+        self,
+        vantage_point: str,
+        policy: Optional[ExposurePolicy] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        self.vantage_point = vantage_point
+        self.policy = policy if policy is not None else ExposurePolicy()
+        self._rng = rng if rng is not None else random.Random(0)
+        self.events: List[QlogEvent] = []
+        self._suppressed_metrics = 0
+        self._last_metrics_key: Optional[tuple] = None
+
+    def log_packet(self, event: PacketEvent) -> None:
+        self.events.append(self._stamp(event))
+
+    def log_metrics(self, event: MetricsUpdated) -> None:
+        """Log a recovery:metrics_updated event, subject to policy.
+
+        Consecutive duplicates are collapsed the way the paper's
+        post-processing does ("we remove consecutive duplicates",
+        Appendix E) — quantized values that repeat are dropped.
+        """
+        if self._rng.random() > self.policy.metrics_exposure:
+            self._suppressed_metrics += 1
+            return
+        if not self.policy.logs_rtt_variance:
+            event = MetricsUpdated(
+                time_ms=event.time_ms,
+                category=event.category,
+                name=event.name,
+                smoothed_rtt_ms=event.smoothed_rtt_ms,
+                rtt_variance_ms=None,
+                latest_rtt_ms=event.latest_rtt_ms,
+                min_rtt_ms=event.min_rtt_ms,
+                pto_count=event.pto_count,
+            )
+        key = (event.smoothed_rtt_ms, event.rtt_variance_ms)
+        if key == self._last_metrics_key:
+            return
+        self._last_metrics_key = key
+        self.events.append(self._stamp(event))
+
+    def _stamp(self, event: QlogEvent) -> QlogEvent:
+        quantized = self.policy.quantize(event.time_ms)
+        if quantized == event.time_ms:
+            return event
+        if isinstance(event, PacketEvent):
+            return PacketEvent(
+                time_ms=quantized, category=event.category, name=event.name,
+                data=event.data, packet_type=event.packet_type,
+                packet_number=event.packet_number, space=event.space,
+                size=event.size, ack_eliciting=event.ack_eliciting,
+                frames=event.frames, newly_acked=event.newly_acked,
+            )
+        if isinstance(event, MetricsUpdated):
+            return MetricsUpdated(
+                time_ms=quantized, category=event.category, name=event.name,
+                data=event.data, smoothed_rtt_ms=event.smoothed_rtt_ms,
+                rtt_variance_ms=event.rtt_variance_ms,
+                latest_rtt_ms=event.latest_rtt_ms, min_rtt_ms=event.min_rtt_ms,
+                pto_count=event.pto_count,
+            )
+        return QlogEvent(
+            time_ms=quantized, category=event.category, name=event.name,
+            data=event.data,
+        )
+
+    @property
+    def suppressed_metrics(self) -> int:
+        return self._suppressed_metrics
+
+    def of_type(self, qualified_name: str) -> List[QlogEvent]:
+        return [e for e in self.events if e.qualified_name == qualified_name]
+
+    def to_json(self) -> str:
+        """Serialize in a qlog-like JSON shape."""
+        return json.dumps(
+            {
+                "qlog_version": "0.4",
+                "title": self.vantage_point,
+                "traces": [
+                    {
+                        "vantage_point": {"name": self.vantage_point},
+                        "events": [e.to_dict() for e in self.events],
+                    }
+                ],
+            }
+        )

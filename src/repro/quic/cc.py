@@ -1,0 +1,71 @@
+"""Congestion control (RFC 9002 §7): NewReno-style controller.
+
+Handshake flights are far below the initial window, so congestion
+control only shapes the bulk-transfer experiments (the 10 MB transfer
+of Figure 11). A faithful-but-simple NewReno with slow start,
+congestion avoidance, and a recovery period is sufficient for the
+paper's purposes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: RFC 9002 §7.2: initial window of 10 max datagrams.
+INITIAL_WINDOW_PACKETS = 10
+MAX_DATAGRAM = 1200
+MINIMUM_WINDOW = 2 * MAX_DATAGRAM
+LOSS_REDUCTION_FACTOR = 0.5
+
+
+class NewRenoController:
+    """Byte-counting NewReno congestion controller."""
+
+    def __init__(self, max_datagram_size: int = MAX_DATAGRAM):
+        self.max_datagram_size = max_datagram_size
+        self.cwnd = INITIAL_WINDOW_PACKETS * max_datagram_size
+        self.ssthresh: Optional[int] = None
+        self.bytes_in_flight = 0
+        self.recovery_start_time_ms: Optional[float] = None
+        self.loss_events = 0
+
+    def in_slow_start(self) -> bool:
+        return self.ssthresh is None or self.cwnd < self.ssthresh
+
+    def can_send(self, size: int) -> bool:
+        return self.bytes_in_flight + size <= self.cwnd
+
+    def available_window(self) -> int:
+        return max(0, self.cwnd - self.bytes_in_flight)
+
+    def on_packet_sent(self, size: int) -> None:
+        self.bytes_in_flight += size
+
+    def on_packet_acked(self, size: int, time_sent_ms: float) -> None:
+        self.bytes_in_flight = max(0, self.bytes_in_flight - size)
+        if (
+            self.recovery_start_time_ms is not None
+            and time_sent_ms <= self.recovery_start_time_ms
+        ):
+            return  # recovery period: no growth for pre-recovery packets
+        if self.in_slow_start():
+            self.cwnd += size
+        else:
+            self.cwnd += self.max_datagram_size * size // max(self.cwnd, 1)
+
+    def on_packets_lost(self, total_size: int, latest_sent_ms: float, now_ms: float) -> None:
+        self.bytes_in_flight = max(0, self.bytes_in_flight - total_size)
+        if (
+            self.recovery_start_time_ms is not None
+            and latest_sent_ms <= self.recovery_start_time_ms
+        ):
+            return  # already reacted to this loss episode
+        self.loss_events += 1
+        self.recovery_start_time_ms = now_ms
+        self.cwnd = max(int(self.cwnd * LOSS_REDUCTION_FACTOR), MINIMUM_WINDOW)
+        self.ssthresh = self.cwnd
+
+    def on_packet_discarded(self, size: int) -> None:
+        """Remove a packet from flight without a congestion reaction
+        (e.g. when keys are discarded)."""
+        self.bytes_in_flight = max(0, self.bytes_in_flight - size)

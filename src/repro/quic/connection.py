@@ -1,0 +1,864 @@
+"""Shared QUIC endpoint machinery (client and server bases).
+
+Implements everything RFC 9000/9002 require of both sides: packet
+reception with key-availability buffering, ACK generation policy,
+ACK processing (RTT samples, congestion control, loss detection),
+PTO probing, CRYPTO/STREAM retransmission, and key discard — driven
+by a deterministic event loop and parameterized by an
+:class:`~repro.impls.profile.ImplProfile`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.impls.profile import ImplProfile
+from repro.qlog.events import EventCategory, MetricsUpdated, PacketEvent
+from repro.qlog.writer import QlogWriter
+from repro.quic.cc import NewRenoController
+from repro.quic.cid import CidRegistry
+from repro.quic.coalescing import Datagram, coalesce, pad_initial
+from repro.quic.frames import (
+    AckFrame,
+    ConnectionCloseFrame,
+    CryptoFrame,
+    Frame,
+    HandshakeDoneFrame,
+    NewConnectionIdFrame,
+    PingFrame,
+    RetireConnectionIdFrame,
+    StreamFrame,
+)
+from repro.quic.packet import INITIAL_MIN_DATAGRAM, Packet, PacketType, Space
+from repro.quic.recovery import Recovery, RecoveryConfig, SentPacket
+from repro.quic.streams import StreamSet
+from repro.quic.tls import CryptoReceiveBuffer, CryptoSendBuffer
+from repro.sim.engine import EventLoop, Timer
+
+_SPACE_TO_TYPE = {
+    Space.INITIAL: PacketType.INITIAL,
+    Space.HANDSHAKE: PacketType.HANDSHAKE,
+    Space.APPLICATION: PacketType.ONE_RTT,
+}
+
+#: Abort the connection after this many consecutive PTOs (safety net;
+#: real stacks use an idle timeout).
+MAX_PTO_COUNT = 8
+
+#: Largest CRYPTO/STREAM payload placed in one packet so a packet fits
+#: a 1200-byte datagram with headers.
+MAX_FRAME_PAYLOAD = 1100
+
+
+@dataclass
+class ConnectionStats:
+    """Timing observables of one connection, all in ms of simulated
+    time from connection start."""
+
+    start_ms: float = 0.0
+    client_hello_sent_ms: Optional[float] = None
+    #: Arrival of the first ACK frame from the peer (the wild prober's
+    #: IACK-detection signal) and whether it was coalesced with the
+    #: ServerHello in the same datagram.
+    first_ack_received_ms: Optional[float] = None
+    first_ack_coalesced_with_sh: Optional[bool] = None
+    server_hello_received_ms: Optional[float] = None
+    handshake_complete_ms: Optional[float] = None
+    handshake_confirmed_ms: Optional[float] = None
+    #: Time to first byte: first STREAM payload byte received (for
+    #: HTTP/3 this is the server's control-stream SETTINGS).
+    ttfb_ms: Optional[float] = None
+    #: First payload byte on the request/response stream (stream 0) —
+    #: the "first payload byte after the loss event" of Appendix F.
+    response_ttfb_ms: Optional[float] = None
+    response_complete_ms: Optional[float] = None
+    first_rtt_sample_ms: Optional[float] = None
+    first_pto_ms: Optional[float] = None
+    aborted: Optional[str] = None
+    probes_sent: int = 0
+    spurious_retransmissions: int = 0
+    amplification_blocked_events: int = 0
+    datagrams_sent: int = 0
+    datagrams_received: int = 0
+    invalid_drops: int = 0
+
+    def relative(self, value: Optional[float]) -> Optional[float]:
+        if value is None:
+            return None
+        return value - self.start_ms
+
+    @property
+    def ttfb_relative_ms(self) -> Optional[float]:
+        return self.relative(self.ttfb_ms)
+
+    @property
+    def response_ttfb_relative_ms(self) -> Optional[float]:
+        return self.relative(self.response_ttfb_ms)
+
+    @property
+    def completed(self) -> bool:
+        return self.response_complete_ms is not None and self.aborted is None
+
+
+@dataclass
+class _AckSpaceState:
+    received_pns: List[int] = field(default_factory=list)
+    needs_ack: bool = False
+    eliciting_since_ack: int = 0
+    #: Arrival time of the oldest unacknowledged ack-eliciting packet
+    #: (to report ack_delay honestly).
+    oldest_unacked_ms: Optional[float] = None
+
+
+def ranges_from_pns(pns: Sequence[int]) -> Tuple[Tuple[int, int], ...]:
+    """Compress packet numbers into descending ACK ranges."""
+    if not pns:
+        raise ValueError("cannot build ACK ranges from no packet numbers")
+    ordered = sorted(set(pns))
+    ranges: List[Tuple[int, int]] = []
+    low = high = ordered[0]
+    for pn in ordered[1:]:
+        if pn == high + 1:
+            high = pn
+        else:
+            ranges.append((low, high))
+            low = high = pn
+    ranges.append((low, high))
+    ranges.reverse()
+    return tuple(ranges)
+
+
+class Endpoint:
+    """Base class for :class:`ClientConnection` / :class:`ServerConnection`."""
+
+    is_client: bool = True
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        profile: ImplProfile,
+        rng: Optional[random.Random] = None,
+        qlog: Optional[QlogWriter] = None,
+        name: str = "endpoint",
+    ):
+        self.loop = loop
+        self.profile = profile
+        self.rng = rng if rng is not None else random.Random(0)
+        self.name = name
+        self.qlog = qlog if qlog is not None else QlogWriter(
+            name, profile.exposure_policy(), self.rng
+        )
+        self.recovery = Recovery(
+            RecoveryConfig(
+                default_pto_ms=profile.default_pto_ms,
+                max_ack_delay_ms=profile.max_ack_delay_ms,
+                rtt_variant=profile.rtt_variant,
+                use_initial_ack_rtt_sample=profile.use_initial_ack_rtt_sample,
+                anti_deadlock_probe_from_sent_time=(
+                    profile.anti_deadlock_probe_from_sent_time
+                ),
+                misinit_srtt_probability=profile.misinit_srtt_probability,
+                misinit_srtt_ms=profile.misinit_srtt_ms,
+            ),
+            rng=self.rng,
+            is_client=self.is_client,
+        )
+        self.cc = NewRenoController()
+        self.streams = StreamSet()
+        self.cids = CidRegistry()
+        self.crypto_send: Dict[Space, CryptoSendBuffer] = {
+            Space.INITIAL: CryptoSendBuffer(),
+            Space.HANDSHAKE: CryptoSendBuffer(),
+        }
+        self.crypto_recv: Dict[Space, CryptoReceiveBuffer] = {
+            Space.INITIAL: CryptoReceiveBuffer(),
+            Space.HANDSHAKE: CryptoReceiveBuffer(),
+        }
+        #: Expected total CRYPTO stream length per space, learned from
+        #: frame metadata (stands in for TLS message parsing).
+        self.crypto_expected: Dict[Space, Optional[int]] = {
+            Space.INITIAL: None,
+            Space.HANDSHAKE: None,
+        }
+        self._ack_state: Dict[Space, _AckSpaceState] = {
+            space: _AckSpaceState() for space in Space
+        }
+        self.stats = ConnectionStats(start_ms=loop.now)
+        self.transmit: Optional[Callable[[Datagram, int], None]] = None
+        self.closed = False
+        self._loss_timer: Optional[Timer] = None
+        self._ack_timer: Optional[Timer] = None
+        self._busy_until_ms = 0.0
+        #: Datagrams delivered but not yet processed (burst tracking:
+        #: standalone acks are deferred until the burst is drained, as
+        #: real stacks ack once per receive batch).
+        self._datagrams_queued = 0
+        #: The coalesced-crypto processing penalty models TLS key
+        #: derivation and signature verification — paid once.
+        self._crypto_penalty_paid = False
+        self._pending_packets: List[Packet] = []
+        self._has_handshake_keys = not self.is_client
+        self._has_app_keys = not self.is_client
+        self.handshake_complete = False
+        self.handshake_confirmed = False
+        self._ping_ack_drops_left = 1
+        #: pn -> True for PING probe packets we sent in the Initial
+        #: space (for the quiche drop quirk).
+        self._initial_ping_pns: Dict[int, bool] = {}
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def attach_transport(self, transmit: Callable[[Datagram, int], None]) -> None:
+        """Provide the function that puts a datagram on the wire."""
+        self.transmit = transmit
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+
+    def on_datagram(self, dgram: Datagram) -> None:
+        """Network delivery callback: queue the datagram behind the
+        endpoint's (simulated) processing."""
+        if self.closed:
+            return
+        self.stats.datagrams_received += 1
+        self._on_datagram_arrival(dgram)
+        delay = self._processing_delay(dgram)
+        start = max(self.loop.now, self._busy_until_ms) + delay
+        self._busy_until_ms = start
+        self._datagrams_queued += 1
+        self.loop.call_at(start, self._process_datagram, dgram)
+
+    def _on_datagram_arrival(self, dgram: Datagram) -> None:
+        """Hook at wire-arrival time (before processing delay); the
+        server credits its amplification budget here."""
+
+    def _processing_delay(self, dgram: Datagram) -> float:
+        """Client stacks take measurably longer to process a datagram
+        that coalesces an ACK with TLS crypto than a bare ACK (§4.1
+        "QUIC stack delays") — the physical origin of the inflated
+        first RTT sample under WFC."""
+        if (
+            self.is_client
+            and dgram.contains_crypto()
+            and not self._crypto_penalty_paid
+        ):
+            self._crypto_penalty_paid = True
+            jitter = self.rng.uniform(
+                -self.profile.penalty_jitter_ms, self.profile.penalty_jitter_ms
+            )
+            return max(0.01, self.profile.coalesced_processing_penalty_ms + jitter)
+        return self.profile.base_processing_ms
+
+    def _process_datagram(self, dgram: Datagram) -> None:
+        self._datagrams_queued = max(0, self._datagrams_queued - 1)
+        if self.closed:
+            return
+        if self._should_drop_invalid(dgram):
+            self.stats.invalid_drops += 1
+            return
+        for packet in dgram.packets:
+            self._process_packet(packet, dgram)
+        self._drain_pending()
+        self.after_datagram(dgram)
+        self._maybe_send_acks()
+        self._rearm_loss_timer()
+
+    def _should_drop_invalid(self, dgram: Datagram) -> bool:
+        """quiche quirk (§4.1): replies to PING frames are dropped as
+        invalid — together with any packets coalesced with them."""
+        if not self.profile.drops_ping_ack_coalesced:
+            return False
+        for packet in dgram.packets:
+            if packet.packet_type is not PacketType.INITIAL:
+                continue
+            for ack in packet.ack_frames():
+                if not any(ack.acks(pn) for pn in self._initial_ping_pns):
+                    continue
+                if len(dgram.packets) > 1 or packet.crypto_frames():
+                    # The PING reply is coalesced with real content;
+                    # dropping it once forces a server retransmission
+                    # ("requires retransmission of the dropped
+                    # information", §4.1).
+                    if self._ping_ack_drops_left <= 0:
+                        return False
+                    self._ping_ack_drops_left -= 1
+                return True
+        return False
+
+    def _keys_available(self, packet: Packet) -> bool:
+        if packet.packet_type is PacketType.HANDSHAKE:
+            return self._has_handshake_keys
+        if packet.packet_type is PacketType.ONE_RTT:
+            return self._has_app_keys and self._can_process_app()
+        return True
+
+    def _can_process_app(self) -> bool:
+        """Servers defer 1-RTT processing until the handshake is
+        complete (client Finished verified)."""
+        return self.is_client or self.handshake_complete
+
+    def _drain_pending(self) -> None:
+        if not self._pending_packets:
+            return
+        still_pending: List[Packet] = []
+        for packet in self._pending_packets:
+            if self._keys_available(packet):
+                self._process_packet(packet, None, buffered=True)
+            else:
+                still_pending.append(packet)
+        self._pending_packets = still_pending
+
+    def _process_packet(
+        self,
+        packet: Packet,
+        dgram: Optional[Datagram],
+        buffered: bool = False,
+    ) -> None:
+        space = packet.space
+        if self.recovery.spaces[space].discarded:
+            return
+        if not self._keys_available(packet):
+            self._pending_packets.append(packet)
+            return
+        ack_state = self._ack_state[space]
+        ack_state.received_pns.append(packet.packet_number)
+        if packet.ack_eliciting:
+            ack_state.needs_ack = True
+            ack_state.eliciting_since_ack += 1
+            if ack_state.oldest_unacked_ms is None:
+                ack_state.oldest_unacked_ms = self.loop.now
+        newly_acked: List[int] = []
+        for frame in packet.frames:
+            if isinstance(frame, AckFrame):
+                acked = self._handle_ack(space, frame)
+                newly_acked.extend(acked)
+            elif isinstance(frame, CryptoFrame):
+                self._handle_crypto(space, frame, dgram)
+            elif isinstance(frame, StreamFrame):
+                self._handle_stream(frame)
+            elif isinstance(frame, HandshakeDoneFrame):
+                self.on_handshake_done()
+            elif isinstance(frame, NewConnectionIdFrame):
+                self._handle_new_cid(frame)
+            elif isinstance(frame, RetireConnectionIdFrame):
+                pass  # peer retired one of our CIDs; nothing to do
+            elif isinstance(frame, ConnectionCloseFrame):
+                self.abort(f"peer closed: {frame.reason}")
+                return
+        self._record_first_ack(packet, dgram)
+        extra_data = {}
+        acks = packet.ack_frames()
+        if acks:
+            extra_data["first_ack_delay_ms"] = acks[0].ack_delay_ms
+        self.qlog.log_packet(
+            PacketEvent(
+                time_ms=self.loop.now,
+                category=EventCategory.TRANSPORT,
+                name="packet_received",
+                data=extra_data,
+                packet_type=packet.packet_type.value,
+                packet_number=packet.packet_number,
+                space=space.name.lower(),
+                size=packet.wire_size(),
+                ack_eliciting=packet.ack_eliciting,
+                frames=tuple(f.describe() for f in packet.frames),
+                newly_acked=tuple(newly_acked),
+            )
+        )
+
+    def _record_first_ack(self, packet: Packet, dgram: Optional[Datagram]) -> None:
+        if self.stats.first_ack_received_ms is not None:
+            return
+        if not packet.ack_frames():
+            return
+        self.stats.first_ack_received_ms = self.loop.now
+        coalesced = False
+        if dgram is not None:
+            coalesced = dgram.contains_crypto()
+        self.stats.first_ack_coalesced_with_sh = coalesced
+
+    def _handle_new_cid(self, frame: NewConnectionIdFrame) -> None:
+        self.cids.register(frame.sequence, frame.connection_id)
+        for seq in range(frame.retire_prior_to):
+            fresh = self.cids.retire(seq)
+            if not fresh and self.profile.aborts_on_duplicate_cid_retirement:
+                if self._dup_cid_abort_applies():
+                    self.abort("duplicate connection ID retirement")
+                    return
+
+    def _dup_cid_abort_applies(self) -> bool:
+        """Subclasses narrow the quiche abort (observed for HTTP/1.1)."""
+        return True
+
+    # -- ACK processing -------------------------------------------------
+
+    def _handle_ack(self, space: Space, ack: AckFrame) -> List[int]:
+        result = self.recovery.on_ack_received(space, ack, self.loop.now)
+        for sp in result.newly_acked:
+            if sp.in_flight:
+                self.cc.on_packet_acked(sp.size, sp.time_sent_ms)
+            self._mark_frames_acked(space, sp)
+        if result.rtt_sample_ms is not None:
+            if self.stats.first_rtt_sample_ms is None:
+                self.stats.first_rtt_sample_ms = result.rtt_sample_ms
+                self.stats.first_pto_ms = self.recovery.pto_for_space(space)
+            est = self.recovery.estimator
+            self.qlog.log_metrics(
+                MetricsUpdated(
+                    time_ms=self.loop.now,
+                    category=EventCategory.RECOVERY,
+                    name="metrics_updated",
+                    smoothed_rtt_ms=est.smoothed_rtt,
+                    rtt_variance_ms=est.rttvar,
+                    latest_rtt_ms=est.latest_rtt,
+                    min_rtt_ms=est.min_rtt,
+                    pto_count=self.recovery.pto_count,
+                )
+            )
+        if result.lost:
+            self._on_packets_lost(space, result.lost)
+        return [sp.packet_number for sp in result.newly_acked]
+
+    def _mark_frames_acked(self, space: Space, sp: SentPacket) -> None:
+        for frame in sp.packet.frames:
+            if isinstance(frame, CryptoFrame) and space in self.crypto_send:
+                self.crypto_send[space].mark_acked(frame.offset, frame.end)
+            elif isinstance(frame, StreamFrame):
+                send_stream = self.streams.send.get(frame.stream_id)
+                if send_stream is not None:
+                    send_stream.mark_acked(frame.offset, frame.length, frame.fin)
+
+    def _on_packets_lost(self, space: Space, lost: List[SentPacket]) -> None:
+        total = sum(sp.size for sp in lost if sp.in_flight or sp.declared_lost)
+        latest = max(sp.time_sent_ms for sp in lost)
+        self.cc.on_packets_lost(total, latest, self.loop.now)
+        self._retransmit_lost(space, lost)
+
+    def _retransmit_lost(self, space: Space, lost: List[SentPacket]) -> None:
+        """Re-send the retransmittable content of lost packets."""
+        crypto_ranges: List[Tuple[int, int]] = []
+        stream_chunks: List[StreamFrame] = []
+        special: List[Frame] = []
+        for sp in lost:
+            for frame in sp.packet.frames:
+                if isinstance(frame, CryptoFrame):
+                    crypto_ranges.append((frame.offset, frame.end))
+                elif isinstance(frame, StreamFrame):
+                    stream_chunks.append(frame)
+                elif isinstance(frame, (HandshakeDoneFrame, NewConnectionIdFrame)):
+                    special.append(frame)
+        packets: List[Packet] = []
+        if crypto_ranges:
+            packets.extend(self._crypto_packets(space, crypto_ranges))
+        if stream_chunks or special:
+            frames: List[Frame] = list(special)
+            for chunk in stream_chunks:
+                frames.append(
+                    StreamFrame(
+                        stream_id=chunk.stream_id,
+                        offset=chunk.offset,
+                        length=chunk.length,
+                        fin=chunk.fin,
+                        label=chunk.label,
+                    )
+                )
+            packets.append(self.build_packet(Space.APPLICATION, tuple(frames)))
+        if packets:
+            self.send_packets(packets)
+
+    # -- CRYPTO / STREAM handling ----------------------------------------
+
+    def _handle_crypto(
+        self, space: Space, frame: CryptoFrame, dgram: Optional[Datagram]
+    ) -> None:
+        if space not in self.crypto_recv:
+            return
+        if frame.stream_total:
+            self.crypto_expected[space] = frame.stream_total
+        self.crypto_recv[space].receive(frame.offset, frame.length)
+        self.on_crypto_progress(space)
+
+    def _handle_stream(self, frame: StreamFrame) -> None:
+        stream = self.streams.get_recv(frame.stream_id)
+        stream.receive(frame.offset, frame.length, frame.fin, self.loop.now)
+        if frame.length > 0 and self.stats.ttfb_ms is None:
+            self.stats.ttfb_ms = self.loop.now
+        if (
+            frame.length > 0
+            and frame.stream_id == 0
+            and self.stats.response_ttfb_ms is None
+        ):
+            self.stats.response_ttfb_ms = self.loop.now
+        self.on_stream_data(frame)
+
+    # ------------------------------------------------------------------
+    # hooks implemented by client/server
+    # ------------------------------------------------------------------
+
+    def on_crypto_progress(self, space: Space) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def on_stream_data(self, frame: StreamFrame) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def on_handshake_done(self) -> None:
+        """HANDSHAKE_DONE processing (client overrides)."""
+
+    def after_datagram(self, dgram: Datagram) -> None:
+        """Called after all packets of a datagram were processed."""
+
+    # ------------------------------------------------------------------
+    # packet construction and sending
+    # ------------------------------------------------------------------
+
+    def build_packet(
+        self,
+        space: Space,
+        frames: Tuple[Frame, ...],
+        include_ack: bool = True,
+        ack_delay_ms: Optional[float] = None,
+    ) -> Packet:
+        """Build a packet, prepending an ACK for the space when one is
+        owed (bundling acks with outgoing data, as stacks do)."""
+        all_frames: Tuple[Frame, ...] = frames
+        ack_state = self._ack_state[space]
+        if include_ack and ack_state.needs_ack and ack_state.received_pns:
+            delay = ack_delay_ms
+            if delay is None:
+                delay = self._ack_delay_for(space)
+            ack = AckFrame(
+                ranges=ranges_from_pns(ack_state.received_pns),
+                ack_delay_ms=delay,
+            )
+            all_frames = (ack,) + all_frames
+            ack_state.needs_ack = False
+            ack_state.eliciting_since_ack = 0
+            ack_state.oldest_unacked_ms = None
+        pn = self.recovery.next_packet_number(space)
+        return Packet(
+            packet_type=_SPACE_TO_TYPE[space],
+            packet_number=pn,
+            frames=all_frames,
+        )
+
+    def _ack_delay_for(self, space: Space) -> float:
+        if space is Space.INITIAL:
+            return self.profile.initial_ack_delay_ms if not self.is_client else 0.0
+        if space is Space.HANDSHAKE:
+            if not self.is_client and self.profile.handshake_ack_delay_ms is not None:
+                return self.profile.handshake_ack_delay_ms
+            return 0.0
+        oldest = self._ack_state[space].oldest_unacked_ms
+        if oldest is None:
+            return 0.0
+        return max(0.0, self.loop.now - oldest)
+
+    def _crypto_packets(
+        self, space: Space, ranges: List[Tuple[int, int]]
+    ) -> List[Packet]:
+        """CRYPTO packets re-sending the given byte ranges."""
+        buf = self.crypto_send.get(space)
+        if buf is None:
+            return []
+        packets: List[Packet] = []
+        for start, end in ranges:
+            cursor = start
+            while cursor < end:
+                length = min(MAX_FRAME_PAYLOAD, end - cursor)
+                frame = CryptoFrame(
+                    offset=cursor,
+                    length=length,
+                    label=buf.label_for(cursor, cursor + length),
+                    stream_total=buf.length,
+                )
+                packets.append(self.build_packet(space, (frame,)))
+                cursor += length
+        return packets
+
+    def send_packets(
+        self,
+        packets: Sequence[Packet],
+        is_probe: bool = False,
+        group_into_datagrams: Optional[List[List[Packet]]] = None,
+    ) -> None:
+        """Coalesce packets into datagrams and transmit them.
+
+        ``group_into_datagrams`` overrides automatic coalescing with an
+        explicit grouping (used for the profile-specific second client
+        flight split).
+        """
+        if not packets and not group_into_datagrams:
+            return
+        if group_into_datagrams is not None:
+            groups = group_into_datagrams
+        else:
+            groups = [list(d.packets) for d in coalesce(packets, sender=self.name)]
+        for group in groups:
+            if self.is_client and any(
+                p.packet_type is PacketType.INITIAL for p in group
+            ):
+                group = pad_initial(group, INITIAL_MIN_DATAGRAM)
+            elif not self.is_client and self._pad_server_datagram(group):
+                group = pad_initial(group, INITIAL_MIN_DATAGRAM)
+            dgram = Datagram(packets=tuple(group), sender=self.name)
+            self._send_datagram(dgram, is_probe=is_probe)
+        self._rearm_loss_timer()
+
+    def _pad_server_datagram(self, group: List[Packet]) -> bool:
+        """Server-side padding policy (overridden for padded IACK)."""
+        return False
+
+    def _send_datagram(self, dgram: Datagram, is_probe: bool = False) -> None:
+        if self.transmit is None:
+            raise RuntimeError(f"{self.name}: transport not attached")
+        size = dgram.size
+        if not self._may_send_now(size, dgram, is_probe):
+            return
+        for packet in dgram.packets:
+            self.recovery.on_packet_sent(
+                packet, self.loop.now, packet.wire_size(), in_flight=True,
+                is_probe=is_probe,
+            )
+            self.cc.on_packet_sent(packet.wire_size())
+            if is_probe and packet.packet_type is PacketType.INITIAL and any(
+                isinstance(f, PingFrame) for f in packet.frames
+            ):
+                self._initial_ping_pns.setdefault(packet.packet_number, False)
+            self.qlog.log_packet(
+                PacketEvent(
+                    time_ms=self.loop.now,
+                    category=EventCategory.TRANSPORT,
+                    name="packet_sent",
+                    packet_type=packet.packet_type.value,
+                    packet_number=packet.packet_number,
+                    space=packet.space.name.lower(),
+                    size=packet.wire_size(),
+                    ack_eliciting=packet.ack_eliciting,
+                    frames=tuple(f.describe() for f in packet.frames),
+                )
+            )
+        self.stats.datagrams_sent += 1
+        self._note_datagram_sent(size)
+        self.transmit(dgram, size)
+
+    def _may_send_now(self, size: int, dgram: Datagram, is_probe: bool) -> bool:
+        """Amplification gate (server overrides)."""
+        return True
+
+    def _note_datagram_sent(self, size: int) -> None:
+        """Post-send accounting hook (server tracks amplification)."""
+
+    # ------------------------------------------------------------------
+    # acknowledgment policy
+    # ------------------------------------------------------------------
+
+    def _maybe_send_acks(self) -> None:
+        if self.closed:
+            return
+        ack_packets: List[Packet] = []
+        for space in (Space.INITIAL, Space.HANDSHAKE):
+            state = self._ack_state[space]
+            if state.needs_ack and not self.recovery.spaces[space].discarded:
+                if not self.is_client and not self.profile.sends_initial_ack:
+                    state.needs_ack = False
+                    continue
+                if self._suppress_immediate_ack(space):
+                    continue
+                if self._datagrams_queued > 0:
+                    # More datagrams of this burst are still queued;
+                    # acknowledge once per receive batch.
+                    continue
+                packet = self.build_packet(space, ())
+                if packet.frames:
+                    ack_packets.append(packet)
+        if ack_packets:
+            # Initial + Handshake acks ride in one (padded) datagram.
+            self.send_packets(ack_packets)
+        app_state = self._ack_state[Space.APPLICATION]
+        if app_state.needs_ack and self._has_app_keys:
+            if app_state.eliciting_since_ack >= self.profile.ack_every_n:
+                self._send_app_ack()
+            elif self._ack_timer is None:
+                self._ack_timer = self.loop.call_later(
+                    self.profile.max_ack_delay_ms, self._on_ack_timer
+                )
+
+    def _suppress_immediate_ack(self, space: Space) -> bool:
+        """Server hook: the WFC server withholds its Initial ACK until
+        the certificate is available."""
+        return False
+
+    def _send_app_ack(self) -> None:
+        if self._ack_timer is not None:
+            self._ack_timer.cancel()
+            self._ack_timer = None
+        state = self._ack_state[Space.APPLICATION]
+        if not state.needs_ack:
+            return
+        packet = self.build_packet(Space.APPLICATION, ())
+        if packet.frames:
+            self.send_packets([packet])
+
+    def _on_ack_timer(self) -> None:
+        self._ack_timer = None
+        if not self.closed:
+            self._send_app_ack()
+
+    # ------------------------------------------------------------------
+    # loss-detection timer
+    # ------------------------------------------------------------------
+
+    def _rearm_loss_timer(self) -> None:
+        if self.closed:
+            return
+        if self._loss_timer is not None:
+            self._loss_timer.cancel()
+            self._loss_timer = None
+        deadline = self.recovery.loss_detection_deadline(self.loop.now)
+        if deadline is None:
+            return
+        when = max(deadline[0], self.loop.now)
+        self._loss_timer = self.loop.call_at(when, self._on_loss_timer)
+
+    def _on_loss_timer(self) -> None:
+        self._loss_timer = None
+        if self.closed:
+            return
+        deadline = self.recovery.loss_detection_deadline(self.loop.now)
+        if deadline is None:
+            return
+        when, space, kind = deadline
+        if when > self.loop.now + 1e-6:
+            self._rearm_loss_timer()
+            return
+        if kind == "loss":
+            lost_by_space: Dict[Space, List[SentPacket]] = {}
+            for sp_space, sp in self.recovery.detect_lost_on_timer(self.loop.now):
+                lost_by_space.setdefault(sp_space, []).append(sp)
+            for sp_space, lost in lost_by_space.items():
+                self._on_packets_lost(sp_space, lost)
+        else:
+            self.recovery.on_pto_fired()
+            if self.recovery.pto_count > MAX_PTO_COUNT:
+                self.abort("too many consecutive PTOs")
+                return
+            self._on_pto(space)
+        self._rearm_loss_timer()
+
+    def _on_pto(self, space: Space) -> None:
+        """Send a probe (RFC 9002 §6.2.4): retransmit outstanding data
+        in the space when available, else a PING."""
+        self.stats.probes_sent += 1
+        packets: List[Packet] = []
+        ranges = self._unacked_crypto_ranges(space)
+        if ranges:
+            packets.extend(self._crypto_packets(space, ranges))
+        else:
+            app_ranges = self._unacked_app_data()
+            if space is Space.APPLICATION and app_ranges:
+                packets.append(
+                    self.build_packet(Space.APPLICATION, tuple(app_ranges))
+                )
+            else:
+                packets.append(self.build_packet(space, (PingFrame(),)))
+        # Opportunistically bundle outstanding application data with a
+        # handshake-space probe (RFC 9002 recommends bundling tail
+        # bytes; stacks coalesce a 1-RTT retransmission).
+        if (
+            self.is_client
+            and space is not Space.APPLICATION
+            and self._has_app_keys
+        ):
+            app_frames = self._unacked_app_data()
+            if app_frames:
+                packets.append(
+                    self.build_packet(Space.APPLICATION, tuple(app_frames))
+                )
+        self.send_packets(packets, is_probe=True)
+
+    def _unacked_crypto_ranges(self, space: Space) -> List[Tuple[int, int]]:
+        buf = self.crypto_send.get(space)
+        if buf is None or self.recovery.spaces[space].discarded:
+            return []
+        return buf.unacked_ranges()
+
+    def _unacked_app_data(self) -> List[StreamFrame]:
+        frames: List[StreamFrame] = []
+        for stream in self.streams.send.values():
+            for start, end in stream.unacked_sent_ranges():
+                cursor = start
+                while cursor < end:
+                    length = min(MAX_FRAME_PAYLOAD, end - cursor)
+                    fin = (
+                        stream.fin_queued
+                        and cursor + length == stream.total_length
+                    )
+                    frames.append(
+                        StreamFrame(
+                            stream_id=stream.stream_id,
+                            offset=cursor,
+                            length=length,
+                            fin=fin,
+                            label=stream.label,
+                        )
+                    )
+                    cursor += length
+            if (
+                stream.fin_queued
+                and not stream.fin_acked
+                and not stream.unacked_sent_ranges()
+                and stream.bytes_unsent == 0
+                and stream.total_length == 0
+            ):
+                frames.append(
+                    StreamFrame(
+                        stream_id=stream.stream_id,
+                        offset=0,
+                        length=0,
+                        fin=True,
+                        label=stream.label,
+                    )
+                )
+        return frames
+
+    # ------------------------------------------------------------------
+    # key lifecycle / shutdown
+    # ------------------------------------------------------------------
+
+    def discard_space(self, space: Space) -> None:
+        for sp in self.recovery.spaces[space].sent.values():
+            if sp.in_flight and not sp.declared_lost:
+                self.cc.on_packet_discarded(sp.size)
+        self.recovery.discard_space(space, now_ms=self.loop.now)
+        self._ack_state[space] = _AckSpaceState()
+        self._rearm_loss_timer()
+
+    def abort(self, reason: str) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.stats.aborted = reason
+        self._cancel_timers()
+
+    def finish(self) -> None:
+        """Graceful local teardown once the exchange completed."""
+        self.closed = True
+        self._cancel_timers()
+
+    def _cancel_timers(self) -> None:
+        if self._loss_timer is not None:
+            self._loss_timer.cancel()
+            self._loss_timer = None
+        if self._ack_timer is not None:
+            self._ack_timer.cancel()
+            self._ack_timer = None
+
+    def snapshot_stats(self) -> ConnectionStats:
+        self.stats.probes_sent = self.recovery.probes_sent
+        self.stats.spurious_retransmissions = self.recovery.spurious_retransmissions
+        return self.stats

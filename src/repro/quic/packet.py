@@ -1,0 +1,163 @@
+"""QUIC packets and packet number spaces (RFC 9000 §12, §17).
+
+A :class:`Packet` is a typed container of frames belonging to one
+packet number space. Header sizes are byte-accurate for the header
+shapes used during a handshake (long headers for Initial/Handshake,
+short header for 1-RTT), including the 16-byte AEAD tag; header
+protection and encryption themselves are simulated (the simulated AEAD
+tag is zeros), since only sizes and ordering affect timing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.quic.frames import AckFrame, CryptoFrame, Frame, StreamFrame
+from repro.quic.varint import varint_size
+
+#: Minimum size of client datagrams carrying Initial packets (RFC 9000 §14.1).
+INITIAL_MIN_DATAGRAM = 1200
+
+#: AEAD authentication tag appended to every protected packet.
+AEAD_TAG_SIZE = 16
+
+#: QUIC version 1.
+QUIC_VERSION = 0x00000001
+
+
+class Space(enum.IntEnum):
+    """Packet number spaces (RFC 9000 §12.3)."""
+
+    INITIAL = 0
+    HANDSHAKE = 1
+    APPLICATION = 2
+
+
+class PacketType(enum.Enum):
+    INITIAL = "initial"
+    HANDSHAKE = "handshake"
+    ONE_RTT = "1rtt"
+    RETRY = "retry"
+
+    @property
+    def space(self) -> Space:
+        if self is PacketType.INITIAL:
+            return Space.INITIAL
+        if self is PacketType.HANDSHAKE:
+            return Space.HANDSHAKE
+        if self is PacketType.ONE_RTT:
+            return Space.APPLICATION
+        raise ValueError("Retry packets carry no packet number")
+
+
+@dataclass
+class Packet:
+    """One QUIC packet: a type, a packet number, and frames."""
+
+    packet_type: PacketType
+    packet_number: int
+    frames: Tuple[Frame, ...]
+    dcid: bytes = b"\x11" * 8
+    scid: bytes = b"\x22" * 8
+    token: bytes = b""
+    #: Packet-number encoding length in bytes (1..4).
+    pn_length: int = 2
+
+    def __post_init__(self) -> None:
+        if self.packet_number < 0:
+            raise ValueError("packet number must be non-negative")
+        if not 1 <= self.pn_length <= 4:
+            raise ValueError("packet number length must be 1..4 bytes")
+        self.frames = tuple(self.frames)
+
+    @property
+    def space(self) -> Space:
+        return self.packet_type.space
+
+    @property
+    def ack_eliciting(self) -> bool:
+        """RFC 9002 §2: a packet is ack-eliciting if any frame is."""
+        return any(frame.ack_eliciting for frame in self.frames)
+
+    @property
+    def is_long_header(self) -> bool:
+        return self.packet_type in (PacketType.INITIAL, PacketType.HANDSHAKE,
+                                    PacketType.RETRY)
+
+    def payload_size(self) -> int:
+        return sum(frame.wire_size() for frame in self.frames)
+
+    def header_size(self) -> int:
+        """Byte-accurate header size for this packet's shape.
+
+        Long header (§17.2): first byte, version (4), DCID len + DCID,
+        SCID len + SCID, [token length + token for Initial], length
+        field (varint covering pn + payload + tag), packet number.
+        Short header (§17.3): first byte, DCID, packet number.
+        """
+        payload = self.payload_size()
+        if self.is_long_header:
+            size = 1 + 4 + 1 + len(self.dcid) + 1 + len(self.scid)
+            if self.packet_type is PacketType.INITIAL:
+                size += varint_size(len(self.token)) + len(self.token)
+            size += varint_size(self.pn_length + payload + AEAD_TAG_SIZE)
+            size += self.pn_length
+            return size
+        return 1 + len(self.dcid) + self.pn_length
+
+    def wire_size(self) -> int:
+        """Total bytes this packet occupies in a datagram."""
+        return self.header_size() + self.payload_size() + AEAD_TAG_SIZE
+
+    # -- content inspection helpers used by endpoints and analyses ----
+
+    def ack_frames(self) -> Tuple[AckFrame, ...]:
+        return tuple(f for f in self.frames if isinstance(f, AckFrame))
+
+    def crypto_frames(self) -> Tuple[CryptoFrame, ...]:
+        return tuple(f for f in self.frames if isinstance(f, CryptoFrame))
+
+    def stream_frames(self) -> Tuple[StreamFrame, ...]:
+        return tuple(f for f in self.frames if isinstance(f, StreamFrame))
+
+    @property
+    def ack_only(self) -> bool:
+        """True when the packet carries nothing but ACK (and padding).
+
+        An ACK-only packet is not ack-eliciting and is never
+        acknowledged — the wire property that makes an instant ACK
+        "invisible" to the server's RTT estimator.
+        """
+        return not self.ack_eliciting
+
+    def describe(self) -> str:
+        inner = ", ".join(frame.describe() for frame in self.frames)
+        name = {
+            PacketType.INITIAL: "Initial",
+            PacketType.HANDSHAKE: "Handshake",
+            PacketType.ONE_RTT: "1-RTT",
+            PacketType.RETRY: "Retry",
+        }[self.packet_type]
+        return f"{name}[{self.packet_number}]: {inner}"
+
+
+@dataclass
+class RetryPacket:
+    """A Retry packet (RFC 9000 §17.2.5); used by the Retry extension.
+
+    Retry packets carry no packet number and are not protected with
+    the normal AEAD; they deliver a token the client must echo.
+    """
+
+    token: bytes
+    dcid: bytes = b"\x11" * 8
+    scid: bytes = b"\x33" * 8
+
+    def wire_size(self) -> int:
+        # first byte + version + cid fields + token + 16B integrity tag
+        return 1 + 4 + 1 + len(self.dcid) + 1 + len(self.scid) + len(self.token) + 16
+
+    def describe(self) -> str:
+        return f"Retry[token={len(self.token)}B]"

@@ -1,0 +1,45 @@
+"""Deterministic discrete-event network simulation substrate.
+
+The paper emulates QUIC handshakes with the QUIC Interop Runner:
+containerized endpoints joined by links with configurable symmetric
+one-way delay, 10 Mbit/s bandwidth, and the loss of *specific* UDP
+datagrams ("distinct datagram losses to better understand root causes").
+This package reproduces exactly those knobs as a discrete-event
+simulator:
+
+* :class:`~repro.sim.engine.EventLoop` — a deterministic event queue.
+* :class:`~repro.sim.link.Link` — one-way delay + serialization at a
+  configured bandwidth + a :class:`~repro.sim.loss.LossPattern`.
+* :class:`~repro.sim.network.Network` — hosts joined by directed links.
+* :class:`~repro.sim.trace.Tracer` — pcap-like record of every datagram.
+
+All times are in **milliseconds** (float), matching the units used
+throughout the paper.
+"""
+
+from repro.sim.engine import EventLoop, Timer
+from repro.sim.link import Link
+from repro.sim.loss import (
+    CompositeLoss,
+    IndexedLoss,
+    LossPattern,
+    NoLoss,
+    RandomLoss,
+)
+from repro.sim.network import Host, Network
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "EventLoop",
+    "Timer",
+    "Link",
+    "LossPattern",
+    "NoLoss",
+    "IndexedLoss",
+    "RandomLoss",
+    "CompositeLoss",
+    "Host",
+    "Network",
+    "Tracer",
+    "TraceRecord",
+]

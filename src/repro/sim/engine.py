@@ -1,0 +1,136 @@
+"""Deterministic discrete-event loop.
+
+The loop orders events by ``(time, sequence)`` so that events scheduled
+for the same instant run in scheduling order, which keeps every
+simulation fully deterministic — a requirement for reproducing the
+paper's *indexed* datagram-loss experiments, where dropping "datagram 2
+sent by the server" must mean the same datagram on every run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is driven incorrectly."""
+
+
+class Timer:
+    """A cancellable handle for a scheduled callback.
+
+    Returned by :meth:`EventLoop.call_at` / :meth:`EventLoop.call_later`.
+    Cancelling a timer is O(1); the event is skipped when popped.
+    """
+
+    __slots__ = ("when", "callback", "args", "_cancelled")
+
+    def __init__(self, when: float, callback: Callable[..., None], args: Tuple[Any, ...]):
+        self.when = when
+        self.callback = callback
+        self.args = args
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self._cancelled else "armed"
+        return f"<Timer when={self.when:.3f}ms {state} cb={self.callback!r}>"
+
+
+class EventLoop:
+    """A minimal, deterministic event loop with a simulated clock.
+
+    Time is a float in milliseconds and only advances when events run.
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._heap: List[Tuple[float, int, Timer]] = []
+        self._running = False
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events that have executed (for diagnostics)."""
+        return self._processed
+
+    def call_at(self, when: float, callback: Callable[..., None], *args: Any) -> Timer:
+        """Schedule ``callback(*args)`` at absolute time ``when`` (ms)."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {when:.3f} < now {self._now:.3f}"
+            )
+        timer = Timer(when, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, timer))
+        return timer
+
+    def call_later(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
+        """Schedule ``callback(*args)`` after ``delay`` milliseconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.call_at(self._now + delay, callback, *args)
+
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> Timer:
+        """Schedule ``callback(*args)`` at the current time."""
+        return self.call_at(self._now, callback, *args)
+
+    def run(self, until: Optional[float] = None, max_events: int = 5_000_000) -> float:
+        """Run events until the queue drains or time exceeds ``until``.
+
+        Returns the simulated time after the run. ``max_events`` guards
+        against runaway simulations (e.g. two endpoints ping-ponging
+        forever); exceeding it raises :class:`SimulationError`.
+        """
+        if self._running:
+            raise SimulationError("event loop is already running")
+        self._running = True
+        try:
+            budget = max_events
+            while self._heap:
+                when, _seq, timer = self._heap[0]
+                if until is not None and when > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._heap)
+                if timer.cancelled:
+                    continue
+                self._now = when
+                self._processed += 1
+                budget -= 1
+                if budget < 0:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+                timer.callback(*timer.args)
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_idle(self, max_events: int = 5_000_000) -> float:
+        """Run until no events remain."""
+        return self.run(until=None, max_events=max_events)
+
+    def pending(self) -> int:
+        """Number of non-cancelled events still queued."""
+        return sum(1 for _, _, t in self._heap if not t.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<EventLoop now={self._now:.3f}ms pending={self.pending()}>"

@@ -1,0 +1,122 @@
+"""Datagram loss patterns.
+
+The paper deliberately avoids stochastic loss: "Our emulation instead
+simulates particular datagram losses to better understand root causes"
+(§3). :class:`IndexedLoss` implements exactly that — dropping the n-th
+datagram sent by one endpoint — while :class:`RandomLoss` is provided
+for the related-work-style stochastic scenarios.
+
+Indices are **1-based** to match the paper's wording ("loss of packets
+2 and 3 (IACK) and packet 2 (WFC) sent by the server").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Sequence, Set
+
+
+class LossPattern:
+    """Decides whether the ``index``-th datagram on a link is dropped.
+
+    ``index`` counts datagrams *offered* to the link (1-based),
+    including ones that end up dropped.
+    """
+
+    def should_drop(self, index: int, size: int) -> bool:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Reset internal state between simulation runs (if any)."""
+
+
+class NoLoss(LossPattern):
+    """A lossless link."""
+
+    def should_drop(self, index: int, size: int) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NoLoss()"
+
+
+class IndexedLoss(LossPattern):
+    """Drop exactly the datagrams whose 1-based index is listed.
+
+    This is the paper's primary loss model; e.g. the Figure 6 scenario
+    uses ``IndexedLoss({2, 3})`` on the server→client link in IACK mode
+    and ``IndexedLoss({2})`` in WFC mode, so that *equal information* is
+    lost despite the extra standalone ACK datagram.
+    """
+
+    def __init__(self, indices: Iterable[int]):
+        self.indices: Set[int] = set(indices)
+        if any(i < 1 for i in self.indices):
+            raise ValueError("loss indices are 1-based and must be >= 1")
+
+    def should_drop(self, index: int, size: int) -> bool:
+        return index in self.indices
+
+    def __repr__(self) -> str:
+        return f"IndexedLoss({sorted(self.indices)})"
+
+
+class RandomLoss(LossPattern):
+    """Drop each datagram independently with probability ``rate``.
+
+    Used only by the stochastic-loss extension experiments; the paper's
+    main results rely on :class:`IndexedLoss`.
+    """
+
+    def __init__(self, rate: float, seed: int = 0):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def should_drop(self, index: int, size: int) -> bool:
+        return self._rng.random() < self.rate
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def __repr__(self) -> str:
+        return f"RandomLoss(rate={self.rate}, seed={self.seed})"
+
+
+class CompositeLoss(LossPattern):
+    """Drop when *any* member pattern drops."""
+
+    def __init__(self, patterns: Sequence[LossPattern]):
+        self.patterns = list(patterns)
+
+    def should_drop(self, index: int, size: int) -> bool:
+        return any(p.should_drop(index, size) for p in self.patterns)
+
+    def reset(self) -> None:
+        for pattern in self.patterns:
+            pattern.reset()
+
+    def __repr__(self) -> str:
+        return f"CompositeLoss({self.patterns!r})"
+
+
+def burst_loss(start: int, length: int) -> IndexedLoss:
+    """Convenience: drop ``length`` consecutive datagrams from ``start``."""
+    if length < 0:
+        raise ValueError("burst length must be >= 0")
+    return IndexedLoss(range(start, start + length))
+
+
+def parse_loss_spec(spec: Optional[str]) -> LossPattern:
+    """Parse a compact textual loss spec.
+
+    ``""`` or ``None`` → :class:`NoLoss`; ``"2,3"`` → indexed loss;
+    ``"p0.01"`` → 1 % random loss. Used by the example CLIs.
+    """
+    if not spec:
+        return NoLoss()
+    if spec.startswith("p"):
+        return RandomLoss(float(spec[1:]))
+    return IndexedLoss(int(part) for part in spec.split(",") if part)

@@ -1,0 +1,102 @@
+"""Packet dissector for response traffic.
+
+"We run these measurements for one week, collect all response
+traffic, and analyze the content using a packet dissector" (§3).
+:func:`dissect` turns a simulated connection's packet trace into the
+observables the wild pipeline consumes: first-ACK arrival, ServerHello
+arrival, coalescing, and the ACK→SH delay. It operates on the
+:class:`~repro.sim.trace.Tracer` records of an emulated handshake, so
+the same function validates the analytic wild model against the full
+QUIC stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.quic.coalescing import Datagram
+from repro.quic.packet import PacketType
+from repro.sim.trace import TraceRecord
+
+
+@dataclass(frozen=True)
+class DissectedHandshake:
+    """What the dissector extracts from one connection's downlink."""
+
+    first_ack_time_ms: Optional[float]
+    server_hello_time_ms: Optional[float]
+    coalesced_ack_sh: bool
+    iack_observed: bool
+
+    @property
+    def ack_to_sh_delay_ms(self) -> Optional[float]:
+        """Figure 8's metric; 0.0 when coalesced."""
+        if self.coalesced_ack_sh:
+            return 0.0
+        if self.first_ack_time_ms is None or self.server_hello_time_ms is None:
+            return None
+        return self.server_hello_time_ms - self.first_ack_time_ms
+
+
+def _is_server_hello(dgram: Datagram) -> bool:
+    return any(
+        frame.label.startswith("SH") or "SH" in frame.label.split(",")
+        for packet in dgram.packets
+        if packet.packet_type is PacketType.INITIAL
+        for frame in packet.crypto_frames()
+    )
+
+
+def _has_initial_ack(dgram: Datagram) -> bool:
+    return any(
+        packet.ack_frames()
+        for packet in dgram.packets
+        if packet.packet_type is PacketType.INITIAL
+    )
+
+
+def dissect(
+    downlink_records: Iterable[TraceRecord],
+    delivered_only: bool = True,
+) -> DissectedHandshake:
+    """Dissect server→client trace records.
+
+    Implements the paper's IACK detection: "whether the ClientHello is
+    followed by a separate (server) ACK preceding the TLS ServerHello"
+    (§4.3).
+    """
+    first_ack: Optional[float] = None
+    first_ack_dgram: Optional[Datagram] = None
+    sh_time: Optional[float] = None
+    sh_dgram: Optional[Datagram] = None
+    for record in downlink_records:
+        if delivered_only and record.dropped:
+            continue
+        dgram = record.payload
+        if not isinstance(dgram, Datagram):
+            continue
+        if first_ack is None and _has_initial_ack(dgram):
+            first_ack = record.time_ms
+            first_ack_dgram = dgram
+        if sh_time is None and _is_server_hello(dgram):
+            sh_time = record.time_ms
+            sh_dgram = dgram
+        if first_ack is not None and sh_time is not None:
+            break
+    coalesced = (
+        first_ack_dgram is not None
+        and sh_dgram is first_ack_dgram
+    )
+    iack = (
+        first_ack is not None
+        and sh_time is not None
+        and not coalesced
+        and first_ack <= sh_time
+    )
+    return DissectedHandshake(
+        first_ack_time_ms=first_ack,
+        server_hello_time_ms=sh_time,
+        coalesced_ack_sh=coalesced,
+        iack_observed=iack,
+    )

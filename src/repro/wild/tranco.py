@@ -1,0 +1,99 @@
+"""Tranco-like toplist generation.
+
+The paper targets the 1M domains of the Tranco list [10] from
+August 06, 2024. Offline, :class:`TrancoGenerator` produces a
+deterministic synthetic toplist whose QUIC-answering population
+matches the paper's Table 1 counts per CDN, with Zipf-like popularity
+by rank.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.wild.asdb import AsDatabase, Cdn
+from repro.wild.cdn import DEPLOYMENTS, total_quic_domains
+
+
+@dataclass(frozen=True)
+class TrancoDomain:
+    """One toplist entry."""
+
+    rank: int
+    name: str
+    #: The CDN hosting it, or None when the domain does not answer
+    #: QUIC (the majority of the list, as in the paper).
+    cdn: Optional[Cdn]
+    address: Optional[str]
+
+    @property
+    def answers_quic(self) -> bool:
+        return self.cdn is not None
+
+    @property
+    def popularity(self) -> float:
+        """Zipf-flavored popularity in (0, 1]; rank 1 → 1.0."""
+        return 1.0 / (1.0 + 0.15 * (self.rank - 1) ** 0.5)
+
+
+class TrancoGenerator:
+    """Deterministic synthetic toplist.
+
+    ``list_size`` defaults to the paper's 1M; the QUIC-answering
+    population is scaled proportionally so that a 100k test list still
+    has Table 1's *relative* CDN mix.
+    """
+
+    PAPER_LIST_SIZE = 1_000_000
+
+    def __init__(self, list_size: int = PAPER_LIST_SIZE, seed: int = 20240806):
+        if list_size <= 0:
+            raise ValueError("list size must be positive")
+        self.list_size = list_size
+        self.seed = seed
+        self.asdb = AsDatabase()
+
+    def scaled_count(self, cdn: Cdn) -> int:
+        """Table 1 domain count scaled to this list size."""
+        exact = DEPLOYMENTS[cdn].domains * self.list_size / self.PAPER_LIST_SIZE
+        return max(1, round(exact)) if DEPLOYMENTS[cdn].domains else 0
+
+    def generate(self) -> List[TrancoDomain]:
+        """Build the full list (hosting assignment is deterministic
+        given the seed)."""
+        rng = random.Random(f"tranco:{self.seed}")
+        assignments: List[Optional[Cdn]] = [None] * self.list_size
+        # Spread each CDN's scaled count uniformly over ranks; popular
+        # ranks are slightly CDN-likelier (they are in reality).
+        free = list(range(self.list_size))
+        rng.shuffle(free)
+        cursor = 0
+        for cdn in Cdn:
+            count = min(self.scaled_count(cdn), self.list_size - cursor)
+            for slot in free[cursor : cursor + count]:
+                assignments[slot] = cdn
+            cursor += count
+        domains: List[TrancoDomain] = []
+        host_counters = {cdn: 0 for cdn in Cdn}
+        for rank0, cdn in enumerate(assignments):
+            rank = rank0 + 1
+            name = f"domain{rank:07d}.example"
+            address = None
+            if cdn is not None:
+                asns = self.asdb.asns_for_cdn(cdn)
+                asn = asns[host_counters[cdn] % len(asns)]
+                address = self.asdb.address_in_asn(asn, host_counters[cdn])
+                host_counters[cdn] += 1
+            domains.append(
+                TrancoDomain(rank=rank, name=name, cdn=cdn, address=address)
+            )
+        return domains
+
+    def quic_domains(self) -> List[TrancoDomain]:
+        """Only the entries that answer QUIC."""
+        return [d for d in self.generate() if d.answers_quic]
+
+    def expected_quic_count(self) -> int:
+        return sum(self.scaled_count(cdn) for cdn in Cdn)

@@ -1,0 +1,229 @@
+"""Tests for the analytical core: PTO model, sweet spot, advisor,
+PTO reconstruction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.advisor import (
+    Advice,
+    DeploymentAdvisor,
+    LossScenario,
+    Recommendation,
+)
+from repro.core.pto_calc import PtoCalculator, pto_series_from_qlog
+from repro.core.pto_model import (
+    PtoModel,
+    first_pto_reduction,
+    first_pto_reduction_rtt_units,
+)
+from repro.core.sweet_spot import (
+    InstantAckImpact,
+    classify_impact,
+    reduced_latency_zone_boundary_ms,
+    spurious_retransmissions_expected,
+    sweep,
+)
+from repro.qlog.events import EventCategory, PacketEvent
+
+
+# ---------------------------------------------------------------------------
+# PTO model (Figure 2)
+# ---------------------------------------------------------------------------
+
+def test_first_pto_is_three_times_first_sample():
+    evolution = PtoModel().evolution(rtt_ms=9.0, first_sample_extra_ms=0.0)
+    assert evolution.first_pto_ms == pytest.approx(27.0)
+
+
+def test_first_pto_improvement_is_three_delta_t():
+    model = PtoModel()
+    wfc = model.evolution(9.0, 4.0)
+    iack = model.evolution(9.0, 0.0)
+    assert wfc.first_pto_ms - iack.first_pto_ms == pytest.approx(12.0)
+    assert first_pto_reduction(9.0, 4.0) == pytest.approx(12.0)
+
+
+def test_wfc_converges_to_iack_value():
+    model = PtoModel()
+    wfc = model.evolution(9.0, 4.0, n_samples=60)
+    iack = model.evolution(9.0, 0.0, n_samples=60)
+    assert wfc.pto_ms[-1] == pytest.approx(iack.pto_ms[-1], rel=0.01)
+
+
+def test_wfc_pto_decreases_monotonically():
+    wfc = PtoModel().evolution(25.0, 4.0, n_samples=50)
+    diffs = [b - a for a, b in zip(wfc.pto_ms, wfc.pto_ms[1:])]
+    assert all(d <= 1e-9 for d in diffs)
+
+
+def test_figure2_structure():
+    curves = PtoModel().figure2()
+    assert set(curves) == {9.0, 25.0}
+    assert set(curves[9.0]) == {"WFC", "IACK"}
+    assert len(curves[9.0]["WFC"].pto_ms) == 50
+
+
+def test_reduction_rtt_units_decreases_with_rtt():
+    low = first_pto_reduction_rtt_units(5.0, 9.0)
+    high = first_pto_reduction_rtt_units(100.0, 9.0)
+    assert low > high
+    assert low == pytest.approx(27.0 / 5.0)
+
+
+def test_model_input_validation():
+    with pytest.raises(ValueError):
+        first_pto_reduction(0.0, 5.0)
+    with pytest.raises(ValueError):
+        first_pto_reduction(5.0, -1.0)
+    with pytest.raises(ValueError):
+        PtoModel().evolution(9.0, 0.0, n_samples=0)
+
+
+@given(
+    st.floats(min_value=0.5, max_value=300.0),
+    st.floats(min_value=0.0, max_value=500.0),
+)
+def test_reduction_formula_property(rtt, delta):
+    assert first_pto_reduction(rtt, delta) == pytest.approx(3.0 * delta)
+
+
+# ---------------------------------------------------------------------------
+# Sweet spot (Figure 4)
+# ---------------------------------------------------------------------------
+
+def test_spurious_boundary_at_three_rtt():
+    assert not spurious_retransmissions_expected(10.0, 30.0)
+    assert spurious_retransmissions_expected(10.0, 30.1)
+    assert reduced_latency_zone_boundary_ms(10.0) == 30.0
+
+
+def test_classification_regions():
+    assert classify_impact(10.0, 5.0) is InstantAckImpact.REDUCED_LATENCY
+    assert (
+        classify_impact(10.0, 100.0)
+        is InstantAckImpact.SPURIOUS_RETRANSMISSIONS
+    )
+    assert (
+        classify_impact(10.0, 100.0, server_amplification_blocked=True)
+        is InstantAckImpact.SPURIOUS_BUT_UNBLOCKS
+    )
+
+
+def test_sweep_covers_grid():
+    points = sweep([5.0, 10.0], [1.0, 40.0])
+    assert len(points) == 4
+    spurious = {(p.rtt_ms, p.delta_t_ms): p.spurious for p in points}
+    assert spurious[(5.0, 40.0)] is True
+    assert spurious[(10.0, 1.0)] is False
+
+
+# ---------------------------------------------------------------------------
+# Advisor (Table 2)
+# ---------------------------------------------------------------------------
+
+def test_advisor_matches_paper_table2():
+    table = DeploymentAdvisor().table2(rtt_ms=9.0)
+    assert table["fits"]["first_server_flight_tail"] is Recommendation.WFC
+    assert table["fits"]["second_client_flight"] is Recommendation.IACK
+    assert table["fits"]["no_loss_small_delta"] is Recommendation.IACK
+    assert table["fits"]["no_loss_large_delta"] is Recommendation.WFC
+    assert all(
+        rec is Recommendation.IACK for rec in table["exceeds"].values()
+    )
+
+
+def test_advisor_certificate_boundary_uses_budget():
+    advisor = DeploymentAdvisor()
+    assert not advisor.certificate_exceeds_budget(1212)  # paper small cert
+    assert advisor.certificate_exceeds_budget(5113)  # paper large cert
+
+
+def test_advisor_gives_reasons():
+    advice = DeploymentAdvisor().advise(5113, 9.0, 0.0)
+    assert isinstance(advice, Advice)
+    assert advice.recommendation is Recommendation.IACK
+    assert "amplification" in advice.reason
+
+
+def test_advisor_delta_boundary_is_three_rtt():
+    advisor = DeploymentAdvisor()
+    below = advisor.advise(1000, 10.0, 29.9, LossScenario.NONE)
+    above = advisor.advise(1000, 10.0, 30.0, LossScenario.NONE)
+    assert below.recommendation is Recommendation.IACK
+    assert above.recommendation is Recommendation.WFC
+
+
+def test_advisor_input_validation():
+    advisor = DeploymentAdvisor()
+    with pytest.raises(ValueError):
+        advisor.advise(0, 9.0, 0.0)
+    with pytest.raises(ValueError):
+        advisor.advise(100, 0.0, 0.0)
+    with pytest.raises(ValueError):
+        advisor.advise(100, 9.0, -1.0)
+
+
+# ---------------------------------------------------------------------------
+# PTO reconstruction from packet events
+# ---------------------------------------------------------------------------
+
+def _sent(pn, t, space="initial", eliciting=True):
+    return PacketEvent(
+        time_ms=t, category=EventCategory.TRANSPORT, name="packet_sent",
+        packet_type=space, packet_number=pn, space=space, size=1200,
+        ack_eliciting=eliciting,
+    )
+
+
+def _received(t, newly_acked, space="initial"):
+    return PacketEvent(
+        time_ms=t, category=EventCategory.TRANSPORT, name="packet_received",
+        packet_type=space, packet_number=99, space=space, size=50,
+        ack_eliciting=False, newly_acked=tuple(newly_acked),
+    )
+
+
+def test_pto_calc_single_sample():
+    events = [_sent(0, 0.0), _received(10.0, (0,))]
+    points = PtoCalculator().from_events(events)
+    assert len(points) == 1
+    assert points[0].sample_ms == pytest.approx(10.0)
+    assert points[0].pto_ms == pytest.approx(30.0)
+
+
+def test_pto_calc_ignores_non_eliciting_largest():
+    events = [_sent(0, 0.0, eliciting=False), _received(10.0, (0,))]
+    assert PtoCalculator().from_events(events) == []
+
+
+def test_pto_calc_ignores_non_increasing_largest():
+    events = [
+        _sent(0, 0.0),
+        _sent(1, 1.0),
+        _received(10.0, (1,)),
+        _received(11.0, (0,)),  # older largest: no new sample
+    ]
+    points = PtoCalculator().from_events(events)
+    assert len(points) == 1
+
+
+def test_pto_calc_tracks_spaces_independently():
+    events = [
+        _sent(0, 0.0, space="initial"),
+        _sent(0, 1.0, space="handshake"),
+        _received(10.0, (0,), space="initial"),
+        _received(12.0, (0,), space="handshake"),
+    ]
+    points = PtoCalculator().from_events(events)
+    assert len(points) == 2
+
+
+def test_pto_series_matches_estimator_convergence():
+    events = []
+    for i in range(20):
+        events.append(_sent(i, i * 20.0))
+        events.append(_received(i * 20.0 + 10.0, (i,)))
+    series = pto_series_from_qlog(events)
+    assert len(series) == 20
+    assert series[0] == pytest.approx(30.0)
+    assert series[-1] < series[0]

@@ -1,0 +1,193 @@
+"""Integration tests: full emulated handshakes, IACK vs WFC."""
+
+import pytest
+
+from repro.interop import Runner, Scenario
+from repro.interop.runner import SIZE_10KB
+from repro.quic.certs import LARGE_CERTIFICATE
+from repro.quic.packet import PacketType
+from repro.quic.server import ServerMode
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner()
+
+
+@pytest.mark.parametrize("mode", [ServerMode.WFC, ServerMode.IACK])
+@pytest.mark.parametrize("http", ["h1", "h3"])
+def test_handshake_completes(runner, mode, http):
+    result = runner.run_once(
+        Scenario(client="quic-go", mode=mode, http=http, rtt_ms=9.0), seed=1
+    )
+    stats = result.client_stats
+    assert stats.completed
+    assert stats.aborted is None
+    assert stats.handshake_complete_ms is not None
+    assert stats.ttfb_ms is not None
+    # Response of 10 KB fully received.
+    stream = result.client.streams.get_recv(0)
+    assert stream.complete
+    assert stream.final_size >= SIZE_10KB
+
+
+def test_iack_precedes_server_hello(runner):
+    result = runner.run_once(
+        Scenario(client="quic-go", mode=ServerMode.IACK, rtt_ms=9.0), seed=1
+    )
+    stats = result.client_stats
+    assert stats.first_ack_received_ms < stats.server_hello_received_ms
+    assert stats.first_ack_coalesced_with_sh is False
+
+
+def test_wfc_first_ack_is_coalesced_with_sh(runner):
+    result = runner.run_once(
+        Scenario(client="quic-go", mode=ServerMode.WFC, rtt_ms=9.0), seed=1
+    )
+    assert result.client_stats.first_ack_coalesced_with_sh is True
+
+
+def test_iack_rtt_sample_is_cleaner_than_wfc(runner):
+    wfc = runner.run_once(
+        Scenario(client="quic-go", mode=ServerMode.WFC, rtt_ms=9.0), seed=3
+    )
+    iack = runner.run_once(
+        Scenario(client="quic-go", mode=ServerMode.IACK, rtt_ms=9.0), seed=3
+    )
+    assert iack.client_stats.first_rtt_sample_ms < wfc.client_stats.first_rtt_sample_ms
+    # IACK first PTO approximates 3 x RTT (plus serialization).
+    assert iack.client_stats.first_pto_ms == pytest.approx(
+        3 * iack.client_stats.first_rtt_sample_ms, rel=0.01
+    )
+
+
+def test_wfc_first_pto_inflated_by_delta_t(runner):
+    delta = 30.0
+    wfc = runner.run_once(
+        Scenario(client="quic-go", mode=ServerMode.WFC, rtt_ms=9.0, delta_t_ms=delta),
+        seed=2,
+    )
+    iack = runner.run_once(
+        Scenario(client="quic-go", mode=ServerMode.IACK, rtt_ms=9.0, delta_t_ms=delta),
+        seed=2,
+    )
+    inflation = wfc.client_stats.first_pto_ms - iack.client_stats.first_pto_ms
+    # Paper §1: PTO improved by ~3 x Δt.
+    assert inflation == pytest.approx(3 * delta, rel=0.25)
+
+
+def test_h3_ttfb_one_rtt_faster_than_h1(runner):
+    h1 = runner.run_once(
+        Scenario(client="quic-go", mode=ServerMode.WFC, http="h1", rtt_ms=20.0),
+        seed=4,
+    )
+    h3 = runner.run_once(
+        Scenario(client="quic-go", mode=ServerMode.WFC, http="h3", rtt_ms=20.0),
+        seed=4,
+    )
+    # The H3 SETTINGS arrive one RTT before the H1 response (Fig. 5).
+    assert h1.ttfb_ms - h3.ttfb_ms == pytest.approx(20.0, abs=6.0)
+
+
+def test_client_initial_datagrams_are_padded(runner):
+    result = runner.run_once(
+        Scenario(client="quic-go", mode=ServerMode.WFC, rtt_ms=9.0), seed=1
+    )
+    for record in result.tracer.filter(link="client->server"):
+        dgram = record.payload
+        if any(p.packet_type is PacketType.INITIAL for p in dgram.packets):
+            assert record.size >= 1200
+
+
+def test_large_certificate_blocks_unprimed_server(runner):
+    result = runner.run_once(
+        Scenario(
+            client="neqo",
+            mode=ServerMode.WFC,
+            http="h3",
+            rtt_ms=9.0,
+            delta_t_ms=200.0,
+            certificate=LARGE_CERTIFICATE,
+        ),
+        seed=1,
+    )
+    assert result.server_stats.amplification_blocked_events > 0
+    assert result.client_stats.completed
+
+
+def test_small_certificate_does_not_block(runner):
+    result = runner.run_once(
+        Scenario(client="neqo", mode=ServerMode.WFC, http="h3", rtt_ms=9.0),
+        seed=1,
+    )
+    assert result.server_stats.amplification_blocked_events == 0
+
+
+def test_iack_unblocks_amplification_via_probes(runner):
+    iack = runner.run_once(
+        Scenario(
+            client="neqo", mode=ServerMode.IACK, http="h3", rtt_ms=9.0,
+            delta_t_ms=200.0, certificate=LARGE_CERTIFICATE,
+        ),
+        seed=1,
+    )
+    wfc = runner.run_once(
+        Scenario(
+            client="neqo", mode=ServerMode.WFC, http="h3", rtt_ms=9.0,
+            delta_t_ms=200.0, certificate=LARGE_CERTIFICATE,
+        ),
+        seed=1,
+    )
+    assert iack.client_stats.probes_sent > 0
+    assert iack.ttfb_ms < wfc.ttfb_ms
+
+
+def test_runs_are_deterministic_per_seed(runner):
+    scenario = Scenario(client="quic-go", mode=ServerMode.IACK, rtt_ms=9.0)
+    a = runner.run_once(scenario, seed=7)
+    b = runner.run_once(scenario, seed=7)
+    assert a.ttfb_ms == b.ttfb_ms
+    assert a.client_stats.first_pto_ms == b.client_stats.first_pto_ms
+
+
+def test_repetitions_vary_with_seed(runner):
+    scenario = Scenario(client="quic-go", mode=ServerMode.WFC, rtt_ms=9.0)
+    results = runner.run_repetitions(scenario, repetitions=5)
+    ttfbs = {round(r.ttfb_ms, 6) for r in results}
+    assert len(ttfbs) > 1  # processing jitter differs per repetition
+
+
+def test_rtt_sweep_scales_ttfb(runner):
+    values = []
+    for rtt in (1.0, 9.0, 50.0):
+        result = runner.run_once(
+            Scenario(client="quic-go", mode=ServerMode.WFC, rtt_ms=rtt), seed=1
+        )
+        values.append(result.ttfb_ms)
+    assert values[0] < values[1] < values[2]
+
+
+def test_pad_instant_ack_consumes_budget(runner):
+    padded = runner.run_once(
+        Scenario(
+            client="neqo", mode=ServerMode.IACK, http="h3", rtt_ms=9.0,
+            delta_t_ms=200.0, certificate=LARGE_CERTIFICATE,
+            pad_instant_ack=True,
+        ),
+        seed=1,
+    )
+    unpadded = runner.run_once(
+        Scenario(
+            client="neqo", mode=ServerMode.IACK, http="h3", rtt_ms=9.0,
+            delta_t_ms=200.0, certificate=LARGE_CERTIFICATE,
+        ),
+        seed=1,
+    )
+    iack_record = next(
+        r for r in padded.tracer.filter(link="server->client")
+    )
+    assert iack_record.size >= 1200
+    small_iack = next(
+        r for r in unpadded.tracer.filter(link="server->client")
+    )
+    assert small_iack.size < 100

@@ -1,0 +1,67 @@
+"""Tests for the HTTP/1.1 and HTTP/3 stream mappings."""
+
+import pytest
+
+from repro.http import Http1Semantics, Http3Semantics, semantics_for
+from repro.http.base import RequestSpec
+
+
+def test_factory_aliases():
+    assert isinstance(semantics_for("h1"), Http1Semantics)
+    assert isinstance(semantics_for("HTTP/1.1"), Http1Semantics)
+    assert isinstance(semantics_for("hq-interop"), Http1Semantics)
+    assert isinstance(semantics_for("h3"), Http3Semantics)
+    assert isinstance(semantics_for("HTTP/3"), Http3Semantics)
+    with pytest.raises(ValueError):
+        semantics_for("spdy")
+
+
+def test_request_spec_validation():
+    with pytest.raises(ValueError):
+        RequestSpec(response_size=0)
+
+
+def test_http1_client_sends_single_request_stream():
+    writes = Http1Semantics().client_writes(RequestSpec(path="/10KB"))
+    assert len(writes) == 1
+    write = writes[0]
+    assert write.stream_id == 0
+    assert write.fin
+    assert write.size == len(b"GET /10KB\r\n")
+
+
+def test_http1_server_sends_nothing_at_handshake():
+    assert Http1Semantics().server_handshake_writes() == []
+
+
+def test_http1_response_is_raw_bytes():
+    writes = Http1Semantics().server_response_writes(
+        RequestSpec(response_size=10_240)
+    )
+    assert len(writes) == 1
+    assert writes[0].size == 10_240
+    assert writes[0].fin
+
+
+def test_http3_client_opens_control_and_request_streams():
+    writes = Http3Semantics().client_writes(RequestSpec())
+    ids = [w.stream_id for w in writes]
+    assert ids == [2, 0]
+    control, request = writes
+    assert not control.fin
+    assert request.fin
+
+
+def test_http3_server_sends_settings_at_handshake():
+    writes = Http3Semantics().server_handshake_writes()
+    assert len(writes) == 1
+    assert writes[0].stream_id == 3  # server-initiated unidirectional
+    assert not writes[0].fin
+
+
+def test_http3_response_carries_framing_overhead():
+    writes = Http3Semantics().server_response_writes(
+        RequestSpec(response_size=10_240)
+    )
+    assert writes[0].size > 10_240
+    assert writes[0].fin

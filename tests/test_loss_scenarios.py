@@ -1,0 +1,135 @@
+"""Integration tests for the paper's loss scenarios (Figures 6/7)."""
+
+import pytest
+
+from repro.analysis.stats import median
+from repro.interop import (
+    Runner,
+    Scenario,
+    first_server_flight_tail_loss,
+    second_client_flight_loss,
+)
+from repro.quic.server import ServerMode
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner()
+
+
+def _median_ttfb(runner, client, mode, reps=8, **kwargs):
+    scenario = Scenario(client=client, mode=mode, http="h1", rtt_ms=9.0, **kwargs)
+    results = runner.run_repetitions(scenario, repetitions=reps)
+    return median([r.ttfb_ms for r in results])
+
+
+def test_fig6_wfc_outperforms_iack(runner):
+    """Losing the server flight tail: WFC wins by ~ the server's
+    default PTO (paper: 177-188 ms)."""
+    wfc = _median_ttfb(
+        runner, "quic-go", ServerMode.WFC,
+        server_to_client_loss=first_server_flight_tail_loss(ServerMode.WFC),
+    )
+    iack = _median_ttfb(
+        runner, "quic-go", ServerMode.IACK,
+        server_to_client_loss=first_server_flight_tail_loss(ServerMode.IACK),
+    )
+    penalty = iack - wfc
+    assert 140.0 <= penalty <= 220.0
+
+
+def test_fig6_iack_server_lacks_rtt_sample(runner):
+    """Root cause: the IACK is not ack-eliciting, so the server holds
+    no RTT sample and retransmits on its default PTO."""
+    scenario = Scenario(
+        client="quic-go", mode=ServerMode.IACK, http="h1", rtt_ms=9.0,
+        server_to_client_loss=first_server_flight_tail_loss(ServerMode.IACK),
+    )
+    result = runner.run_once(scenario, seed=1)
+    # The server's first retransmission happens near its 200 ms
+    # default PTO, long after the 3xRTT a sample would have allowed.
+    retransmits = [
+        r for r in result.tracer.filter(link="server->client", dropped=False)
+        if r.index >= 4 and r.payload is not None and r.payload.contains_crypto()
+    ]
+    assert retransmits
+    assert retransmits[0].time_ms > 150.0
+
+
+def test_fig7_iack_improves_ttfb(runner):
+    wfc = _median_ttfb(
+        runner, "quic-go", ServerMode.WFC,
+        client_to_server_loss=second_client_flight_loss("quic-go"),
+    )
+    iack = _median_ttfb(
+        runner, "quic-go", ServerMode.IACK,
+        client_to_server_loss=second_client_flight_loss("quic-go"),
+    )
+    improvement = wfc - iack
+    assert 5.0 <= improvement <= 30.0  # paper: 11 ms for quic-go
+
+
+def test_fig7_picoquic_does_not_benefit(runner):
+    wfc = _median_ttfb(
+        runner, "picoquic", ServerMode.WFC,
+        client_to_server_loss=second_client_flight_loss("picoquic"),
+    )
+    iack = _median_ttfb(
+        runner, "picoquic", ServerMode.IACK,
+        client_to_server_loss=second_client_flight_loss("picoquic"),
+    )
+    assert abs(wfc - iack) < 5.0  # "picoquic does not benefit"
+
+
+def test_fig7_quiche_largest_regular_improvement(runner):
+    improvements = {}
+    for client in ("quic-go", "quiche"):
+        wfc = _median_ttfb(
+            runner, client, ServerMode.WFC,
+            client_to_server_loss=second_client_flight_loss(client),
+        )
+        iack = _median_ttfb(
+            runner, client, ServerMode.IACK,
+            client_to_server_loss=second_client_flight_loss(client),
+        )
+        improvements[client] = wfc - iack
+    assert improvements["quiche"] > improvements["quic-go"]
+
+
+def test_quiche_aborts_on_fig6_iack_http1(runner):
+    """quiche "drops connections when the same connection ID is
+    retired multiple times" (§4.2) — all IACK runs abort over H1."""
+    scenario = Scenario(
+        client="quiche", mode=ServerMode.IACK, http="h1", rtt_ms=9.0,
+        server_to_client_loss=first_server_flight_tail_loss(ServerMode.IACK),
+    )
+    results = runner.run_repetitions(scenario, repetitions=5)
+    assert all(r.client_stats.aborted is not None for r in results)
+
+
+def test_quiche_survives_fig6_iack_http3(runner):
+    """Over HTTP/3 the paper does not encounter the issue."""
+    scenario = Scenario(
+        client="quiche", mode=ServerMode.IACK, http="h3", rtt_ms=9.0,
+        server_to_client_loss=first_server_flight_tail_loss(ServerMode.IACK),
+    )
+    results = runner.run_repetitions(scenario, repetitions=5)
+    assert any(r.client_stats.aborted is None for r in results)
+
+
+def test_second_flight_loss_indices_follow_table4(runner):
+    """The per-implementation static loss mapping (Table 4)."""
+    assert second_client_flight_loss("quiche").indices == {2}
+    assert second_client_flight_loss("picoquic").indices == {2, 3, 4, 5}
+    assert second_client_flight_loss("neqo").indices == {2, 3}
+
+
+def test_spurious_retransmissions_when_delta_exceeds_pto(runner):
+    """Δt >> 3xRTT with IACK: client probes provoke retransmitted
+    handshake data — observable as duplicate crypto at the client."""
+    scenario = Scenario(
+        client="quic-go", mode=ServerMode.IACK, http="h1",
+        rtt_ms=9.0, delta_t_ms=200.0,
+    )
+    result = runner.run_once(scenario, seed=1)
+    assert result.client_stats.probes_sent > 0

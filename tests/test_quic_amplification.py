@@ -1,0 +1,62 @@
+"""Tests for the anti-amplification limiter."""
+
+import pytest
+
+from repro.quic.amplification import AmplificationLimiter
+
+
+def test_initial_budget_is_zero():
+    amp = AmplificationLimiter()
+    assert amp.budget() == 0
+    assert not amp.can_send(1)
+
+
+def test_budget_is_three_times_received():
+    amp = AmplificationLimiter()
+    amp.on_datagram_received(1200)
+    assert amp.budget() == 3600
+    assert amp.can_send(3600)
+    assert not amp.can_send(3601)
+
+
+def test_sending_consumes_budget():
+    amp = AmplificationLimiter()
+    amp.on_datagram_received(1200)
+    amp.on_datagram_sent(2000)
+    assert amp.budget() == 1600
+    assert amp.can_send(1600)
+    assert not amp.can_send(1601)
+
+
+def test_validation_lifts_limit():
+    amp = AmplificationLimiter()
+    assert not amp.can_send(10)
+    amp.validate()
+    assert amp.validated
+    assert amp.can_send(10**9)
+
+
+def test_blocked_events_counted():
+    amp = AmplificationLimiter()
+    amp.can_send(1)
+    amp.can_send(1)
+    assert amp.blocked_events == 2
+    amp.on_datagram_received(1)
+    amp.can_send(1)
+    assert amp.blocked_events == 2
+
+
+def test_custom_factor():
+    amp = AmplificationLimiter(factor=5)
+    amp.on_datagram_received(100)
+    assert amp.budget() == 500
+
+
+def test_validation_of_inputs():
+    with pytest.raises(ValueError):
+        AmplificationLimiter(factor=0)
+    amp = AmplificationLimiter()
+    with pytest.raises(ValueError):
+        amp.on_datagram_received(-1)
+    with pytest.raises(ValueError):
+        amp.on_datagram_sent(-1)

@@ -1,0 +1,87 @@
+"""Tests for the NewReno congestion controller."""
+
+from repro.quic.cc import (
+    INITIAL_WINDOW_PACKETS,
+    MAX_DATAGRAM,
+    MINIMUM_WINDOW,
+    NewRenoController,
+)
+
+
+def test_initial_window():
+    cc = NewRenoController()
+    assert cc.cwnd == INITIAL_WINDOW_PACKETS * MAX_DATAGRAM
+    assert cc.in_slow_start()
+
+
+def test_can_send_respects_window():
+    cc = NewRenoController()
+    assert cc.can_send(cc.cwnd)
+    cc.on_packet_sent(cc.cwnd)
+    assert not cc.can_send(1)
+    assert cc.available_window() == 0
+
+
+def test_slow_start_doubles_per_window():
+    cc = NewRenoController()
+    initial = cc.cwnd
+    cc.on_packet_sent(initial)
+    cc.on_packet_acked(initial, time_sent_ms=1.0)
+    assert cc.cwnd == 2 * initial
+
+
+def test_loss_halves_window_and_sets_ssthresh():
+    cc = NewRenoController()
+    before = cc.cwnd
+    cc.on_packet_sent(2400)
+    cc.on_packets_lost(1200, latest_sent_ms=5.0, now_ms=10.0)
+    assert cc.cwnd == before // 2
+    assert cc.ssthresh == cc.cwnd
+    assert not cc.in_slow_start()
+    assert cc.loss_events == 1
+
+
+def test_window_never_drops_below_minimum():
+    cc = NewRenoController()
+    for i in range(10):
+        cc.on_packets_lost(0, latest_sent_ms=100.0 * i + 50, now_ms=100.0 * (i + 1))
+    assert cc.cwnd == MINIMUM_WINDOW
+
+
+def test_single_reaction_per_loss_episode():
+    cc = NewRenoController()
+    cc.on_packets_lost(1200, latest_sent_ms=5.0, now_ms=10.0)
+    window = cc.cwnd
+    # A second loss of a packet sent before recovery started does not
+    # halve the window again.
+    cc.on_packets_lost(1200, latest_sent_ms=7.0, now_ms=11.0)
+    assert cc.cwnd == window
+    assert cc.loss_events == 1
+
+
+def test_congestion_avoidance_growth_is_slow():
+    cc = NewRenoController()
+    cc.on_packets_lost(0, latest_sent_ms=1.0, now_ms=2.0)
+    window = cc.cwnd
+    cc.on_packet_sent(1200)
+    cc.on_packet_acked(1200, time_sent_ms=5.0)
+    growth = cc.cwnd - window
+    assert 0 <= growth <= MAX_DATAGRAM
+
+
+def test_acks_of_pre_recovery_packets_do_not_grow_window():
+    cc = NewRenoController()
+    cc.on_packet_sent(1200)
+    cc.on_packets_lost(0, latest_sent_ms=4.0, now_ms=10.0)
+    window = cc.cwnd
+    cc.on_packet_acked(1200, time_sent_ms=5.0)  # sent before recovery
+    assert cc.cwnd == window
+
+
+def test_discard_removes_bytes_without_reaction():
+    cc = NewRenoController()
+    cc.on_packet_sent(1200)
+    window = cc.cwnd
+    cc.on_packet_discarded(1200)
+    assert cc.bytes_in_flight == 0
+    assert cc.cwnd == window

@@ -1,0 +1,209 @@
+"""Unit tests for shared endpoint machinery."""
+
+import random
+
+import pytest
+
+from repro.http import semantics_for
+from repro.impls.registry import QUIC_GO_SERVER, client_profile
+from repro.quic.client import ClientConnection
+from repro.quic.coalescing import Datagram
+from repro.quic.connection import ranges_from_pns
+from repro.quic.frames import AckFrame, CryptoFrame, PaddingFrame, PingFrame
+from repro.quic.packet import Packet, PacketType, Space
+from repro.quic.server import ServerConfig, ServerConnection, ServerMode
+from repro.sim.engine import EventLoop
+
+
+def _client(loop, name="quic-go", http="h1"):
+    client = ClientConnection(
+        loop, client_profile(name), semantics_for(http), rng=random.Random(1)
+    )
+    sent = []
+    client.attach_transport(lambda d, s: sent.append((loop.now, d)))
+    return client, sent
+
+
+def test_ranges_from_pns_compresses():
+    assert ranges_from_pns([0, 1, 2]) == ((0, 2),)
+    assert ranges_from_pns([5, 1, 2, 9]) == ((9, 9), (5, 5), (1, 2))
+    assert ranges_from_pns([3, 3, 3]) == ((3, 3),)
+    with pytest.raises(ValueError):
+        ranges_from_pns([])
+
+
+def test_client_start_sends_padded_client_hello():
+    loop = EventLoop()
+    client, sent = _client(loop)
+    client.start()
+    assert len(sent) == 1
+    _, dgram = sent[0]
+    assert dgram.size >= 1200
+    assert dgram.packets[0].crypto_frames()[0].label == "CH"
+
+
+def test_transport_required_before_send():
+    loop = EventLoop()
+    client = ClientConnection(
+        loop, client_profile("quic-go"), semantics_for("h1"),
+        rng=random.Random(1),
+    )
+    with pytest.raises(RuntimeError):
+        client.start()
+
+
+def test_http3_rejected_for_go_x_net():
+    loop = EventLoop()
+    with pytest.raises(ValueError):
+        ClientConnection(
+            loop, client_profile("go-x-net"), semantics_for("h3"),
+            rng=random.Random(1),
+        )
+
+
+def test_iack_produces_client_probe_ping():
+    loop = EventLoop()
+    client, sent = _client(loop)
+    client.start()
+    iack = Datagram(
+        packets=(Packet(PacketType.INITIAL, 0, (AckFrame(ranges=((0, 0),)),)),),
+        sender="server",
+    )
+    loop.call_at(10.0, client.on_datagram, iack)
+    loop.run(until=100.0)
+    # quic-go: sample ~10 ms -> anti-deadlock probe ~3x later, padded.
+    probe_times = [t for t, d in sent[1:]]
+    assert probe_times, "client never probed after the instant ACK"
+    assert probe_times[0] == pytest.approx(40.0, abs=3.0)
+    probe = sent[1][1]
+    assert probe.size >= 1200
+    assert any(
+        isinstance(f, PingFrame)
+        for p in probe.packets
+        for f in p.frames
+    )
+
+
+def test_probe_backoff_doubles_between_probes():
+    loop = EventLoop()
+    client, sent = _client(loop)
+    client.start()
+    iack = Datagram(
+        packets=(Packet(PacketType.INITIAL, 0, (AckFrame(ranges=((0, 0),)),)),),
+        sender="server",
+    )
+    loop.call_at(10.0, client.on_datagram, iack)
+    loop.run(until=250.0)
+    times = [t for t, _ in sent[1:]]
+    assert len(times) >= 2
+    first_gap = times[0] - 10.0
+    second_gap = times[1] - times[0]
+    assert second_gap == pytest.approx(2 * first_gap, rel=0.1)
+
+
+def test_server_wfc_sends_nothing_before_cert_ready():
+    loop = EventLoop()
+    server = ServerConnection(
+        loop, QUIC_GO_SERVER, semantics_for("h1"),
+        config=ServerConfig(mode=ServerMode.WFC, delta_t_ms=50.0),
+        rng=random.Random(2),
+    )
+    sent = []
+    server.attach_transport(lambda d, s: sent.append((loop.now, d)))
+    ch = Datagram(
+        packets=(
+            Packet(
+                PacketType.INITIAL, 0,
+                (
+                    CryptoFrame(offset=0, length=280, label="CH", stream_total=280),
+                    PaddingFrame(length=850),  # clients pad to ~1200 B
+                ),
+            ),
+        ),
+        sender="client",
+    )
+    server.on_datagram(ch)
+    loop.run(until=40.0)
+    assert sent == []
+    loop.run(until=80.0)
+    assert sent, "server flight missing after delta_t"
+    first = sent[0][1]
+    assert first.packets[0].ack_frames(), "WFC first packet must carry the ACK"
+    assert first.contains_crypto()
+
+
+def test_server_iack_mode_acks_immediately():
+    loop = EventLoop()
+    server = ServerConnection(
+        loop, QUIC_GO_SERVER, semantics_for("h1"),
+        config=ServerConfig(mode=ServerMode.IACK, delta_t_ms=50.0),
+        rng=random.Random(2),
+    )
+    sent = []
+    server.attach_transport(lambda d, s: sent.append((loop.now, d)))
+    ch = Datagram(
+        packets=(
+            Packet(
+                PacketType.INITIAL, 0,
+                (
+                    CryptoFrame(offset=0, length=280, label="CH", stream_total=280),
+                    PaddingFrame(length=850),
+                ),
+            ),
+        ),
+        sender="client",
+    )
+    server.on_datagram(ch)
+    loop.run(until=5.0)
+    assert len(sent) == 1
+    when, iack = sent[0]
+    assert when < 1.0
+    assert iack.packets[0].ack_only
+    assert not iack.contains_crypto()
+
+
+def test_server_amplification_blocks_large_flight():
+    loop = EventLoop()
+    from repro.quic.certs import LARGE_CERTIFICATE
+
+    server = ServerConnection(
+        loop, QUIC_GO_SERVER, semantics_for("h1"),
+        config=ServerConfig(mode=ServerMode.WFC, certificate=LARGE_CERTIFICATE),
+        rng=random.Random(2),
+    )
+    sent_bytes = []
+    server.attach_transport(lambda d, s: sent_bytes.append(s))
+    ch = Datagram(
+        packets=(
+            Packet(
+                PacketType.INITIAL, 0,
+                (
+                    CryptoFrame(offset=0, length=280, label="CH", stream_total=280),
+                    # pad the object to a full client datagram
+                ),
+            ),
+        ),
+        sender="client",
+    )
+    server.on_datagram(ch)
+    loop.run(until=100.0)
+    assert sum(sent_bytes) <= 3 * ch.size
+    assert server.stats.amplification_blocked_events > 0
+
+
+def test_crypto_penalty_paid_once():
+    loop = EventLoop()
+    client, _ = _client(loop, name="quiche")  # large penalty, visible
+    crypto_dgram = Datagram(
+        packets=(
+            Packet(
+                PacketType.INITIAL, 0,
+                (CryptoFrame(offset=0, length=100, label="SH"),),
+            ),
+        ),
+        sender="server",
+    )
+    first = client._processing_delay(crypto_dgram)
+    second = client._processing_delay(crypto_dgram)
+    assert first > 1.0
+    assert second == client.profile.base_processing_ms

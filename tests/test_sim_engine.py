@@ -1,0 +1,113 @@
+"""Tests for the discrete-event loop."""
+
+import pytest
+
+from repro.sim.engine import EventLoop, SimulationError
+
+
+def test_time_starts_at_zero():
+    assert EventLoop().now == 0.0
+
+
+def test_call_later_runs_in_order():
+    loop = EventLoop()
+    order = []
+    loop.call_later(5.0, order.append, "b")
+    loop.call_later(1.0, order.append, "a")
+    loop.call_later(9.0, order.append, "c")
+    loop.run_until_idle()
+    assert order == ["a", "b", "c"]
+    assert loop.now == 9.0
+
+
+def test_same_time_events_run_in_scheduling_order():
+    loop = EventLoop()
+    order = []
+    for tag in ("first", "second", "third"):
+        loop.call_at(4.0, order.append, tag)
+    loop.run_until_idle()
+    assert order == ["first", "second", "third"]
+
+
+def test_cancelled_timer_does_not_run():
+    loop = EventLoop()
+    fired = []
+    timer = loop.call_later(1.0, fired.append, 1)
+    timer.cancel()
+    loop.run_until_idle()
+    assert fired == []
+    assert timer.cancelled
+
+
+def test_run_until_stops_before_future_events():
+    loop = EventLoop()
+    fired = []
+    loop.call_later(10.0, fired.append, 1)
+    loop.run(until=5.0)
+    assert fired == []
+    assert loop.now == 5.0
+    loop.run(until=20.0)
+    assert fired == [1]
+
+
+def test_run_until_advances_time_with_no_events():
+    loop = EventLoop()
+    loop.run(until=42.0)
+    assert loop.now == 42.0
+
+
+def test_scheduling_in_the_past_raises():
+    loop = EventLoop()
+    loop.call_later(1.0, lambda: None)
+    loop.run_until_idle()
+    with pytest.raises(SimulationError):
+        loop.call_at(0.5, lambda: None)
+
+
+def test_negative_delay_raises():
+    loop = EventLoop()
+    with pytest.raises(SimulationError):
+        loop.call_later(-1.0, lambda: None)
+
+
+def test_callbacks_can_schedule_more_events():
+    loop = EventLoop()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 3:
+            loop.call_later(1.0, chain, n + 1)
+
+    loop.call_soon(chain, 0)
+    loop.run_until_idle()
+    assert seen == [0, 1, 2, 3]
+    assert loop.now == 3.0
+
+
+def test_max_events_guard():
+    loop = EventLoop()
+
+    def forever():
+        loop.call_later(1.0, forever)
+
+    loop.call_soon(forever)
+    with pytest.raises(SimulationError):
+        loop.run(max_events=100)
+
+
+def test_pending_counts_only_live_timers():
+    loop = EventLoop()
+    keep = loop.call_later(1.0, lambda: None)
+    gone = loop.call_later(2.0, lambda: None)
+    gone.cancel()
+    assert loop.pending() == 1
+    assert keep.when == 1.0
+
+
+def test_events_processed_counter():
+    loop = EventLoop()
+    for _ in range(5):
+        loop.call_later(1.0, lambda: None)
+    loop.run_until_idle()
+    assert loop.events_processed == 5

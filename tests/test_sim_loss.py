@@ -1,0 +1,76 @@
+"""Tests for loss patterns."""
+
+import pytest
+
+from repro.sim.loss import (
+    CompositeLoss,
+    IndexedLoss,
+    NoLoss,
+    RandomLoss,
+    burst_loss,
+    parse_loss_spec,
+)
+
+
+def test_no_loss_never_drops():
+    pattern = NoLoss()
+    assert not any(pattern.should_drop(i, 1200) for i in range(1, 100))
+
+
+def test_indexed_loss_drops_exactly_listed_indices():
+    pattern = IndexedLoss({2, 3})
+    dropped = [i for i in range(1, 10) if pattern.should_drop(i, 1200)]
+    assert dropped == [2, 3]
+
+
+def test_indexed_loss_rejects_zero_index():
+    with pytest.raises(ValueError):
+        IndexedLoss({0, 2})
+
+
+def test_random_loss_rate_bounds():
+    with pytest.raises(ValueError):
+        RandomLoss(1.5)
+    with pytest.raises(ValueError):
+        RandomLoss(-0.1)
+
+
+def test_random_loss_is_deterministic_and_resettable():
+    pattern = RandomLoss(0.5, seed=7)
+    first = [pattern.should_drop(i, 100) for i in range(1, 50)]
+    pattern.reset()
+    second = [pattern.should_drop(i, 100) for i in range(1, 50)]
+    assert first == second
+    assert any(first) and not all(first)
+
+
+def test_random_loss_extremes():
+    assert not any(RandomLoss(0.0).should_drop(i, 1) for i in range(1, 100))
+    assert all(RandomLoss(1.0).should_drop(i, 1) for i in range(1, 100))
+
+
+def test_composite_loss_unions_patterns():
+    pattern = CompositeLoss([IndexedLoss({1}), IndexedLoss({4})])
+    dropped = [i for i in range(1, 6) if pattern.should_drop(i, 1)]
+    assert dropped == [1, 4]
+
+
+def test_burst_loss_builds_consecutive_range():
+    pattern = burst_loss(start=3, length=3)
+    assert pattern.indices == {3, 4, 5}
+
+
+def test_burst_loss_rejects_negative_length():
+    with pytest.raises(ValueError):
+        burst_loss(1, -1)
+
+
+def test_parse_loss_spec_variants():
+    assert isinstance(parse_loss_spec(None), NoLoss)
+    assert isinstance(parse_loss_spec(""), NoLoss)
+    indexed = parse_loss_spec("2,3")
+    assert isinstance(indexed, IndexedLoss)
+    assert indexed.indices == {2, 3}
+    rnd = parse_loss_spec("p0.25")
+    assert isinstance(rnd, RandomLoss)
+    assert rnd.rate == 0.25

@@ -1,0 +1,85 @@
+"""Tests for the AS database and the synthetic Tranco list."""
+
+import pytest
+
+from repro.wild.asdb import AsDatabase, CDN_AS_NUMBERS, Cdn, OTHERS_ASN
+from repro.wild.cdn import DEPLOYMENTS, total_quic_domains
+from repro.wild.tranco import TrancoDomain, TrancoGenerator
+
+
+def test_table5_as_numbers():
+    assert CDN_AS_NUMBERS[Cdn.AKAMAI] == (16625, 20940)
+    assert CDN_AS_NUMBERS[Cdn.CLOUDFLARE] == (13335, 209242)
+    assert CDN_AS_NUMBERS[Cdn.FASTLY] == (54113,)
+    assert CDN_AS_NUMBERS[Cdn.MICROSOFT] == (8075,)
+
+
+def test_address_roundtrip_for_every_cdn():
+    asdb = AsDatabase()
+    for cdn, asns in CDN_AS_NUMBERS.items():
+        for asn in asns:
+            address = asdb.address_in_asn(asn, 5)
+            assert asdb.origin_asn(address) == asn
+            assert asdb.cdn_for_address(address) is cdn
+
+
+def test_others_asn_maps_to_others():
+    asdb = AsDatabase()
+    address = asdb.address_in_asn(OTHERS_ASN, 0)
+    assert asdb.cdn_for_address(address) is Cdn.OTHERS
+
+
+def test_non_synthetic_address_falls_back_to_others():
+    asdb = AsDatabase()
+    assert asdb.origin_asn("192.0.2.1") is None
+    assert asdb.cdn_for_address("192.0.2.1") is Cdn.OTHERS
+
+
+def test_unknown_asn_raises():
+    with pytest.raises(KeyError):
+        AsDatabase().prefix_for_asn(64512)
+
+
+def test_generator_scales_counts_to_list_size():
+    generator = TrancoGenerator(list_size=100_000)
+    # Cloudflare: 247407 per 1M -> ~24741 per 100k.
+    assert generator.scaled_count(Cdn.CLOUDFLARE) == pytest.approx(24741, abs=1)
+    assert generator.scaled_count(Cdn.MICROSOFT) >= 1
+
+
+def test_generator_is_deterministic():
+    a = TrancoGenerator(list_size=2000, seed=1).generate()
+    b = TrancoGenerator(list_size=2000, seed=1).generate()
+    assert [(d.name, d.cdn) for d in a] == [(d.name, d.cdn) for d in b]
+    c = TrancoGenerator(list_size=2000, seed=2).generate()
+    assert [(d.name, d.cdn) for d in a] != [(d.name, d.cdn) for d in c]
+
+
+def test_quic_domains_have_addresses_and_match_counts():
+    generator = TrancoGenerator(list_size=50_000)
+    quic_domains = generator.quic_domains()
+    assert all(d.address is not None for d in quic_domains)
+    assert len(quic_domains) == generator.expected_quic_count()
+    share = len(quic_domains) / 50_000
+    paper_share = total_quic_domains() / 1_000_000
+    assert share == pytest.approx(paper_share, rel=0.05)
+
+
+def test_cdn_inference_matches_assignment():
+    generator = TrancoGenerator(list_size=20_000)
+    asdb = generator.asdb
+    for domain in generator.quic_domains()[:500]:
+        assert asdb.cdn_for_address(domain.address) is domain.cdn
+
+
+def test_popularity_decreases_with_rank():
+    top = TrancoDomain(rank=1, name="a", cdn=None, address=None)
+    mid = TrancoDomain(rank=1000, name="b", cdn=None, address=None)
+    tail = TrancoDomain(rank=999_999, name="c", cdn=None, address=None)
+    assert top.popularity == 1.0
+    assert top.popularity > mid.popularity > tail.popularity
+
+
+def test_invalid_list_size():
+    with pytest.raises(ValueError):
+        TrancoGenerator(list_size=0)
