@@ -1,0 +1,36 @@
+"""Benchmark: the parallel runtime on the Figure 6 matrix.
+
+Complements ``bench_parallel.py`` (the serial-vs-parallel wall-clock
+study behind ``BENCH_parallel.json``) with a suite-integrated smoke
+benchmark: the full fig6 matrix through a 2-worker ``MatrixRunner``
+must produce the same figure as the serial path and post a time.
+"""
+
+from benchmarks.conftest import run_and_render
+from repro.experiments import fig6_server_flight_loss
+from repro.runtime import MatrixRunner, ResultCache
+
+
+def test_bench_fig6_parallel_matches_serial(benchmark):
+    serial = fig6_server_flight_loss.run(http="h1", repetitions=5)
+    result = run_and_render(
+        benchmark, fig6_server_flight_loss.run,
+        http="h1", repetitions=5, workers=2,
+    )
+    assert result.rows == serial.rows
+
+
+def test_bench_fig6_cached_resweep(benchmark):
+    """Second regeneration of the figure from a warm cache."""
+    cache = ResultCache()
+    with MatrixRunner(workers=0, cache=cache) as runner:
+        fig6_server_flight_loss.run(http="h1", repetitions=5, runner=runner)
+
+        def resweep():
+            return fig6_server_flight_loss.run(
+                http="h1", repetitions=5, runner=runner
+            )
+
+        result = run_and_render(benchmark, resweep)
+    assert cache.hits >= 80  # 16 scenarios x 5 repetitions
+    assert result.rows

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.analysis.render import render_table
+from repro.runtime import ArtifactLevel, MatrixRunner, ResultCache
 
 
 @dataclass
@@ -50,3 +52,40 @@ H3_CLIENT_ORDER = tuple(c for c in CLIENT_ORDER if c != "go-x-net")
 
 def clients_for(http: str):
     return CLIENT_ORDER if http == "h1" else H3_CLIENT_ORDER
+
+
+@contextlib.contextmanager
+def matrix_runner(
+    runner: Optional[MatrixRunner] = None,
+    workers: int = 0,
+    artifact_level: Union[ArtifactLevel, str] = ArtifactLevel.STATS,
+    cache: Optional[ResultCache] = None,
+) -> Iterator[MatrixRunner]:
+    """Resolve the runner an experiment executes on.
+
+    Callers that pass an existing :class:`MatrixRunner` (e.g. a sweep
+    sharing one pool and cache across figures) keep ownership — the
+    runner is left open, but its artifact level must cover the one the
+    experiment requires (a ``stats`` runner cannot serve a qlog- or
+    trace-reading experiment). Otherwise a runner is created from
+    ``workers`` / ``artifact_level`` / ``cache`` and closed when the
+    experiment finishes.
+    """
+    if runner is not None:
+        required = ArtifactLevel.coerce(artifact_level)
+        if not runner.artifact_level.covers(required):
+            raise ValueError(
+                f"this experiment needs artifact level "
+                f"{required.value!r} but the shared runner retains only "
+                f"{runner.artifact_level.value!r}; create the runner "
+                f"with artifact_level={required.value!r} (or 'full')"
+            )
+        yield runner
+        return
+    owned = MatrixRunner(
+        workers=workers, artifact_level=artifact_level, cache=cache
+    )
+    try:
+        yield owned
+    finally:
+        owned.close()

@@ -16,7 +16,7 @@ from typing import List
 
 from repro.experiments.common import ExperimentResult
 from repro.wild.asdb import Cdn
-from repro.wild.qscanner import QScanner
+from repro.wild.qscanner import QScanner, scan_with_engine
 from repro.wild.tranco import TrancoGenerator
 from repro.wild.vantage import vantage
 
@@ -36,10 +36,12 @@ def run(
     list_size: int = 100_000,
     vantage_name: str = "Sao Paulo",
     seed: int = 0,
+    engine: str = "analytic",
 ) -> ExperimentResult:
     generator = TrancoGenerator(list_size=list_size, seed=seed)
     scanner = QScanner(vantage(vantage_name), seed=seed)
-    results = scanner.probe(generator.quic_domains())
+    domains = generator.quic_domains()
+    results = scan_with_engine(scanner, domains, engine=engine)
     rows: List[List[object]] = []
     for cdn in Cdn:
         coalesced = [r for r in results if r.cdn is cdn and r.coalesced]

@@ -13,10 +13,11 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.experiments.common import ExperimentResult, CLIENT_ORDER
-from repro.interop.runner import Runner, Scenario, SIZE_10MB
+from repro.experiments.common import ExperimentResult, CLIENT_ORDER, matrix_runner
+from repro.interop.runner import Scenario, SIZE_10MB
 from repro.qlog.analysis import count_metric_updates, count_new_ack_packets
 from repro.quic.server import ServerMode
+from repro.runtime import ArtifactLevel, MatrixRunner, ResultCache
 
 RTT_MS = 100.0
 
@@ -29,24 +30,33 @@ def run(
     rtt_ms: float = RTT_MS,
     response_size: int = SIZE_10MB,
     http: str = "h1",
+    runner: "MatrixRunner" = None,
+    workers: int = 0,
+    cache: "ResultCache" = None,
 ) -> ExperimentResult:
-    runner = Runner()
+    scenarios = [
+        Scenario(
+            client=client,
+            mode=ServerMode.WFC,
+            http=http,
+            rtt_ms=rtt_ms,
+            response_size=response_size,
+            timeout_ms=600_000.0,
+        )
+        for client in CLIENT_ORDER
+    ]
+    with matrix_runner(
+        runner, workers=workers, artifact_level=ArtifactLevel.TRACE, cache=cache
+    ) as mr:
+        matrix = mr.run_matrix(scenarios, repetitions)
+    per_scenario = iter(matrix)
     rows: List[List[object]] = []
     for client in CLIENT_ORDER:
         metric_counts: List[int] = []
         ack_counts: List[int] = []
-        for rep in range(repetitions):
-            scenario = Scenario(
-                client=client,
-                mode=ServerMode.WFC,
-                http=http,
-                rtt_ms=rtt_ms,
-                response_size=response_size,
-                timeout_ms=600_000.0,
-            )
-            result = runner.run_once(scenario, seed=rep)
-            metric_counts.append(count_metric_updates(result.client_qlog.events))
-            ack_counts.append(count_new_ack_packets(result.client_qlog.events))
+        for result in next(per_scenario):
+            metric_counts.append(count_metric_updates(result.client_qlog_events))
+            ack_counts.append(count_new_ack_packets(result.client_qlog_events))
         metric_avg = sum(metric_counts) / len(metric_counts)
         ack_avg = sum(ack_counts) / len(ack_counts)
         rows.append(

@@ -12,21 +12,40 @@ from typing import List
 
 from repro.analysis.stats import median
 from repro.experiments.common import ExperimentResult
+from repro.runtime import get_shared_input, parallel_map, set_shared_input
 from repro.wild.asdb import Cdn
-from repro.wild.qscanner import QScanner
+from repro.wild.qscanner import QScanner, scan_with_engine
 from repro.wild.tranco import TrancoGenerator
 from repro.wild.vantage import VANTAGE_POINTS, vantage
 
 FIGURE_CDNS = (Cdn.AKAMAI, Cdn.AMAZON, Cdn.CLOUDFLARE, Cdn.GOOGLE, Cdn.OTHERS)
 
+def _probe_vantage(vantage_name: str, list_size: int, seed: int, engine: str):
+    domains = get_shared_input()
+    if domains is None:  # pragma: no cover - non-initialized pool fallback
+        domains = TrancoGenerator(list_size=list_size, seed=seed).quic_domains()
+    scanner = QScanner(vantage(vantage_name), seed=seed)
+    return scan_with_engine(scanner, domains, engine=engine)
 
-def run(list_size: int = 50_000, seed: int = 0) -> ExperimentResult:
+
+def run(
+    list_size: int = 50_000,
+    seed: int = 0,
+    workers: int = 0,
+    engine: str = "analytic",
+) -> ExperimentResult:
     generator = TrancoGenerator(list_size=list_size, seed=seed)
     domains = generator.quic_domains()
+    vantage_names = sorted(VANTAGE_POINTS)
+    per_vantage = parallel_map(
+        _probe_vantage,
+        [(name, list_size, seed, engine) for name in vantage_names],
+        workers=workers,
+        initializer=set_shared_input,
+        initargs=(domains,),
+    )
     rows: List[List[object]] = []
-    for vantage_name in sorted(VANTAGE_POINTS):
-        scanner = QScanner(vantage(vantage_name), seed=seed)
-        results = scanner.probe(domains)
+    for vantage_name, results in zip(vantage_names, per_vantage):
         for cdn in FIGURE_CDNS:
             delays = [
                 r.ack_to_sh_delay_ms

@@ -14,6 +14,7 @@ from typing import List
 
 from repro.analysis.stats import median, percentile_interval
 from repro.experiments.common import ExperimentResult
+from repro.runtime import parallel_map
 from repro.wild.cloudflare import CloudflareLongitudinalStudy, filter_valid
 from repro.wild.vantage import VANTAGE_POINTS, vantage
 
@@ -30,14 +31,25 @@ HONG_KONG_OUTAGES = tuple(range(2 * 24 * 60, 2 * 24 * 60 + 12 * 60)) + tuple(
 )
 
 
-def run(days: int = 7, seed: int = 0) -> ExperimentResult:
+def _study_vantage(vantage_name: str, days: int, seed: int):
+    """One location's longitudinal study (a self-contained rng
+    stream, so passes parallelize without ordering effects)."""
+    study = CloudflareLongitudinalStudy(vantage(vantage_name), seed=seed)
+    outages = HONG_KONG_OUTAGES if vantage_name == "Hong Kong" else None
+    return filter_valid(
+        study.run(minutes=days * 24 * 60, outage_minutes=outages)
+    )
+
+
+def run(days: int = 7, seed: int = 0, workers: int = 0) -> ExperimentResult:
     rows: List[List[object]] = []
-    for vantage_name in sorted(VANTAGE_POINTS):
-        study = CloudflareLongitudinalStudy(vantage(vantage_name), seed=seed)
-        outages = HONG_KONG_OUTAGES if vantage_name == "Hong Kong" else None
-        samples = filter_valid(
-            study.run(minutes=days * 24 * 60, outage_minutes=outages)
-        )
+    vantage_names = sorted(VANTAGE_POINTS)
+    per_vantage = parallel_map(
+        _study_vantage,
+        [(name, days, seed) for name in vantage_names],
+        workers=workers,
+    )
+    for vantage_name, samples in zip(vantage_names, per_vantage):
         separate_sh = [s.sh_latency_ms for s in samples if s.kind == "SH"]
         coalesced = [s.sh_latency_ms for s in samples if s.kind == "ACK,SH"]
         gaps = [

@@ -13,10 +13,11 @@ from typing import List, Optional
 
 from repro.analysis.stats import median
 from repro.core.pto_calc import PtoCalculator
-from repro.experiments.common import ExperimentResult, CLIENT_ORDER
-from repro.interop.runner import Runner, Scenario, SIZE_10KB
+from repro.experiments.common import ExperimentResult, CLIENT_ORDER, matrix_runner
+from repro.interop.runner import Scenario, SIZE_10KB
 from repro.qlog.analysis import first_pto_from_qlog
 from repro.quic.server import ServerMode
+from repro.runtime import ArtifactLevel, MatrixRunner, ResultCache
 
 RTTS_MS = (1.0, 9.0, 20.0, 50.0, 100.0, 200.0, 300.0)
 
@@ -24,32 +25,44 @@ RTTS_MS = (1.0, 9.0, 20.0, 50.0, 100.0, 200.0, 300.0)
 def _first_pto(result) -> Optional[float]:
     """First PTO from the qlog, falling back to the packet-event
     reconstruction when metrics are unavailable (Appendix E)."""
-    value = first_pto_from_qlog(result.client_qlog.events)
+    events = result.client_qlog_events
+    value = first_pto_from_qlog(events)
     if value is not None:
         return value
-    return PtoCalculator().first_pto(result.client_qlog.events)
+    return PtoCalculator().first_pto(events)
 
 
 def run(
     http: str = "h1",
     repetitions: int = 10,
     rtts_ms=RTTS_MS,
+    runner: "MatrixRunner" = None,
+    workers: int = 0,
+    cache: "ResultCache" = None,
 ) -> ExperimentResult:
-    runner = Runner()
+    scenarios = [
+        Scenario(
+            client=client,
+            mode=mode,
+            http="h1" if client == "go-x-net" else http,
+            rtt_ms=rtt,
+            response_size=SIZE_10KB,
+        )
+        for client in CLIENT_ORDER
+        for rtt in rtts_ms
+        for mode in (ServerMode.WFC, ServerMode.IACK)
+    ]
+    with matrix_runner(
+        runner, workers=workers, artifact_level=ArtifactLevel.TRACE, cache=cache
+    ) as mr:
+        matrix = mr.run_matrix(scenarios, repetitions)
+    per_scenario = iter(matrix)
     rows: List[List[object]] = []
     for client in CLIENT_ORDER:
-        http_version = "h1" if client == "go-x-net" else http
         for rtt in rtts_ms:
             ptos = {}
             for mode in (ServerMode.WFC, ServerMode.IACK):
-                scenario = Scenario(
-                    client=client,
-                    mode=mode,
-                    http=http_version,
-                    rtt_ms=rtt,
-                    response_size=SIZE_10KB,
-                )
-                results = runner.run_repetitions(scenario, repetitions)
+                results = next(per_scenario)
                 ptos[mode.name] = median(
                     [_first_pto(r) for r in results]
                 )

@@ -14,10 +14,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.analysis.stats import median
-from repro.experiments.common import ExperimentResult, clients_for
-from repro.interop.runner import Runner, Scenario, SIZE_10KB
+from repro.experiments.common import ExperimentResult, clients_for, matrix_runner
+from repro.interop.runner import Scenario, SIZE_10KB
 from repro.quic.certs import LARGE_CERTIFICATE
 from repro.quic.server import ServerMode
+from repro.runtime import MatrixRunner, ResultCache
 
 RTT_MS = 9.0
 DELTA_T_MS = 200.0
@@ -28,24 +29,33 @@ def run(
     repetitions: int = 25,
     rtt_ms: float = RTT_MS,
     delta_t_ms: float = DELTA_T_MS,
+    runner: "MatrixRunner" = None,
+    workers: int = 0,
+    cache: "ResultCache" = None,
 ) -> ExperimentResult:
-    runner = Runner()
+    scenarios = [
+        Scenario(
+            client=client,
+            mode=mode,
+            http=http,
+            rtt_ms=rtt_ms,
+            delta_t_ms=delta_t_ms,
+            certificate=LARGE_CERTIFICATE,
+            response_size=SIZE_10KB,
+        )
+        for client in clients_for(http)
+        for mode in (ServerMode.WFC, ServerMode.IACK)
+    ]
+    with matrix_runner(runner, workers=workers, cache=cache) as mr:
+        matrix = mr.run_matrix(scenarios, repetitions)
+    per_scenario = iter(matrix)
     rows: List[List[object]] = []
     per_client: Dict[str, Dict[str, List[Optional[float]]]] = {}
     for client in clients_for(http):
         medians: Dict[str, Optional[float]] = {}
         raw: Dict[str, List[Optional[float]]] = {}
         for mode in (ServerMode.WFC, ServerMode.IACK):
-            scenario = Scenario(
-                client=client,
-                mode=mode,
-                http=http,
-                rtt_ms=rtt_ms,
-                delta_t_ms=delta_t_ms,
-                certificate=LARGE_CERTIFICATE,
-                response_size=SIZE_10KB,
-            )
-            results = runner.run_repetitions(scenario, repetitions)
+            results = next(per_scenario)
             ttfbs = [r.ttfb_ms for r in results]
             raw[mode.name] = ttfbs
             medians[mode.name] = median(ttfbs)

@@ -13,36 +13,53 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.analysis.stats import median
-from repro.experiments.common import ExperimentResult, clients_for
-from repro.interop.runner import Runner, Scenario, SIZE_10KB
+from repro.experiments.common import ExperimentResult, clients_for, matrix_runner
+from repro.interop.runner import Scenario, SIZE_10KB
 from repro.interop.scenarios import first_server_flight_tail_loss
 from repro.quic.server import ServerMode
+from repro.runtime import MatrixRunner, ResultCache
 
 RTT_MS = 9.0
+
+
+def scenarios(
+    http: str = "h1", rtt_ms: float = RTT_MS
+) -> List[Scenario]:
+    """The figure's cell list: clients × {WFC, IACK} in row order."""
+    return [
+        Scenario(
+            client=client,
+            mode=mode,
+            http=http,
+            rtt_ms=rtt_ms,
+            response_size=SIZE_10KB,
+            server_to_client_loss=first_server_flight_tail_loss(mode),
+        )
+        for client in clients_for(http)
+        for mode in (ServerMode.WFC, ServerMode.IACK)
+    ]
 
 
 def run(
     http: str = "h1",
     repetitions: int = 25,
     rtt_ms: float = RTT_MS,
+    runner: Optional[MatrixRunner] = None,
+    workers: int = 0,
+    cache: Optional[ResultCache] = None,
 ) -> ExperimentResult:
-    runner = Runner()
     rows: List[List[object]] = []
     raw: Dict[str, Dict[str, List[Optional[float]]]] = {}
+    cells = scenarios(http, rtt_ms)
+    with matrix_runner(runner, workers=workers, cache=cache) as mr:
+        matrix = mr.run_matrix(cells, repetitions)
+    per_scenario = iter(matrix)
     for client in clients_for(http):
         medians: Dict[str, Optional[float]] = {}
         aborts: Dict[str, int] = {}
         raw[client] = {}
         for mode in (ServerMode.WFC, ServerMode.IACK):
-            scenario = Scenario(
-                client=client,
-                mode=mode,
-                http=http,
-                rtt_ms=rtt_ms,
-                response_size=SIZE_10KB,
-                server_to_client_loss=first_server_flight_tail_loss(mode),
-            )
-            results = runner.run_repetitions(scenario, repetitions)
+            results = next(per_scenario)
             ttfbs = [r.response_ttfb_ms for r in results]
             raw[client][mode.name] = ttfbs
             medians[mode.name] = median(ttfbs)

@@ -12,10 +12,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.analysis.stats import median
-from repro.experiments.common import ExperimentResult, clients_for
-from repro.interop.runner import Runner, Scenario, SIZE_10KB
+from repro.experiments.common import ExperimentResult, clients_for, matrix_runner
+from repro.interop.runner import Scenario, SIZE_10KB
 from repro.interop.scenarios import second_client_flight_loss
 from repro.quic.server import ServerMode
+from repro.runtime import MatrixRunner, ResultCache
 
 RTT_MS = 9.0
 
@@ -36,24 +37,32 @@ def run(
     http: str = "h1",
     repetitions: int = 25,
     rtt_ms: float = RTT_MS,
+    runner: "MatrixRunner" = None,
+    workers: int = 0,
+    cache: "ResultCache" = None,
 ) -> ExperimentResult:
-    runner = Runner()
+    scenarios = [
+        Scenario(
+            client=client,
+            mode=mode,
+            http=http,
+            rtt_ms=rtt_ms,
+            response_size=SIZE_10KB,
+            client_to_server_loss=second_client_flight_loss(client),
+        )
+        for client in clients_for(http)
+        for mode in (ServerMode.WFC, ServerMode.IACK)
+    ]
+    with matrix_runner(runner, workers=workers, cache=cache) as mr:
+        matrix = mr.run_matrix(scenarios, repetitions)
+    per_scenario = iter(matrix)
     rows: List[List[object]] = []
     raw: Dict[str, Dict[str, List[Optional[float]]]] = {}
     for client in clients_for(http):
-        loss = second_client_flight_loss(client)
         medians: Dict[str, Optional[float]] = {}
         raw[client] = {}
         for mode in (ServerMode.WFC, ServerMode.IACK):
-            scenario = Scenario(
-                client=client,
-                mode=mode,
-                http=http,
-                rtt_ms=rtt_ms,
-                response_size=SIZE_10KB,
-                client_to_server_loss=loss,
-            )
-            results = runner.run_repetitions(scenario, repetitions)
+            results = next(per_scenario)
             ttfbs = [r.response_ttfb_ms for r in results]
             raw[client][mode.name] = ttfbs
             medians[mode.name] = median(ttfbs)

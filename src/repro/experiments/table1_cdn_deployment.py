@@ -11,11 +11,28 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.experiments.common import ExperimentResult
+from repro.runtime import get_shared_input, parallel_map, set_shared_input
 from repro.wild.asdb import Cdn
-from repro.wild.cdn import DEPLOYMENTS
-from repro.wild.qscanner import QScanner, deployment_share
+from repro.wild.qscanner import QScanner, deployment_share, scan_with_engine
 from repro.wild.tranco import TrancoGenerator
 from repro.wild.vantage import VANTAGE_POINTS, vantage
+
+def _measure_pass(
+    vantage_name: str, day: int, list_size: int, seed: int, engine: str
+):
+    """One vantage × day scan pass → per-CDN deployment shares.
+
+    A whole pass runs inside one task so the batch engine's per-pass
+    rng stream is independent of worker count and task interleaving.
+    The domain list arrives via the runtime's shared-input channel.
+    """
+    domains = get_shared_input()
+    if domains is None:  # pragma: no cover - non-initialized pool fallback
+        domains = TrancoGenerator(list_size=list_size, seed=seed).quic_domains()
+    scanner = QScanner(vantage(vantage_name), seed=seed)
+    return deployment_share(
+        scan_with_engine(scanner, domains, day=day, engine=engine)
+    )
 
 PAPER_SHARES = {
     Cdn.AKAMAI: (533, 32.2, 12.9),
@@ -34,21 +51,29 @@ def run(
     days: int = 2,
     vantage_names=None,
     seed: int = 0,
+    workers: int = 0,
+    engine: str = "analytic",
 ) -> ExperimentResult:
     if vantage_names is None:
         vantage_names = sorted(VANTAGE_POINTS)
     generator = TrancoGenerator(list_size=list_size, seed=seed)
     domains = generator.quic_domains()
-    #: shares[(vantage, day)][cdn] = share
-    measurements: List[Dict[Cdn, float]] = []
     counts: Dict[Cdn, int] = {}
     for domain in domains:
         counts[domain.cdn] = counts.get(domain.cdn, 0) + 1
-    for vantage_name in vantage_names:
-        scanner = QScanner(vantage(vantage_name), seed=seed)
-        for day in range(days):
-            results = scanner.probe(domains, day=day)
-            measurements.append(deployment_share(results))
+    tasks = [
+        (vantage_name, day, list_size, seed, engine)
+        for vantage_name in vantage_names
+        for day in range(days)
+    ]
+    #: shares[(vantage, day)][cdn] = share
+    measurements: List[Dict[Cdn, float]] = parallel_map(
+        _measure_pass,
+        tasks,
+        workers=workers,
+        initializer=set_shared_input,
+        initargs=(domains,),
+    )
     rows: List[List[object]] = []
     for cdn in Cdn:
         shares = [m.get(cdn, 0.0) * 100.0 for m in measurements]

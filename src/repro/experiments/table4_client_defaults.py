@@ -14,11 +14,12 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-from repro.experiments.common import ExperimentResult, CLIENT_ORDER
+from repro.experiments.common import ExperimentResult, CLIENT_ORDER, matrix_runner
 from repro.impls.registry import client_profile
-from repro.interop.runner import Runner, Scenario
+from repro.interop.runner import Scenario
 from repro.quic.packet import PacketType
 from repro.quic.server import ServerMode
+from repro.runtime import ArtifactLevel, MatrixRunner, ResultCache
 
 PAPER_TABLE4 = {
     "aioquic": (200, (2, 3, 4)),
@@ -58,17 +59,27 @@ def observed_second_flight_indices(result) -> Tuple[int, ...]:
     return tuple(indices)
 
 
-def run(repetitions: int = 5, rtt_ms: float = 9.0) -> ExperimentResult:
-    runner = Runner()
+def run(
+    repetitions: int = 5,
+    rtt_ms: float = 9.0,
+    runner: "MatrixRunner" = None,
+    workers: int = 0,
+    cache: "ResultCache" = None,
+) -> ExperimentResult:
+    scenarios = [
+        Scenario(client=client, mode=ServerMode.WFC, http="h1", rtt_ms=rtt_ms)
+        for client in CLIENT_ORDER
+    ]
+    with matrix_runner(
+        runner, workers=workers, artifact_level=ArtifactLevel.TRACE, cache=cache
+    ) as mr:
+        matrix = mr.run_matrix(scenarios, repetitions)
+    per_scenario = iter(matrix)
     rows: List[List[object]] = []
     for client in CLIENT_ORDER:
         profile = client_profile(client)
         observed_counts = set()
-        for rep in range(repetitions):
-            scenario = Scenario(
-                client=client, mode=ServerMode.WFC, http="h1", rtt_ms=rtt_ms
-            )
-            result = runner.run_once(scenario, seed=rep)
+        for result in next(per_scenario):
             observed = observed_second_flight_indices(result)
             if observed:
                 observed_counts.add(len(observed))

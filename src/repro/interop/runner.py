@@ -9,6 +9,7 @@ it for any number of repetitions with distinct seeds and collects
 
 from __future__ import annotations
 
+import copy
 import random
 from dataclasses import dataclass, field, replace
 from typing import List, Optional
@@ -108,26 +109,44 @@ class Runner:
     def __init__(self, base_seed: int = 0):
         self.base_seed = base_seed
 
-    def run_once(self, scenario: Scenario, seed: Optional[int] = None) -> RunResult:
-        """Run a single connection and return its artifacts."""
+    def run_once(
+        self,
+        scenario: Scenario,
+        seed: Optional[int] = None,
+        *,
+        capture_trace: bool = True,
+        record_qlog: bool = True,
+    ) -> RunResult:
+        """Run a single connection and return its artifacts.
+
+        ``capture_trace`` / ``record_qlog`` select how much the run
+        retains: with both off, only :class:`ConnectionStats` survive —
+        connection behavior (and therefore the stats) is bit-identical
+        either way, since the qlog writers keep consuming their
+        exposure-policy rng draws without storing events.
+        """
         seed = self.base_seed if seed is None else seed
         loop = EventLoop()
-        tracer = Tracer()
+        tracer = Tracer(capture=capture_trace)
         profile = client_profile(scenario.client)
         http_client = semantics_for(scenario.http)
         http_server = semantics_for(scenario.http)
-        # Fresh, copied loss patterns would be nicer; reset() restores
-        # stateful ones (RandomLoss) for reuse across repetitions.
-        if scenario.client_to_server_loss is not None:
-            scenario.client_to_server_loss.reset()
-        if scenario.server_to_client_loss is not None:
-            scenario.server_to_client_loss.reset()
+        # Loss patterns are deep-copied per run: stateful patterns
+        # (RandomLoss) would otherwise be mutated through the shared
+        # Scenario, coupling repetitions and racing under concurrent
+        # execution of the same scenario.
+        c2s_loss = copy.deepcopy(scenario.client_to_server_loss)
+        if c2s_loss is not None:
+            c2s_loss.reset()
+        s2c_loss = copy.deepcopy(scenario.server_to_client_loss)
+        if s2c_loss is not None:
+            s2c_loss.reset()
         network = Network.for_rtt(
             loop,
             rtt_ms=scenario.rtt_ms,
             bandwidth_bps=scenario.bandwidth_bps,
-            client_to_server_loss=scenario.client_to_server_loss,
-            server_to_client_loss=scenario.server_to_client_loss,
+            client_to_server_loss=c2s_loss,
+            server_to_client_loss=s2c_loss,
             tracer=tracer,
         )
         # String seeds are hashed (SHA-512) by random.Random, giving
@@ -141,6 +160,10 @@ class Runner:
             http_client,
             request=request,
             rng=rng_client,
+            qlog=QlogWriter(
+                "client", profile.exposure_policy(), rng_client,
+                record_events=record_qlog,
+            ),
             name="client",
         )
         server_config = ServerConfig(
@@ -155,6 +178,10 @@ class Runner:
             http_server,
             config=server_config,
             rng=rng_server,
+            qlog=QlogWriter(
+                "server", QUIC_GO_SERVER.exposure_policy(), rng_server,
+                record_events=record_qlog,
+            ),
             name="server",
         )
         server.set_request_spec(request)

@@ -51,15 +51,23 @@ class QlogWriter:
         vantage_point: str,
         policy: Optional[ExposurePolicy] = None,
         rng: Optional[random.Random] = None,
+        record_events: bool = True,
     ):
         self.vantage_point = vantage_point
         self.policy = policy if policy is not None else ExposurePolicy()
         self._rng = rng if rng is not None else random.Random(0)
+        #: When False the writer keeps drawing its exposure-policy rng
+        #: samples (so connection behavior stays bit-identical with or
+        #: without qlog retention) but stores no events — the "stats"
+        #: artifact level of the experiment runtime.
+        self.record_events = record_events
         self.events: List[QlogEvent] = []
         self._suppressed_metrics = 0
         self._last_metrics_key: Optional[tuple] = None
 
     def log_packet(self, event: PacketEvent) -> None:
+        if not self.record_events:
+            return
         self.events.append(self._stamp(event))
 
     def log_metrics(self, event: MetricsUpdated) -> None:
@@ -68,9 +76,15 @@ class QlogWriter:
         Consecutive duplicates are collapsed the way the paper's
         post-processing does ("we remove consecutive duplicates",
         Appendix E) — quantized values that repeat are dropped.
+
+        The exposure draw happens before the ``record_events`` check:
+        the rng is shared with the endpoint, so a non-recording writer
+        must consume exactly the same samples as a recording one.
         """
         if self._rng.random() > self.policy.metrics_exposure:
             self._suppressed_metrics += 1
+            return
+        if not self.record_events:
             return
         if not self.policy.logs_rtt_variance:
             event = MetricsUpdated(

@@ -21,13 +21,26 @@ from repro.quic.packet import INITIAL_MIN_DATAGRAM, Packet, PacketType
 #: Maximum UDP payload used by the testbed endpoints.
 MAX_DATAGRAM_SIZE = 1200
 
+#: RFC 9000 §12.2 coalescing order ranks (Retry shares the Initial
+#: encryption level for ordering purposes).
+_COALESCE_RANK = {
+    PacketType.INITIAL: 0,
+    PacketType.HANDSHAKE: 1,
+    PacketType.ONE_RTT: 2,
+    PacketType.RETRY: 0,
+}
 
-@dataclass
+
+@dataclass(slots=True)
 class Datagram:
     """One UDP datagram containing coalesced QUIC packets."""
 
     packets: Tuple[Packet, ...]
     sender: str = ""
+    _size: Optional[int] = field(default=None, init=False, repr=False, compare=False)
+    _contains_crypto: Optional[bool] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.packets:
@@ -38,13 +51,9 @@ class Datagram:
     def _validate_order(self) -> None:
         """RFC 9000 §12.2: packet with short header must come last, and
         encryption-level order must be non-decreasing."""
-        ranks = {
-            PacketType.INITIAL: 0,
-            PacketType.HANDSHAKE: 1,
-            PacketType.ONE_RTT: 2,
-            PacketType.RETRY: 0,
-        }
-        order = [ranks[p.packet_type] for p in self.packets]
+        if len(self.packets) == 1:
+            return
+        order = [_COALESCE_RANK[p.packet_type] for p in self.packets]
         if order != sorted(order):
             raise ValueError(
                 "coalesced packets must be ordered Initial < Handshake < 1-RTT"
@@ -52,7 +61,11 @@ class Datagram:
 
     @property
     def size(self) -> int:
-        return sum(packet.wire_size() for packet in self.packets)
+        cached = self._size
+        if cached is None:
+            cached = sum(packet.wire_size() for packet in self.packets)
+            self._size = cached
+        return cached
 
     @property
     def ack_eliciting(self) -> bool:
@@ -65,7 +78,11 @@ class Datagram:
         """Whether any packet carries TLS handshake data — used to
         model the client-side processing penalty for coalesced
         ACK–ServerHello flights."""
-        return any(p.crypto_frames() for p in self.packets)
+        cached = self._contains_crypto
+        if cached is None:
+            cached = any(p.crypto_frames() for p in self.packets)
+            self._contains_crypto = cached
+        return cached
 
     def describe(self) -> str:
         return " | ".join(packet.describe() for packet in self.packets)

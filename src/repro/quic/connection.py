@@ -10,6 +10,7 @@ by a deterministic event loop and parameterized by an
 
 from __future__ import annotations
 
+import bisect
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -52,7 +53,7 @@ MAX_PTO_COUNT = 8
 MAX_FRAME_PAYLOAD = 1100
 
 
-@dataclass
+@dataclass(slots=True)
 class ConnectionStats:
     """Timing observables of one connection, all in ms of simulated
     time from connection start."""
@@ -102,32 +103,68 @@ class ConnectionStats:
         return self.response_complete_ms is not None and self.aborted is None
 
 
-@dataclass
+class PnRangeTracker:
+    """Incrementally compressed record of received packet numbers.
+
+    Packets overwhelmingly arrive in order, so extending the newest
+    range is the O(1) fast path; building an ACK frame reads the
+    ranges straight off instead of re-sorting the full receive history
+    on every ACK sent (the aioquic ``RangeSet`` idiom).
+    """
+
+    __slots__ = ("_ranges",)
+
+    def __init__(self) -> None:
+        #: Inclusive ``[low, high]`` ranges sorted ascending by low.
+        self._ranges: List[List[int]] = []
+
+    def add(self, pn: int) -> None:
+        ranges = self._ranges
+        if ranges:
+            last = ranges[-1]
+            if pn == last[1] + 1:  # in-order arrival
+                last[1] = pn
+                return
+            if last[0] <= pn <= last[1]:  # duplicate of newest range
+                return
+        else:
+            ranges.append([pn, pn])
+            return
+        # Reordered arrival: find the insertion point (rare path).
+        idx = bisect.bisect_right(ranges, pn, key=lambda r: r[0])
+        if idx > 0 and ranges[idx - 1][1] >= pn - 1:
+            prev = ranges[idx - 1]
+            if pn <= prev[1]:
+                return  # duplicate
+            prev[1] = pn
+            idx -= 1
+        else:
+            ranges.insert(idx, [pn, pn])
+        # Merge forward if the next range now touches.
+        while idx + 1 < len(ranges) and ranges[idx + 1][0] <= ranges[idx][1] + 1:
+            ranges[idx][1] = max(ranges[idx][1], ranges[idx + 1][1])
+            del ranges[idx + 1]
+
+    def __bool__(self) -> bool:
+        return bool(self._ranges)
+
+    def __len__(self) -> int:
+        return len(self._ranges)
+
+    def ranges_descending(self) -> Tuple[Tuple[int, int], ...]:
+        """ACK-frame shape: ``(low, high)`` sorted descending by high."""
+        return tuple((low, high) for low, high in reversed(self._ranges))
+
+
+@dataclass(slots=True)
 class _AckSpaceState:
-    received_pns: List[int] = field(default_factory=list)
+    received_pns: PnRangeTracker = field(default_factory=PnRangeTracker)
     needs_ack: bool = False
     eliciting_since_ack: int = 0
     #: Arrival time of the oldest unacknowledged ack-eliciting packet
     #: (to report ack_delay honestly).
     oldest_unacked_ms: Optional[float] = None
 
-
-def ranges_from_pns(pns: Sequence[int]) -> Tuple[Tuple[int, int], ...]:
-    """Compress packet numbers into descending ACK ranges."""
-    if not pns:
-        raise ValueError("cannot build ACK ranges from no packet numbers")
-    ordered = sorted(set(pns))
-    ranges: List[Tuple[int, int]] = []
-    low = high = ordered[0]
-    for pn in ordered[1:]:
-        if pn == high + 1:
-            high = pn
-        else:
-            ranges.append((low, high))
-            low = high = pn
-    ranges.append((low, high))
-    ranges.reverse()
-    return tuple(ranges)
 
 
 class Endpoint:
@@ -150,6 +187,9 @@ class Endpoint:
         self.qlog = qlog if qlog is not None else QlogWriter(
             name, profile.exposure_policy(), self.rng
         )
+        #: Hoisted qlog retention flag — consulted per packet on both
+        #: the send and receive paths.
+        self._qlog_record = self.qlog.record_events
         self.recovery = Recovery(
             RecoveryConfig(
                 default_pto_ms=profile.default_pto_ms,
@@ -199,6 +239,10 @@ class Endpoint:
         #: derivation and signature verification — paid once.
         self._crypto_penalty_paid = False
         self._pending_packets: List[Packet] = []
+        #: While a receive pass (or timer callback that ends with an
+        #: explicit re-arm) is running, sends skip the per-call loss
+        #: timer re-arm — the pass re-arms once at its end.
+        self._suspend_rearm = False
         self._has_handshake_keys = not self.is_client
         self._has_app_keys = not self.is_client
         self.handshake_complete = False
@@ -261,11 +305,15 @@ class Endpoint:
         if self._should_drop_invalid(dgram):
             self.stats.invalid_drops += 1
             return
-        for packet in dgram.packets:
-            self._process_packet(packet, dgram)
-        self._drain_pending()
-        self.after_datagram(dgram)
-        self._maybe_send_acks()
+        self._suspend_rearm = True
+        try:
+            for packet in dgram.packets:
+                self._process_packet(packet, dgram)
+            self._drain_pending()
+            self.after_datagram(dgram)
+            self._maybe_send_acks()
+        finally:
+            self._suspend_rearm = False
         self._rearm_loss_timer()
 
     def _should_drop_invalid(self, dgram: Datagram) -> bool:
@@ -326,7 +374,7 @@ class Endpoint:
             self._pending_packets.append(packet)
             return
         ack_state = self._ack_state[space]
-        ack_state.received_pns.append(packet.packet_number)
+        ack_state.received_pns.add(packet.packet_number)
         if packet.ack_eliciting:
             ack_state.needs_ack = True
             ack_state.eliciting_since_ack += 1
@@ -351,6 +399,8 @@ class Endpoint:
                 self.abort(f"peer closed: {frame.reason}")
                 return
         self._record_first_ack(packet, dgram)
+        if not self._qlog_record:
+            return
         extra_data = {}
         acks = packet.ack_frames()
         if acks:
@@ -532,7 +582,7 @@ class Endpoint:
             if delay is None:
                 delay = self._ack_delay_for(space)
             ack = AckFrame(
-                ranges=ranges_from_pns(ack_state.received_pns),
+                ranges=ack_state.received_pns.ranges_descending(),
                 ack_delay_ms=delay,
             )
             all_frames = (ack,) + all_frames
@@ -607,7 +657,8 @@ class Endpoint:
                 group = pad_initial(group, INITIAL_MIN_DATAGRAM)
             dgram = Datagram(packets=tuple(group), sender=self.name)
             self._send_datagram(dgram, is_probe=is_probe)
-        self._rearm_loss_timer()
+        if not self._suspend_rearm:
+            self._rearm_loss_timer()
 
     def _pad_server_datagram(self, group: List[Packet]) -> bool:
         """Server-side padding policy (overridden for padded IACK)."""
@@ -629,19 +680,20 @@ class Endpoint:
                 isinstance(f, PingFrame) for f in packet.frames
             ):
                 self._initial_ping_pns.setdefault(packet.packet_number, False)
-            self.qlog.log_packet(
-                PacketEvent(
-                    time_ms=self.loop.now,
-                    category=EventCategory.TRANSPORT,
-                    name="packet_sent",
-                    packet_type=packet.packet_type.value,
-                    packet_number=packet.packet_number,
-                    space=packet.space.name.lower(),
-                    size=packet.wire_size(),
-                    ack_eliciting=packet.ack_eliciting,
-                    frames=tuple(f.describe() for f in packet.frames),
+            if self._qlog_record:
+                self.qlog.log_packet(
+                    PacketEvent(
+                        time_ms=self.loop.now,
+                        category=EventCategory.TRANSPORT,
+                        name="packet_sent",
+                        packet_type=packet.packet_type.value,
+                        packet_number=packet.packet_number,
+                        space=packet.space.name.lower(),
+                        size=packet.wire_size(),
+                        ack_eliciting=packet.ack_eliciting,
+                        frames=tuple(f.describe() for f in packet.frames),
+                    )
                 )
-            )
         self.stats.datagrams_sent += 1
         self._note_datagram_sent(size)
         self.transmit(dgram, size)
@@ -716,13 +768,23 @@ class Endpoint:
     def _rearm_loss_timer(self) -> None:
         if self.closed:
             return
-        if self._loss_timer is not None:
-            self._loss_timer.cancel()
-            self._loss_timer = None
         deadline = self.recovery.loss_detection_deadline(self.loop.now)
+        timer = self._loss_timer
         if deadline is None:
+            if timer is not None:
+                timer.cancel()
+                self._loss_timer = None
             return
         when = max(deadline[0], self.loop.now)
+        if timer is not None and not timer.cancelled:
+            if timer.when <= when:
+                # The armed timer fires at or before the new deadline;
+                # keep it — :meth:`_on_loss_timer` re-checks the actual
+                # deadline at fire time and re-arms when it woke early.
+                # This avoids a cancel + allocation on the (very common)
+                # case of the deadline moving later.
+                return
+            timer.cancel()
         self._loss_timer = self.loop.call_at(when, self._on_loss_timer)
 
     def _on_loss_timer(self) -> None:
@@ -736,18 +798,22 @@ class Endpoint:
         if when > self.loop.now + 1e-6:
             self._rearm_loss_timer()
             return
-        if kind == "loss":
-            lost_by_space: Dict[Space, List[SentPacket]] = {}
-            for sp_space, sp in self.recovery.detect_lost_on_timer(self.loop.now):
-                lost_by_space.setdefault(sp_space, []).append(sp)
-            for sp_space, lost in lost_by_space.items():
-                self._on_packets_lost(sp_space, lost)
-        else:
-            self.recovery.on_pto_fired()
-            if self.recovery.pto_count > MAX_PTO_COUNT:
-                self.abort("too many consecutive PTOs")
-                return
-            self._on_pto(space)
+        self._suspend_rearm = True
+        try:
+            if kind == "loss":
+                lost_by_space: Dict[Space, List[SentPacket]] = {}
+                for sp_space, sp in self.recovery.detect_lost_on_timer(self.loop.now):
+                    lost_by_space.setdefault(sp_space, []).append(sp)
+                for sp_space, lost in lost_by_space.items():
+                    self._on_packets_lost(sp_space, lost)
+            else:
+                self.recovery.on_pto_fired()
+                if self.recovery.pto_count > MAX_PTO_COUNT:
+                    self.abort("too many consecutive PTOs")
+                    return
+                self._on_pto(space)
+        finally:
+            self._suspend_rearm = False
         self._rearm_loss_timer()
 
     def _on_pto(self, space: Space) -> None:

@@ -41,7 +41,7 @@ class FrameDecodeError(ValueError):
     """Raised when bytes cannot be parsed as a QUIC frame."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Frame:
     """Base class for all frames."""
 
@@ -60,7 +60,7 @@ class Frame:
         return type(self).__name__
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PaddingFrame(Frame):
     """A run of PADDING bytes (each padding byte is its own frame on
     the wire; we aggregate a run into one object)."""
@@ -85,7 +85,7 @@ class PaddingFrame(Frame):
         return f"PADDING[{self.length}]"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PingFrame(Frame):
     """PING: ack-eliciting, carries no information (RFC 9000 §19.2)."""
 
@@ -99,7 +99,7 @@ class PingFrame(Frame):
         return "PING"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AckFrame(Frame):
     """ACK with ranges and an acknowledgment delay (RFC 9000 §19.3).
 
@@ -183,7 +183,7 @@ class AckFrame(Frame):
         return f"ACK[{parts}]"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CryptoFrame(Frame):
     """CRYPTO carrying a slice of the TLS handshake stream (§19.6).
 
@@ -225,7 +225,7 @@ class CryptoFrame(Frame):
         return f"CRYPTO[{tag} {self.offset}+{self.length}]"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StreamFrame(Frame):
     """STREAM data (§19.8). Always encoded with OFF and LEN bits set."""
 
@@ -272,7 +272,7 @@ class StreamFrame(Frame):
         return f"STREAM[{self.stream_id} {self.offset}+{self.length}{fin}{tag}]"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MaxDataFrame(Frame):
     """MAX_DATA connection flow-control update (§19.9).
 
@@ -296,7 +296,7 @@ class MaxDataFrame(Frame):
         return f"MAX_DATA[{self.maximum}]"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HandshakeDoneFrame(Frame):
     """HANDSHAKE_DONE (§19.20): server-only, confirms the handshake."""
 
@@ -310,7 +310,7 @@ class HandshakeDoneFrame(Frame):
         return "HANDSHAKE_DONE"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NewConnectionIdFrame(Frame):
     """NEW_CONNECTION_ID (§19.15); CID is carried as opaque bytes."""
 
@@ -350,7 +350,7 @@ class NewConnectionIdFrame(Frame):
         return f"NEW_CONNECTION_ID[seq={self.sequence} rpt={self.retire_prior_to}]"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RetireConnectionIdFrame(Frame):
     """RETIRE_CONNECTION_ID (§19.16)."""
 
@@ -370,7 +370,7 @@ class RetireConnectionIdFrame(Frame):
         return f"RETIRE_CONNECTION_ID[{self.sequence}]"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ConnectionCloseFrame(Frame):
     """CONNECTION_CLOSE (§19.19, transport variant 0x1c)."""
 

@@ -52,9 +52,15 @@ class PacketType(enum.Enum):
         raise ValueError("Retry packets carry no packet number")
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
-    """One QUIC packet: a type, a packet number, and frames."""
+    """One QUIC packet: a type, a packet number, and frames.
+
+    Frames are fixed after construction (padding helpers build new
+    packets), so the payload/header byte counts are computed once and
+    cached — ``wire_size()`` sits on the per-datagram hot path of both
+    the recovery bookkeeping and the link model.
+    """
 
     packet_type: PacketType
     packet_number: int
@@ -64,6 +70,19 @@ class Packet:
     token: bytes = b""
     #: Packet-number encoding length in bytes (1..4).
     pn_length: int = 2
+    _payload_size: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _header_size: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _ack_eliciting: Optional[bool] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _space: Space = field(default=Space.INITIAL, init=False, repr=False, compare=False)
+    _wire_size: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.packet_number < 0:
@@ -71,15 +90,20 @@ class Packet:
         if not 1 <= self.pn_length <= 4:
             raise ValueError("packet number length must be 1..4 bytes")
         self.frames = tuple(self.frames)
+        self._space = self.packet_type.space
 
     @property
     def space(self) -> Space:
-        return self.packet_type.space
+        return self._space
 
     @property
     def ack_eliciting(self) -> bool:
         """RFC 9002 §2: a packet is ack-eliciting if any frame is."""
-        return any(frame.ack_eliciting for frame in self.frames)
+        cached = self._ack_eliciting
+        if cached is None:
+            cached = any(frame.ack_eliciting for frame in self.frames)
+            self._ack_eliciting = cached
+        return cached
 
     @property
     def is_long_header(self) -> bool:
@@ -87,7 +111,11 @@ class Packet:
                                     PacketType.RETRY)
 
     def payload_size(self) -> int:
-        return sum(frame.wire_size() for frame in self.frames)
+        size = self._payload_size
+        if size is None:
+            size = sum(frame.wire_size() for frame in self.frames)
+            self._payload_size = size
+        return size
 
     def header_size(self) -> int:
         """Byte-accurate header size for this packet's shape.
@@ -97,6 +125,9 @@ class Packet:
         field (varint covering pn + payload + tag), packet number.
         Short header (§17.3): first byte, DCID, packet number.
         """
+        cached = self._header_size
+        if cached is not None:
+            return cached
         payload = self.payload_size()
         if self.is_long_header:
             size = 1 + 4 + 1 + len(self.dcid) + 1 + len(self.scid)
@@ -104,12 +135,18 @@ class Packet:
                 size += varint_size(len(self.token)) + len(self.token)
             size += varint_size(self.pn_length + payload + AEAD_TAG_SIZE)
             size += self.pn_length
-            return size
-        return 1 + len(self.dcid) + self.pn_length
+        else:
+            size = 1 + len(self.dcid) + self.pn_length
+        self._header_size = size
+        return size
 
     def wire_size(self) -> int:
         """Total bytes this packet occupies in a datagram."""
-        return self.header_size() + self.payload_size() + AEAD_TAG_SIZE
+        size = self._wire_size
+        if size is None:
+            size = self.header_size() + self.payload_size() + AEAD_TAG_SIZE
+            self._wire_size = size
+        return size
 
     # -- content inspection helpers used by endpoints and analyses ----
 
@@ -143,7 +180,7 @@ class Packet:
         return f"{name}[{self.packet_number}]: {inner}"
 
 
-@dataclass
+@dataclass(slots=True)
 class RetryPacket:
     """A Retry packet (RFC 9000 §17.2.5); used by the Retry extension.
 

@@ -51,8 +51,11 @@ PACKET_THRESHOLD = 3
 #: RFC 9002 time reordering threshold (kTimeThreshold), 9/8.
 TIME_THRESHOLD = 9.0 / 8.0
 
+#: All packet number spaces in index order (mirrors the Space IntEnum).
+_ALL_SPACES = (Space.INITIAL, Space.HANDSHAKE, Space.APPLICATION)
 
-@dataclass
+
+@dataclass(slots=True)
 class RecoveryConfig:
     """Tunables and quirk switches for one endpoint's recovery."""
 
@@ -107,6 +110,9 @@ class RttEstimator:
         self.rttvar: Optional[float] = None
         self.samples = 0
         self.misinitialized = False
+        #: Bumped on every accepted sample; lets PTO consumers memoize
+        #: derived values until the estimate actually changes.
+        self.version = 0
 
     @property
     def has_sample(self) -> bool:
@@ -124,6 +130,7 @@ class RttEstimator:
             raise ValueError(f"RTT sample must be positive: {sample_ms}")
         self.latest_rtt = sample_ms
         self.samples += 1
+        self.version += 1
         if self.samples == 1:
             if (
                 self._misinit_probability > 0.0
@@ -172,7 +179,7 @@ class RttEstimator:
         return pto
 
 
-@dataclass
+@dataclass(slots=True)
 class SentPacket:
     """Bookkeeping for one sent packet (RFC 9002 A.1.1)."""
 
@@ -187,7 +194,7 @@ class SentPacket:
     declared_lost: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class SpaceState:
     """Per-packet-number-space recovery state."""
 
@@ -197,15 +204,16 @@ class SpaceState:
     loss_time_ms: Optional[float] = None
     time_of_last_ack_eliciting_ms: Optional[float] = None
     discarded: bool = False
+    #: Live count of ack-eliciting packets still in flight (not acked,
+    #: not declared lost) — consulted on every timer re-arm, so it is
+    #: maintained incrementally instead of scanning ``sent``.
+    ack_eliciting_in_flight_count: int = 0
 
     def ack_eliciting_in_flight(self) -> bool:
-        return any(
-            sp.ack_eliciting and sp.in_flight and not sp.declared_lost
-            for sp in self.sent.values()
-        )
+        return self.ack_eliciting_in_flight_count > 0
 
 
-@dataclass
+@dataclass(slots=True)
 class AckResult:
     """Outcome of processing one ACK frame."""
 
@@ -231,11 +239,21 @@ class Recovery:
             misinit_probability=config.misinit_srtt_probability,
             misinit_srtt_ms=config.misinit_srtt_ms,
         )
-        self.spaces: Dict[Space, SpaceState] = {
-            Space.INITIAL: SpaceState(),
-            Space.HANDSHAKE: SpaceState(),
-            Space.APPLICATION: SpaceState(),
-        }
+        # Indexed by Space (an IntEnum): list indexing is measurably
+        # cheaper than enum-keyed dict hashing on the per-packet path.
+        self.spaces: List[SpaceState] = [
+            SpaceState(), SpaceState(), SpaceState(),
+        ]
+        #: Per-space memo of the backoff-free PTO, tagged with the
+        #: estimator version it was computed at.
+        self._pto_cache: List[Tuple[int, float]] = [(-1, 0.0)] * 3
+        #: Version of the recovery state that the loss/PTO deadline
+        #: depends on; bumped by every mutation. Timer re-arms between
+        #: mutations then reuse the memoized deadline.
+        self._state_version = 0
+        self._deadline_cache: Optional[
+            Tuple[int, Optional[Tuple[float, Space, str]]]
+        ] = None
         self.pto_count = 0
         #: Anchor for the anti-deadlock PTO: the last time the PTO
         #: machinery was "reset" (ack-eliciting send, forward-progress
@@ -281,10 +299,13 @@ class Recovery:
         )
         state.sent[packet.packet_number] = sp
         if packet.ack_eliciting:
+            if in_flight:
+                state.ack_eliciting_in_flight_count += 1
             state.time_of_last_ack_eliciting_ms = now_ms
             self.last_pto_reset_ms = max(self.last_pto_reset_ms, now_ms)
         if is_probe:
             self.probes_sent += 1
+        self._state_version += 1
         return sp
 
     # ------------------------------------------------------------------
@@ -302,15 +323,28 @@ class Recovery:
         if state.discarded:
             return AckResult(newly_acked=[], rtt_sample_ms=None, lost=[])
         newly_acked: List[SentPacket] = []
-        for pn in ack.acked_packet_numbers():
-            sp = state.sent.get(pn)
-            if sp is not None:
+        sent = state.sent
+        for low, high in ack.ranges:  # descending by high
+            span = high - low + 1
+            if span > len(sent):
+                # Wide range over a small outstanding set (the common
+                # steady-state shape: every ACK re-covers the whole
+                # history): scan the sent map instead of the range.
+                hits = sorted(
+                    (pn for pn in sent if low <= pn <= high), reverse=True
+                )
+            else:
+                hits = [pn for pn in range(high, low - 1, -1) if pn in sent]
+            for pn in hits:
+                sp = sent[pn]
                 newly_acked.append(sp)
                 if sp.declared_lost:
                     # The "lost" packet was delivered after all: the
                     # retransmission we triggered was spurious.
                     self.spurious_retransmissions += 1
-                del state.sent[pn]
+                elif sp.ack_eliciting and sp.in_flight:
+                    state.ack_eliciting_in_flight_count -= 1
+                del sent[pn]
         rtt_sample: Optional[float] = None
         if newly_acked:
             largest_newly = max(sp.packet_number for sp in newly_acked)
@@ -337,6 +371,7 @@ class Recovery:
                 self.pto_count = 0
                 self.last_pto_reset_ms = max(self.last_pto_reset_ms, now_ms)
         lost = self._detect_lost(space, now_ms)
+        self._state_version += 1
         return AckResult(newly_acked=newly_acked, rtt_sample_ms=rtt_sample, lost=lost)
 
     # ------------------------------------------------------------------
@@ -373,18 +408,21 @@ class Recovery:
                 or state.largest_acked - pn >= self.config.packet_threshold
             ):
                 sp.declared_lost = True
+                if sp.ack_eliciting and sp.in_flight:
+                    state.ack_eliciting_in_flight_count -= 1
                 sp.in_flight = False
                 lost.append(sp)
             else:
                 candidate = sp.time_sent_ms + loss_delay
                 if state.loss_time_ms is None or candidate < state.loss_time_ms:
                     state.loss_time_ms = candidate
+        self._state_version += 1
         return lost
 
     def detect_lost_on_timer(self, now_ms: float) -> List[Tuple[Space, SentPacket]]:
         """Time-threshold loss triggered by the loss timer."""
         out: List[Tuple[Space, SentPacket]] = []
-        for space, state in self.spaces.items():
+        for space, state in zip(_ALL_SPACES, self.spaces):
             if state.discarded or state.loss_time_ms is None:
                 continue
             if state.loss_time_ms <= now_ms + 1e-9:
@@ -398,27 +436,44 @@ class Recovery:
 
     def set_handshake_complete(self) -> None:
         self._handshake_complete = True
+        self._state_version += 1
 
     def pto_for_space(self, space: Space) -> float:
-        """Backoff-free PTO applicable to one space."""
-        return self.estimator.pto_base_ms(
+        """Backoff-free PTO applicable to one space.
+
+        Memoized against the estimator version: the PTO is queried on
+        every timer re-arm but only changes when a new RTT sample is
+        accepted.
+        """
+        version, cached = self._pto_cache[space]
+        if version == self.estimator.version:
+            return cached
+        value = self.estimator.pto_base_ms(
             default_pto_ms=self.config.default_pto_ms,
             granularity_ms=self.config.granularity_ms,
             include_max_ack_delay=(space is Space.APPLICATION),
             max_ack_delay_ms=self.config.max_ack_delay_ms,
         )
+        self._pto_cache[space] = (self.estimator.version, value)
+        return value
 
     def earliest_loss_time(self) -> Optional[Tuple[float, Space]]:
         best: Optional[Tuple[float, Space]] = None
-        for space, state in self.spaces.items():
+        for space, state in zip(_ALL_SPACES, self.spaces):
             if state.discarded or state.loss_time_ms is None:
                 continue
             if best is None or state.loss_time_ms < best[0]:
                 best = (state.loss_time_ms, space)
         return best
 
-    def pto_time_and_space(self, now_ms: float) -> Optional[Tuple[float, Space]]:
-        """When and in which space the next PTO fires, or ``None``."""
+    def pto_time_and_space(
+        self, now_ms: float
+    ) -> Optional[Tuple[float, Space, bool]]:
+        """When and in which space the next PTO fires, or ``None``.
+
+        The third element flags a **time-dependent** deadline (the
+        anti-deadlock branch clamps against ``now_ms``); such results
+        must not be memoized by callers."""
         backoff = 2 ** self.pto_count
         best: Optional[Tuple[float, Space]] = None
         any_in_flight = False
@@ -438,11 +493,13 @@ class Recovery:
             if best is None or when < best[0]:
                 best = (when, space)
         if best is not None:
-            return best
+            return (best[0], best[1], False)
         if not any_in_flight and self.is_client and not self._handshake_complete:
             # Anti-deadlock PTO (RFC 9002 §6.2.2.1): nothing in flight
             # but the handshake is incomplete — e.g. right after an
-            # instant ACK removed the ClientHello from flight.
+            # instant ACK removed the ClientHello from flight. This
+            # branch depends on the query time (``max(when, now)``) and
+            # must not be memoized by callers.
             space = (
                 Space.HANDSHAKE
                 if not self.spaces[Space.HANDSHAKE].discarded
@@ -459,35 +516,50 @@ class Recovery:
                 if anchor is None:
                     anchor = now_ms
                 when = anchor + self.config.default_pto_ms * backoff
-                return (max(when, now_ms), space)
+                return (max(when, now_ms), space, True)
             # Anchor at the last PTO reset, NOT the query time —
             # otherwise every timer re-arm would push the deadline
             # forward and the probe would never fire.
             when = self.last_pto_reset_ms + self.pto_for_space(space) * backoff
-            return (max(when, now_ms), space)
+            return (max(when, now_ms), space, True)
         return None
 
     def _last_ack_eliciting_any(self) -> Optional[float]:
         times = [
             st.time_of_last_ack_eliciting_ms
-            for st in self.spaces.values()
+            for st in self.spaces
             if st.time_of_last_ack_eliciting_ms is not None
         ]
         return max(times) if times else None
 
     def loss_detection_deadline(self, now_ms: float) -> Optional[Tuple[float, Space, str]]:
         """Next timer: ``(when, space, kind)`` with kind ``"loss"`` or
-        ``"pto"``; ``None`` when no timer should be armed."""
+        ``"pto"``; ``None`` when no timer should be armed.
+
+        Memoized against :attr:`_state_version`: timers re-arm far more
+        often than the recovery state changes. The anti-deadlock PTO is
+        the one ``now``-dependent branch and is never cached."""
+        cached = self._deadline_cache
+        if cached is not None and cached[0] == self._state_version:
+            return cached[1]
+        self._deadline_cache = None
         loss = self.earliest_loss_time()
         if loss is not None:
-            return (loss[0], loss[1], "loss")
+            result: Optional[Tuple[float, Space, str]] = (loss[0], loss[1], "loss")
+            self._deadline_cache = (self._state_version, result)
+            return result
         pto = self.pto_time_and_space(now_ms)
-        if pto is not None:
-            return (pto[0], pto[1], "pto")
-        return None
+        if pto is None:
+            self._deadline_cache = (self._state_version, None)
+            return None
+        result = (pto[0], pto[1], "pto")
+        if not pto[2]:  # time-dependent deadlines are never cached
+            self._deadline_cache = (self._state_version, result)
+        return result
 
     def on_pto_fired(self) -> None:
         self.pto_count += 1
+        self._state_version += 1
 
     # ------------------------------------------------------------------
     # key / space lifecycle
@@ -501,14 +573,16 @@ class Recovery:
         state.sent.clear()
         state.loss_time_ms = None
         state.time_of_last_ack_eliciting_ms = None
+        state.ack_eliciting_in_flight_count = 0
         self.pto_count = 0
         if now_ms is not None:
             self.last_pto_reset_ms = max(self.last_pto_reset_ms, now_ms)
+        self._state_version += 1
 
     def bytes_in_flight(self) -> int:
         return sum(
             sp.size
-            for st in self.spaces.values()
+            for st in self.spaces
             if not st.discarded
             for sp in st.sent.values()
             if sp.in_flight and not sp.declared_lost

@@ -1,0 +1,41 @@
+"""Parallel experiment-execution runtime.
+
+Public surface:
+
+* :class:`MatrixRunner` — fan scenario × seed cells out over worker
+  processes (or run them in-process) with deterministic seeding and
+  stable result order.
+* :class:`ArtifactLevel` / :class:`RunArtifacts` — selectable per-run
+  retention (``stats`` / ``trace`` / ``full``).
+* :class:`ResultCache` — sweep-scoped (scenario, seed, level) memo.
+* :func:`parallel_map` — coarse-grained task fan-out for the wild
+  measurement pipelines.
+
+See ``PERFORMANCE.md`` at the repository root for the complete guide.
+"""
+
+from repro.runtime.artifacts import ArtifactLevel, RunArtifacts, execute_cell
+from repro.runtime.cache import ResultCache, loss_pattern_key, scenario_key
+from repro.runtime.matrix import (
+    Cell,
+    MatrixRunner,
+    default_workers,
+    get_shared_input,
+    parallel_map,
+    set_shared_input,
+)
+
+__all__ = [
+    "ArtifactLevel",
+    "Cell",
+    "MatrixRunner",
+    "ResultCache",
+    "RunArtifacts",
+    "default_workers",
+    "execute_cell",
+    "get_shared_input",
+    "loss_pattern_key",
+    "parallel_map",
+    "scenario_key",
+    "set_shared_input",
+]

@@ -1,0 +1,145 @@
+"""Run artifacts with selectable retention levels.
+
+The seed pipeline kept everything a run produced — live
+``ClientConnection``/``ServerConnection`` objects, both qlog writers,
+and the full packet trace — in every :class:`~repro.interop.runner
+.RunResult`, even for experiments that only read two numbers out of
+``ConnectionStats``. :class:`RunArtifacts` is the slim, picklable
+replacement the parallel runtime ships across process boundaries.
+
+Three levels:
+
+``stats``
+    Connection stats and the run duration only. Connection behavior is
+    bit-identical to a full run (the qlog writers keep consuming their
+    exposure rng draws without storing events).
+``trace``
+    Adds the per-link packet trace (with payloads) and both endpoints'
+    qlog event lists — everything the qlog/trace analyses consume.
+``full``
+    Adds the live endpoint objects via an embedded
+    :class:`~repro.interop.runner.RunResult`. Live endpoints hold
+    transport closures and cannot cross a process boundary, so this
+    level is restricted to in-process execution.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.interop.runner import RunResult, Runner, Scenario
+from repro.qlog.events import QlogEvent
+from repro.quic.connection import ConnectionStats
+from repro.sim.trace import TraceRecord, Tracer
+
+
+class ArtifactLevel(enum.Enum):
+    """How much of a run's output is retained."""
+
+    STATS = "stats"
+    TRACE = "trace"
+    FULL = "full"
+
+    @classmethod
+    def coerce(cls, value: Union["ArtifactLevel", str]) -> "ArtifactLevel":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise ValueError(
+                f"unknown artifact level {value!r}; expected one of "
+                f"{[lvl.value for lvl in cls]}"
+            ) from None
+
+    def covers(self, required: "ArtifactLevel") -> bool:
+        """Whether results at this level satisfy a ``required`` level
+        (``full`` ⊇ ``trace`` ⊇ ``stats``)."""
+        order = (ArtifactLevel.STATS, ArtifactLevel.TRACE, ArtifactLevel.FULL)
+        return order.index(self) >= order.index(required)
+
+
+@dataclass(slots=True)
+class RunArtifacts:
+    """Picklable artifacts of one emulated connection.
+
+    ``scenario`` is ``None`` only transiently on the process-pool wire
+    (the dispatching parent reattaches it on receipt).
+    """
+
+    scenario: Optional[Scenario]
+    seed: int
+    level: ArtifactLevel
+    client_stats: ConnectionStats
+    server_stats: ConnectionStats
+    duration_ms: float
+    trace_records: Optional[List[TraceRecord]] = None
+    client_qlog_events: Optional[List[QlogEvent]] = None
+    server_qlog_events: Optional[List[QlogEvent]] = None
+    #: Only populated at :attr:`ArtifactLevel.FULL` (in-process runs).
+    result: Optional[RunResult] = field(default=None, repr=False)
+
+    # -- RunResult-compatible observables ------------------------------
+
+    @property
+    def ttfb_ms(self) -> Optional[float]:
+        return self.client_stats.ttfb_relative_ms
+
+    @property
+    def response_ttfb_ms(self) -> Optional[float]:
+        """First payload byte on the request stream (Appendix F)."""
+        return self.client_stats.response_ttfb_relative_ms
+
+    @property
+    def completed(self) -> bool:
+        return self.client_stats.completed
+
+    @property
+    def first_pto_ms(self) -> Optional[float]:
+        return self.client_stats.first_pto_ms
+
+    @property
+    def tracer(self) -> Tracer:
+        """The packet trace as a filterable :class:`Tracer` (levels
+        ``trace`` and ``full`` only)."""
+        if self.result is not None:
+            return self.result.tracer
+        if self.trace_records is None:
+            raise ValueError(
+                f"artifact level {self.level.value!r} retains no packet trace"
+            )
+        tracer = Tracer()
+        tracer._records = self.trace_records
+        return tracer
+
+
+def execute_cell(
+    scenario: Scenario,
+    seed: int,
+    level: ArtifactLevel,
+    runner: Optional[Runner] = None,
+) -> RunArtifacts:
+    """Run one (scenario, seed) cell at the requested artifact level."""
+    if runner is None:
+        runner = Runner()
+    keep = level is not ArtifactLevel.STATS
+    result = runner.run_once(
+        scenario, seed=seed, capture_trace=keep, record_qlog=keep
+    )
+    artifacts = RunArtifacts(
+        scenario=scenario,
+        seed=result.seed,
+        level=level,
+        client_stats=result.client_stats,
+        server_stats=result.server_stats,
+        duration_ms=result.duration_ms,
+    )
+    if keep:
+        artifacts.trace_records = result.tracer.records
+        artifacts.client_qlog_events = result.client_qlog.events
+        artifacts.server_qlog_events = result.server_qlog.events
+    if level is ArtifactLevel.FULL:
+        artifacts.result = result
+    return artifacts

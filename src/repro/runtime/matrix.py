@@ -1,0 +1,303 @@
+"""Parallel execution of scenario matrices.
+
+The paper's results come from sweeping a scenario matrix — 8 clients ×
+{WFC, IACK} × HTTP versions × RTTs × loss patterns, each repeated with
+distinct seeds (§3). Every cell is an independent deterministic
+simulation, so the sweep is embarrassingly parallel:
+
+* :class:`MatrixRunner` expands ``(scenario × seed)`` cells, fans them
+  out over a ``ProcessPoolExecutor`` in contiguous chunks, and returns
+  results in cell order. Seeds are assigned ``base_seed + repetition``
+  exactly like the serial :meth:`Runner.run_repetitions`, so per-seed
+  ``ConnectionStats`` are bit-identical to the serial path regardless
+  of worker count or chunking.
+* A shared :class:`~repro.runtime.cache.ResultCache` (optional) memoizes
+  cells by scenario *value*, so sweeps that revisit shared baselines
+  (fig12 ⊃ fig6, fig13 ⊃ fig7) skip recomputation.
+* :func:`parallel_map` is the generic coarse-grained fan-out used by
+  the wild-measurement experiments (one task per vantage/day pass).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.interop.runner import Scenario
+from repro.runtime.artifacts import ArtifactLevel, RunArtifacts, execute_cell
+from repro.runtime.cache import ResultCache
+from repro.runtime.worker import IndexedCell, call_task, run_cell_chunk
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One point of the scenario matrix."""
+
+    scenario: Scenario
+    seed: int
+
+
+def _group_by_scenario(cells: Sequence[Any]) -> List[Tuple[Scenario, List[Tuple[int, int]]]]:
+    """Collapse consecutive same-scenario cells so each scenario object
+    is pickled once per chunk instead of once per repetition."""
+    groups: List[Tuple[Scenario, List[Tuple[int, int]]]] = []
+    last_id: Optional[int] = None
+    for index, scenario, seed in cells:
+        if last_id != id(scenario):
+            groups.append((scenario, []))
+            last_id = id(scenario)
+        groups[-1][1].append((index, seed))
+    return groups
+
+
+def default_workers() -> int:
+    """Worker count when the caller passes ``workers=None`` ("parallel,
+    you pick"): the CPU count, capped to keep fork storms bounded."""
+    return min(8, os.cpu_count() or 1)
+
+
+def _mp_context():
+    """Fork where available (cheap, inherits the parent's imports);
+    the default context elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class MatrixRunner:
+    """Executes scenario cells serially or across worker processes.
+
+    ``workers <= 1`` executes in-process (no pool, no pickling) — the
+    deterministic reference path. ``workers >= 2`` dispatches chunks to
+    a lazily created process pool that is reused across calls; close
+    the runner (or use it as a context manager) to reap the pool.
+    ``workers=None`` picks :func:`default_workers`.
+
+    ``artifact_level`` selects what each run retains (see
+    :class:`~repro.runtime.artifacts.ArtifactLevel`); ``full`` keeps
+    live endpoint objects and therefore forces in-process execution.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = 0,
+        artifact_level: Union[ArtifactLevel, str] = ArtifactLevel.STATS,
+        base_seed: int = 0,
+        cache: Optional[ResultCache] = None,
+        chunk_size: Optional[int] = None,
+    ):
+        if workers is None:
+            workers = default_workers()
+        if workers < 0:
+            raise ValueError("workers must be >= 0 (or None for auto)")
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError("chunk_size must be positive when given")
+        self.workers = workers
+        self.artifact_level = ArtifactLevel.coerce(artifact_level)
+        self.base_seed = base_seed
+        self.cache = cache
+        self.chunk_size = chunk_size
+        self._executor: Optional[Executor] = None
+        if self.artifact_level is ArtifactLevel.FULL and workers > 1:
+            raise ValueError(
+                "artifact level 'full' retains live endpoint objects and "
+                "cannot cross process boundaries; use workers<=1 or a "
+                "slimmer level"
+            )
+
+    # -- lifecycle ------------------------------------------------------
+
+    def __enter__(self) -> "MatrixRunner":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def _pool(self) -> Executor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=_mp_context()
+            )
+        return self._executor
+
+    # -- core execution -------------------------------------------------
+
+    def run_cells(self, cells: Sequence[Cell]) -> List[RunArtifacts]:
+        """Run every cell, returning results in cell order."""
+        level = self.artifact_level
+        results: List[Optional[RunArtifacts]] = [None] * len(cells)
+        pending: List[IndexedCell] = []
+        keys: List[Optional[Tuple[Any, ...]]] = [None] * len(cells)
+        cache = self.cache
+        for i, cell in enumerate(cells):
+            if cache is not None:
+                key = cache.make_key(cell.scenario, cell.seed, level)
+                keys[i] = key
+                hit = cache.get(key)
+                if hit is not None:
+                    results[i] = hit
+                    continue
+            pending.append((i, cell.scenario, cell.seed))
+        if pending:
+            if self.workers > 1:
+                computed = self._run_parallel(pending)
+                # Workers strip the scenario from the response pickle;
+                # restore it from the authoritative cell list.
+                for i, artifacts in computed:
+                    artifacts.scenario = cells[i].scenario
+            else:
+                computed = [
+                    (i, execute_cell(scenario, seed, level))
+                    for i, scenario, seed in pending
+                ]
+            for i, artifacts in computed:
+                results[i] = artifacts
+                if cache is not None:
+                    cache.put(keys[i], artifacts)
+        return results  # type: ignore[return-value]
+
+    def _run_parallel(
+        self, pending: Sequence[IndexedCell]
+    ) -> List[Tuple[int, RunArtifacts]]:
+        chunk = self.chunk_size
+        if chunk is None:
+            # ~2 chunks per worker: cells of one sweep are similar
+            # enough that load balance beats dispatch overhead only
+            # mildly; fewer, larger chunks keep pickling cheap.
+            chunk = max(1, -(-len(pending) // (self.workers * 2)))
+        level_value = self.artifact_level.value
+        pool = self._pool()
+        futures = []
+        for start in range(0, len(pending), chunk):
+            futures.append(
+                pool.submit(
+                    run_cell_chunk,
+                    _group_by_scenario(pending[start : start + chunk]),
+                    level_value,
+                )
+            )
+        out: List[Tuple[int, RunArtifacts]] = []
+        for future in futures:
+            out.extend(future.result())
+        return out
+
+    # -- convenience sweeps ---------------------------------------------
+
+    def run_once(self, scenario: Scenario, seed: Optional[int] = None) -> RunArtifacts:
+        """Run a single cell (API parity with the serial Runner)."""
+        actual_seed = self.base_seed if seed is None else seed
+        return self.run_cells([Cell(scenario, actual_seed)])[0]
+
+    def run_repetitions(
+        self, scenario: Scenario, repetitions: int = 100
+    ) -> List[RunArtifacts]:
+        """The paper's repeat-with-distinct-seeds loop (§3), with the
+        same ``base_seed + i`` assignment as the serial runner."""
+        if repetitions <= 0:
+            raise ValueError("repetitions must be positive")
+        cells = [
+            Cell(scenario, self.base_seed + i) for i in range(repetitions)
+        ]
+        return self.run_cells(cells)
+
+    def run_matrix(
+        self, scenarios: Sequence[Scenario], repetitions: int = 100
+    ) -> List[List[RunArtifacts]]:
+        """Run a whole scenario list in one fan-out.
+
+        Returns one result list per scenario, aligned with the input
+        order — the preferred entry point for experiments, since the
+        entire matrix shares a single dispatch round."""
+        if repetitions <= 0:
+            raise ValueError("repetitions must be positive")
+        cells = [
+            Cell(scenario, self.base_seed + rep)
+            for scenario in scenarios
+            for rep in range(repetitions)
+        ]
+        flat = self.run_cells(cells)
+        return [
+            flat[start : start + repetitions]
+            for start in range(0, len(flat), repetitions)
+        ]
+
+
+#: Input shared with pool workers via the initializer mechanism of
+#: :func:`parallel_map` — see :func:`set_shared_input`.
+_SHARED_INPUT: Any = None
+
+
+def set_shared_input(value: Any) -> None:
+    """Stash a large shared input (e.g. a parsed domain list) for
+    :func:`get_shared_input` in workers.
+
+    Pass as ``parallel_map(..., initializer=set_shared_input,
+    initargs=(value,))``: under a fork context workers inherit the
+    object for free; under spawn it is shipped once per worker instead
+    of once per task. The serial path runs the initializer in-process,
+    so task functions can read it unconditionally.
+    """
+    global _SHARED_INPUT
+    _SHARED_INPUT = value
+
+
+def get_shared_input() -> Any:
+    """The value stashed by :func:`set_shared_input`, or ``None`` in a
+    pool that was created without the initializer (task functions
+    should fall back to recomputing)."""
+    return _SHARED_INPUT
+
+
+def parallel_map(
+    fn: Callable[..., Any],
+    tasks: Sequence[Tuple[Any, ...]],
+    workers: Optional[int] = 0,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple[Any, ...] = (),
+) -> List[Any]:
+    """Apply a module-level function to argument tuples, preserving
+    task order.
+
+    Used by the wild-measurement experiments for coarse-grained passes
+    (one task per vantage × day). With ``workers <= 1`` this is a plain
+    loop; tasks must be sliced so that any stream-based determinism
+    (e.g. the batch scan engine's per-pass rng) lives entirely inside
+    one task — results are then independent of the worker count.
+
+    ``initializer(*initargs)`` runs once per worker (and once in the
+    caller for the serial path) — the hook for shipping a shared input
+    like a parsed domain list without re-pickling it per task; see
+    :func:`set_shared_input`. ``workers=None`` picks
+    :func:`default_workers`.
+    """
+    if workers is None:
+        workers = default_workers()
+    try:
+        if workers <= 1 or len(tasks) <= 1:
+            if initializer is not None:
+                initializer(*initargs)
+            return [fn(*args) for args in tasks]
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(tasks)),
+            mp_context=_mp_context(),
+            initializer=initializer,
+            initargs=initargs,
+        ) as pool:
+            futures = [pool.submit(call_task, fn, tuple(args)) for args in tasks]
+            return [future.result() for future in futures]
+    finally:
+        if initializer is set_shared_input:
+            # Drop the parent-process stash: retaining it would pin a
+            # potentially large input for the process lifetime and let
+            # a later task function's None-fallback read stale data.
+            set_shared_input(None)

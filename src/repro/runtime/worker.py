@@ -1,0 +1,51 @@
+"""Process-pool worker entry points.
+
+Everything dispatched to a worker must be a module-level callable with
+picklable arguments; this module is the complete set of remote entry
+points used by :mod:`repro.runtime.matrix`.
+
+Workers recreate a :class:`~repro.interop.runner.Runner` per chunk
+(construction is trivial) and return slim :class:`RunArtifacts`; the
+chunk index travels with the payload so the parent can reassemble
+results in submission order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Sequence, Tuple
+
+from repro.interop.runner import Runner, Scenario
+from repro.runtime.artifacts import ArtifactLevel, RunArtifacts, execute_cell
+
+#: One dispatched cell: (position in the caller's cell list, scenario, seed).
+IndexedCell = Tuple[int, Scenario, int]
+
+#: Wire format of a dispatched chunk: each scenario is pickled once and
+#: carries its (index, seed) repetitions — a sweep ships 16 scenarios,
+#: not 400 copies.
+GroupedChunk = Sequence[Tuple[Scenario, Sequence[Tuple[int, int]]]]
+
+
+def run_cell_chunk(
+    chunk: GroupedChunk, level_value: str
+) -> List[Tuple[int, RunArtifacts]]:
+    """Execute a chunk of scenario groups and tag each result with its
+    original position.
+
+    The scenario is dropped from every returned artifact — the parent
+    already holds it and reattaches it, halving the response pickle.
+    """
+    level = ArtifactLevel(level_value)
+    runner = Runner()
+    out: List[Tuple[int, RunArtifacts]] = []
+    for scenario, pairs in chunk:
+        for index, seed in pairs:
+            artifacts = execute_cell(scenario, seed, level, runner=runner)
+            artifacts.scenario = None
+            out.append((index, artifacts))
+    return out
+
+
+def call_task(fn: Callable[..., Any], args: Tuple[Any, ...]) -> Any:
+    """Trampoline for :func:`repro.runtime.matrix.parallel_map`."""
+    return fn(*args)

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, List, Optional
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One datagram observed on a link."""
 
@@ -37,9 +37,15 @@ class TraceRecord:
 
 
 class Tracer:
-    """Collects :class:`TraceRecord` entries from any number of links."""
+    """Collects :class:`TraceRecord` entries from any number of links.
 
-    def __init__(self) -> None:
+    A tracer constructed with ``capture=False`` accepts records but
+    stores nothing — the links stay wired identically while stat-only
+    experiment runs skip the per-datagram record allocation.
+    """
+
+    def __init__(self, capture: bool = True) -> None:
+        self.capture = capture
         self._records: List[TraceRecord] = []
 
     def record(
@@ -51,6 +57,8 @@ class Tracer:
         dropped: bool,
         payload: Any = None,
     ) -> None:
+        if not self.capture:
+            return
         self._records.append(
             TraceRecord(
                 time_ms=time_ms, link=link, index=index, size=size,

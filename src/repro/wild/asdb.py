@@ -37,6 +37,13 @@ CDN_AS_NUMBERS: Dict[Cdn, Tuple[int, ...]] = {
 #: A representative AS for "Others" (hosting services).
 OTHERS_ASN = 24940  # e.g. a large hoster
 
+#: Process-wide address → CDN memo. The synthetic routing table is a
+#: module constant, so the inference is the same for every
+#: :class:`AsDatabase` instance — sharing the memo lets repeated scan
+#: passes (vantages × days re-probing the same toplist) skip the
+#: ipaddress parsing that otherwise dominates a pass.
+_CDN_FOR_ADDRESS: Dict[str, "Cdn"] = {}
+
 
 class AsDatabase:
     """Synthetic routing table: one /16 per AS, deterministic.
@@ -92,10 +99,13 @@ class AsDatabase:
     def cdn_for_address(self, address: str) -> Cdn:
         """The paper's inference: IP → origin AS → CDN, with unknown
         origins grouped under "Others" (hosting services)."""
+        cached = _CDN_FOR_ADDRESS.get(address)
+        if cached is not None:
+            return cached
         asn = self.origin_asn(address)
-        if asn is None:
-            return Cdn.OTHERS
-        return self._asn_to_cdn.get(asn, Cdn.OTHERS)
+        cdn = Cdn.OTHERS if asn is None else self._asn_to_cdn.get(asn, Cdn.OTHERS)
+        _CDN_FOR_ADDRESS[address] = cdn
+        return cdn
 
     def asns_for_cdn(self, cdn: Cdn) -> Tuple[int, ...]:
         if cdn is Cdn.OTHERS:

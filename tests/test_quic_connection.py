@@ -8,7 +8,7 @@ from repro.http import semantics_for
 from repro.impls.registry import QUIC_GO_SERVER, client_profile
 from repro.quic.client import ClientConnection
 from repro.quic.coalescing import Datagram
-from repro.quic.connection import ranges_from_pns
+from repro.quic.connection import PnRangeTracker
 from repro.quic.frames import AckFrame, CryptoFrame, PaddingFrame, PingFrame
 from repro.quic.packet import Packet, PacketType, Space
 from repro.quic.server import ServerConfig, ServerConnection, ServerMode
@@ -24,12 +24,18 @@ def _client(loop, name="quic-go", http="h1"):
     return client, sent
 
 
-def test_ranges_from_pns_compresses():
-    assert ranges_from_pns([0, 1, 2]) == ((0, 2),)
-    assert ranges_from_pns([5, 1, 2, 9]) == ((9, 9), (5, 5), (1, 2))
-    assert ranges_from_pns([3, 3, 3]) == ((3, 3),)
-    with pytest.raises(ValueError):
-        ranges_from_pns([])
+def test_pn_range_tracker_compresses():
+    def ranges_of(pns):
+        tracker = PnRangeTracker()
+        for pn in pns:
+            tracker.add(pn)
+        return tracker.ranges_descending()
+
+    assert ranges_of([0, 1, 2]) == ((0, 2),)
+    assert ranges_of([5, 1, 2, 9]) == ((9, 9), (5, 5), (1, 2))
+    assert ranges_of([3, 3, 3]) == ((3, 3),)
+    assert ranges_of([4, 2, 3]) == ((2, 4),)  # out-of-order merge
+    assert ranges_of([]) == ()  # empty tracker builds no ACK
 
 
 def test_client_start_sends_padded_client_hello():

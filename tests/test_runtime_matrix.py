@@ -1,0 +1,224 @@
+"""Tests for the parallel experiment runtime.
+
+The load-bearing property is the first test: a :class:`MatrixRunner`
+with two or more workers must return per-seed ``ConnectionStats``
+bit-identical to the serial :meth:`Runner.run_repetitions` path —
+parallelism, artifact slimming, and chunking must not perturb a single
+observable.
+"""
+
+import pytest
+
+from repro.interop.runner import Runner, Scenario, SIZE_10KB
+from repro.interop.scenarios import (
+    first_server_flight_tail_loss,
+    second_client_flight_loss,
+)
+from repro.quic.server import ServerMode
+from repro.runtime import (
+    ArtifactLevel,
+    Cell,
+    MatrixRunner,
+    ResultCache,
+    RunArtifacts,
+    parallel_map,
+    scenario_key,
+)
+from repro.sim.loss import LossPattern, RandomLoss
+
+
+LOSSY_IACK = Scenario(
+    client="quic-go",
+    mode=ServerMode.IACK,
+    http="h1",
+    rtt_ms=9.0,
+    response_size=SIZE_10KB,
+    server_to_client_loss=first_server_flight_tail_loss(ServerMode.IACK),
+)
+
+
+def test_parallel_stats_bit_identical_to_serial():
+    serial = Runner().run_repetitions(LOSSY_IACK, repetitions=8)
+    with MatrixRunner(workers=2) as runner:
+        parallel = runner.run_repetitions(LOSSY_IACK, repetitions=8)
+    assert len(parallel) == len(serial)
+    for expected, actual in zip(serial, parallel):
+        assert actual.seed == expected.seed
+        assert actual.client_stats == expected.client_stats
+        assert actual.server_stats == expected.server_stats
+        assert actual.duration_ms == expected.duration_ms
+        assert actual.scenario is LOSSY_IACK
+
+
+def test_parallel_matches_serial_across_chunk_sizes():
+    reference = MatrixRunner(workers=0).run_repetitions(LOSSY_IACK, 6)
+    for chunk_size in (1, 2, 5, 100):
+        with MatrixRunner(workers=2, chunk_size=chunk_size) as runner:
+            result = runner.run_repetitions(LOSSY_IACK, 6)
+        assert [r.client_stats for r in result] == [
+            r.client_stats for r in reference
+        ]
+
+
+def test_run_matrix_preserves_scenario_order():
+    scenarios = [
+        Scenario(client=client, mode=mode, http="h1", rtt_ms=9.0)
+        for client in ("quic-go", "aioquic")
+        for mode in (ServerMode.WFC, ServerMode.IACK)
+    ]
+    with MatrixRunner(workers=2) as runner:
+        matrix = runner.run_matrix(scenarios, repetitions=2)
+    assert len(matrix) == len(scenarios)
+    for scenario, results in zip(scenarios, matrix):
+        assert [r.seed for r in results] == [0, 1]
+        assert all(r.scenario is scenario for r in results)
+
+
+def test_stats_level_omits_heavy_artifacts():
+    artifacts = MatrixRunner().run_once(LOSSY_IACK)
+    assert artifacts.level is ArtifactLevel.STATS
+    assert artifacts.trace_records is None
+    assert artifacts.client_qlog_events is None
+    with pytest.raises(ValueError):
+        artifacts.tracer  # noqa: B018 - exercising the guard
+
+
+def test_trace_level_round_trips_through_pool():
+    with MatrixRunner(workers=2, artifact_level="trace") as runner:
+        artifacts = runner.run_repetitions(LOSSY_IACK, 2)
+    for art in artifacts:
+        assert art.trace_records
+        assert art.client_qlog_events and art.server_qlog_events
+        dropped = art.tracer.filter(link="server->client", dropped=True)
+        assert dropped, "loss scenario must show dropped datagrams"
+
+
+def test_full_level_requires_in_process_execution():
+    with pytest.raises(ValueError):
+        MatrixRunner(workers=2, artifact_level=ArtifactLevel.FULL)
+    artifacts = MatrixRunner(artifact_level=ArtifactLevel.FULL).run_once(LOSSY_IACK)
+    assert artifacts.result is not None
+    assert artifacts.result.client_stats == artifacts.client_stats
+
+
+def test_cache_hits_reuse_results_across_sweeps():
+    cache = ResultCache()
+    with MatrixRunner(workers=0, cache=cache) as runner:
+        first = runner.run_repetitions(LOSSY_IACK, 5)
+        second = runner.run_repetitions(LOSSY_IACK, 5)
+    assert cache.hits == 5 and cache.misses == 5
+    for a, b in zip(first, second):
+        assert a is b  # memoized object, not a recomputation
+
+
+def test_cache_is_level_scoped():
+    cache = ResultCache()
+    MatrixRunner(cache=cache, artifact_level="stats").run_once(LOSSY_IACK)
+    art = MatrixRunner(cache=cache, artifact_level="trace").run_once(LOSSY_IACK)
+    assert art.trace_records is not None  # stats entry did not leak
+
+
+def test_cache_skips_unknown_loss_patterns():
+    class WeirdLoss(LossPattern):
+        def should_drop(self, index, size):
+            return False
+
+    scenario = Scenario(client="quic-go", server_to_client_loss=WeirdLoss())
+    assert scenario_key(scenario) is None
+    cache = ResultCache()
+    with MatrixRunner(cache=cache) as runner:
+        runner.run_repetitions(scenario, 2)
+        runner.run_repetitions(scenario, 2)
+    assert cache.hits == 0
+    assert len(cache) == 0
+
+
+def test_cache_eviction_respects_max_entries():
+    cache = ResultCache(max_entries=3)
+    with MatrixRunner(cache=cache) as runner:
+        runner.run_repetitions(LOSSY_IACK, 5)
+    assert len(cache) == 3
+
+
+def test_shared_loss_pattern_not_mutated_across_runs():
+    """Regression for the shared-loss-pattern hazard: run_once used to
+    reset() the scenario's pattern in place, coupling repetitions."""
+    pattern = RandomLoss(rate=0.3, seed=7)
+    state_before = pattern._rng.getstate()
+    scenario = Scenario(client="quic-go", server_to_client_loss=pattern)
+    Runner().run_once(scenario, seed=0)
+    assert pattern._rng.getstate() == state_before
+
+
+def test_random_loss_repetitions_are_reproducible():
+    pattern = RandomLoss(rate=0.05, seed=3)
+    scenario = Scenario(client="quic-go", server_to_client_loss=pattern)
+    first = Runner().run_repetitions(scenario, 4)
+    second = Runner().run_repetitions(scenario, 4)
+    assert [r.client_stats for r in first] == [r.client_stats for r in second]
+
+
+def test_repetition_validation():
+    with pytest.raises(ValueError):
+        MatrixRunner().run_repetitions(LOSSY_IACK, repetitions=0)
+    with pytest.raises(ValueError):
+        MatrixRunner(workers=-1)
+    with pytest.raises(ValueError):
+        MatrixRunner(artifact_level="everything")
+
+
+def test_run_cells_mixed_scenarios():
+    other = Scenario(
+        client="neqo",
+        mode=ServerMode.WFC,
+        http="h1",
+        rtt_ms=9.0,
+        client_to_server_loss=second_client_flight_loss("neqo"),
+    )
+    cells = [Cell(LOSSY_IACK, 0), Cell(other, 1), Cell(LOSSY_IACK, 2)]
+    with MatrixRunner(workers=2, chunk_size=2) as runner:
+        results = runner.run_cells(cells)
+    assert [r.seed for r in results] == [0, 1, 2]
+    assert results[1].scenario is other
+
+
+def _square(x):
+    return x * x
+
+
+def test_parallel_map_preserves_order():
+    tasks = [(i,) for i in range(7)]
+    assert parallel_map(_square, tasks, workers=0) == [i * i for i in range(7)]
+    assert parallel_map(_square, tasks, workers=3) == [i * i for i in range(7)]
+
+
+def test_artifacts_expose_runresult_observables():
+    serial = Runner().run_once(LOSSY_IACK, seed=0)
+    with MatrixRunner(workers=2) as runner:
+        art = runner.run_once(LOSSY_IACK, seed=0)
+    assert isinstance(art, RunArtifacts)
+    assert art.response_ttfb_ms == serial.response_ttfb_ms
+    assert art.ttfb_ms == serial.ttfb_ms
+    assert art.completed == serial.completed
+    assert art.first_pto_ms == serial.first_pto_ms
+
+
+def test_shared_runner_level_must_cover_experiment_requirement():
+    from repro.experiments import fig11_rtt_samples, fig6_server_flight_loss
+
+    with MatrixRunner(workers=0, artifact_level="stats") as runner:
+        with pytest.raises(ValueError, match="artifact level"):
+            fig11_rtt_samples.run(repetitions=1, runner=runner)
+    # A full-level runner covers both stats- and trace-reading figures.
+    with MatrixRunner(workers=0, artifact_level="full") as runner:
+        result = fig6_server_flight_loss.run(repetitions=1, runner=runner)
+        assert result.rows
+
+
+def test_workers_none_resolves_to_default():
+    from repro.runtime import default_workers
+
+    runner = MatrixRunner(workers=None)
+    assert runner.workers == default_workers()
+    runner.close()
+    assert parallel_map(_square, [(2,)], workers=None) == [4]

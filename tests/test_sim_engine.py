@@ -111,3 +111,84 @@ def test_events_processed_counter():
         loop.call_later(1.0, lambda: None)
     loop.run_until_idle()
     assert loop.events_processed == 5
+
+
+def test_pending_is_live_counted_and_compaction_triggers():
+    loop = EventLoop()
+    timers = [loop.call_later(float(i + 1), lambda: None) for i in range(40)]
+    assert loop.pending() == 40
+    # Cancelling more than half the heap triggers an in-place compaction.
+    for timer in timers[:30]:
+        timer.cancel()
+    assert loop.pending() == 10
+    assert loop.compactions >= 1
+    # The compaction pass physically removed the cancelled majority.
+    assert len(loop._heap) < 40
+    fired = []
+    for timer in timers[30:]:
+        timer.callback = fired.append
+        timer.args = (timer.when,)
+    loop.run_until_idle()
+    assert fired == [float(i + 1) for i in range(30, 40)]
+
+
+def test_cancel_after_run_does_not_corrupt_pending():
+    loop = EventLoop()
+    done = loop.call_later(1.0, lambda: None)
+    keep = loop.call_later(5.0, lambda: None)
+    loop.run(until=2.0)
+    # Cancelling an already-executed timer must not affect accounting.
+    done.cancel()
+    assert loop.pending() == 1
+    keep.cancel()
+    assert loop.pending() == 0
+
+
+def test_double_cancel_counts_once():
+    loop = EventLoop()
+    timer = loop.call_later(1.0, lambda: None)
+    loop.call_later(2.0, lambda: None)
+    timer.cancel()
+    timer.cancel()
+    assert loop.pending() == 1
+
+
+def test_run_until_never_rewinds_clock():
+    """Regression: a loop stopped by the early-break path used to set
+    ``now`` to ``until`` even when that lay in the past, rewinding the
+    clock on a re-run with an earlier ``until``."""
+    loop = EventLoop()
+    loop.call_later(10.0, lambda: None)
+    loop.run(until=5.0)
+    assert loop.now == 5.0
+    loop.run(until=3.0)  # earlier than the current clock
+    assert loop.now == 5.0
+    loop.run(until=20.0)
+    assert loop.now == 10.0 or loop.now == 20.0
+
+
+def test_run_until_consistent_between_break_and_drain_paths():
+    breaker = EventLoop()
+    breaker.call_later(10.0, lambda: None)
+    assert breaker.run(until=4.0) == 4.0
+    drainer = EventLoop()
+    drainer.call_later(2.0, lambda: None)
+    assert drainer.run(until=4.0) == 4.0
+    assert breaker.now == drainer.now
+
+
+def test_compaction_during_run_is_safe():
+    loop = EventLoop()
+    cancelled = []
+
+    def cancel_many():
+        for timer in cancelled:
+            timer.cancel()
+
+    loop.call_later(1.0, cancel_many)
+    cancelled.extend(loop.call_later(100.0 + i, lambda: None) for i in range(64))
+    survivors = []
+    loop.call_later(200.0, survivors.append, "end")
+    loop.run_until_idle()
+    assert survivors == ["end"]
+    assert loop.compactions >= 1
