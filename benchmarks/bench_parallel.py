@@ -48,7 +48,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.experiments import fig6_server_flight_loss as fig6  # noqa: E402
 from repro.experiments import fig12_server_flight_loss_rtts as fig12  # noqa: E402
 from repro.experiments import table1_cdn_deployment as table1  # noqa: E402
-from repro.runtime import MatrixRunner, ResultCache  # noqa: E402
+from repro.runtime import MatrixRunner, ResultCache, SuiteRunner  # noqa: E402
 
 FIG6_REPETITIONS = 25
 SWEEP_REPETITIONS = 10
@@ -184,6 +184,59 @@ def bench_table1(list_size: int, days: int, rounds: int) -> dict:
     }
 
 
+def bench_suite(repetitions: int, rounds: int) -> dict:
+    """Suite-planned fig12+fig6 vs the standalone runs back to back.
+
+    The standalone leg executes each experiment on its own runner (no
+    shared cache), recomputing fig6's 9 ms cells after fig12 already
+    ran them. The suite leg plans both, dedupes the shared cells
+    before dispatch, and executes each unique cell exactly once.
+    """
+    overrides = {
+        "fig12": {"repetitions": repetitions},
+        "fig6": {"repetitions": repetitions},
+    }
+
+    def standalone() -> None:
+        fig12.run(http="h1", repetitions=repetitions)
+        fig6.run(http="h1", repetitions=repetitions)
+
+    def suite(workers: int) -> None:
+        SuiteRunner(workers=workers).run(["fig12", "fig6"], overrides=overrides)
+
+    plan = SuiteRunner().plan(["fig12", "fig6"], overrides=overrides)
+    legs: dict = {}
+    legs["standalone_s"] = _best_of(standalone, rounds)
+    legs["suite_s"] = _best_of(lambda: suite(0), rounds)
+    for workers in (2, 4):
+        legs[f"suite_{workers}w_s"] = _best_of(lambda: suite(workers), rounds)
+    legs["speedup_suite_vs_standalone"] = round(
+        legs["standalone_s"] / legs["suite_s"], 2
+    )
+    legs["speedup_suite_4w_vs_standalone"] = round(
+        legs["standalone_s"] / legs["suite_4w_s"], 2
+    )
+    return {
+        "workload": {
+            "experiments": ["fig12", "fig6"],
+            "http": "h1",
+            "repetitions": repetitions,
+            "total_cells": plan.total_cells,
+            "unique_cells": len(plan.unique_cells),
+            "shared_cells": plan.shared_cells,
+        },
+        "standalone_leg": (
+            "fig12 then fig6 via run(), each on its own runner (shared "
+            "cells recomputed)"
+        ),
+        "suite_leg": (
+            "SuiteRunner plans both, dedupes (scenario, seed) cells "
+            "before dispatch, executes once, fans out"
+        ),
+        **legs,
+    }
+
+
 def bench_seed_commit(
     ref: str,
     repetitions: int,
@@ -287,6 +340,9 @@ def main(argv=None) -> int:
     print(f"table1: {list_size} domains x {days} days ...", flush=True)
     report["benchmarks"]["table1"] = bench_table1(list_size, days, rounds)
     print(json.dumps(report["benchmarks"]["table1"], indent=2), flush=True)
+    print(f"suite fig12+fig6: {sweep_reps} reps ...", flush=True)
+    report["benchmarks"]["suite_fig12_fig6"] = bench_suite(sweep_reps, rounds)
+    print(json.dumps(report["benchmarks"]["suite_fig12_fig6"], indent=2), flush=True)
 
     if args.seed_ref:
         print(f"seed commit reference ({args.seed_ref}) ...", flush=True)

@@ -8,7 +8,7 @@ must produce the same figure as the serial path and post a time.
 
 from benchmarks.conftest import run_and_render
 from repro.experiments import fig6_server_flight_loss
-from repro.runtime import MatrixRunner, ResultCache
+from repro.runtime import MatrixRunner, ResultCache, SuiteRunner
 
 
 def test_bench_fig6_parallel_matches_serial(benchmark):
@@ -34,3 +34,22 @@ def test_bench_fig6_cached_resweep(benchmark):
         result = run_and_render(benchmark, resweep)
     assert cache.hits >= 80  # 16 scenarios x 5 repetitions
     assert result.rows
+
+
+def test_bench_suite_dedup_vs_standalone(benchmark):
+    """fig6+fig12 as one planned suite: the shared 9 ms cells are
+    dispatched once and fig6's figure matches its standalone run."""
+    overrides = {
+        "fig6": {"repetitions": 3},
+        "fig12": {"repetitions": 3, "rtts_ms": (9.0, 100.0)},
+    }
+    standalone = fig6_server_flight_loss.run(http="h1", repetitions=3)
+
+    def suite():
+        return SuiteRunner(workers=0).run(["fig6", "fig12"], overrides=overrides)
+
+    report = benchmark.pedantic(suite, rounds=1, iterations=1)
+    print()
+    print(report.plan.describe())
+    assert report.plan.shared_cells == 48  # 16 scenarios x 3 reps
+    assert report.results["fig6"].rows == standalone.rows

@@ -1,15 +1,30 @@
 """One module per table and figure of the paper's evaluation.
 
-Every module exposes ``run(...)`` returning an
-:class:`~repro.experiments.common.ExperimentResult` whose ``render()``
-prints the same rows/series the paper reports, and declares the
-paper's published values for EXPERIMENTS.md comparison. Benchmarks
-under ``benchmarks/`` wrap these entry points one-to-one.
+Every module declares an :class:`~repro.experiments.spec
+.ExperimentSpec` (its id, title, paper reference, required artifact
+level, ``cells()`` demand, and pure ``aggregate()``) and registers it
+in :data:`~repro.experiments.registry.REGISTRY`; a ``run(...)``
+function with the historical signature remains as a thin shim over
+``SPEC.execute``. The suite planner
+(:class:`~repro.runtime.suite.SuiteRunner`) and the ``python -m
+repro`` CLI execute any selection of registered experiments with
+cross-experiment cell dedup; EXPERIMENTS.md is generated from the
+registry. Benchmarks under ``benchmarks/`` wrap the ``run`` entry
+points one-to-one.
 """
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import REGISTRY, all_specs, get_spec
+from repro.experiments.spec import CellResults, ExperimentSpec
 
-__all__ = ["ExperimentResult"]
+__all__ = [
+    "CellResults",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "REGISTRY",
+    "all_specs",
+    "get_spec",
+]
 
 #: Experiment id -> module name, for discovery by the CLI example.
 EXPERIMENT_INDEX = {

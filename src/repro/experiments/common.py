@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import contextlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Union
 
@@ -32,6 +33,55 @@ class ExperimentResult:
     def row_map(self, key_column: int = 0) -> Dict[Any, List[Any]]:
         """Index rows by one column (usually the first)."""
         return {row[key_column]: row for row in self.rows}
+
+    # -- JSON round trip ------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form of the result.
+
+        ``extra`` may hold arbitrary analysis objects (model curves,
+        sweep points); keys whose values do not serialize are dropped
+        and listed under ``extra_dropped`` so bundles stay honest about
+        what they omit. Tuples normalize to lists, as JSON demands.
+        """
+        extra: Dict[str, Any] = {}
+        dropped: List[str] = []
+        for key, value in self.extra.items():
+            try:
+                extra[key] = json.loads(json.dumps(value))
+            except (TypeError, ValueError):
+                dropped.append(key)
+        payload: Dict[str, Any] = {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": json.loads(json.dumps(self.rows, default=str)),
+            "paper_reference": json.loads(
+                json.dumps(self.paper_reference, default=str)
+            ),
+            "extra": extra,
+        }
+        if dropped:
+            payload["extra_dropped"] = sorted(dropped)
+        return payload
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ExperimentResult":
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            headers=list(payload["headers"]),
+            rows=[list(row) for row in payload["rows"]],
+            paper_reference=dict(payload.get("paper_reference", {})),
+            extra=dict(payload.get("extra", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        return cls.from_dict(json.loads(text))
 
 
 #: Clients in the order the paper's figures list them.

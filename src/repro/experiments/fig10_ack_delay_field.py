@@ -15,6 +15,14 @@ from __future__ import annotations
 from typing import List
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import register
+from repro.experiments.spec import (
+    CellResults,
+    ExperimentSpec,
+    KIND_WILD,
+    Params,
+)
+from repro.runtime import ArtifactLevel, Cell
 from repro.wild.asdb import Cdn
 from repro.wild.qscanner import QScanner, scan_with_engine
 from repro.wild.tranco import TrancoGenerator
@@ -32,20 +40,20 @@ PAPER_COALESCED_EXCEEDS = {
 PAPER_IACK_BELOW = {Cdn.AKAMAI: 0.61, Cdn.OTHERS: 0.791}
 
 
-def run(
-    list_size: int = 100_000,
-    vantage_name: str = "Sao Paulo",
-    seed: int = 0,
-    engine: str = "analytic",
-) -> ExperimentResult:
+def cells(params: Params) -> List[Cell]:
+    return []
+
+
+def aggregate(results: CellResults, params: Params) -> ExperimentResult:
+    list_size, seed = params["list_size"], params["seed"]
     generator = TrancoGenerator(list_size=list_size, seed=seed)
-    scanner = QScanner(vantage(vantage_name), seed=seed)
+    scanner = QScanner(vantage(params["vantage_name"]), seed=seed)
     domains = generator.quic_domains()
-    results = scan_with_engine(scanner, domains, engine=engine)
+    scan = scan_with_engine(scanner, domains, engine=params["engine"])
     rows: List[List[object]] = []
     for cdn in Cdn:
-        coalesced = [r for r in results if r.cdn is cdn and r.coalesced]
-        iack = [r for r in results if r.cdn is cdn and r.iack_observed]
+        coalesced = [r for r in scan if r.cdn is cdn and r.coalesced]
+        iack = [r for r in scan if r.cdn is cdn and r.iack_observed]
         exceeds = (
             sum(1 for r in coalesced if r.ack_delay_field_ms > r.rtt_ms)
             / len(coalesced)
@@ -83,6 +91,42 @@ def run(
             },
             "iack_below_rtt": {c.value: v for c, v in PAPER_IACK_BELOW.items()},
         },
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="fig10",
+        title="Acknowledgment delay field vs RTT per CDN",
+        paper="Figure 10",
+        kind=KIND_WILD,
+        artifact_level=ArtifactLevel.STATS,
+        cells=cells,
+        aggregate=aggregate,
+        defaults={
+            "list_size": 100_000,
+            "vantage_name": "Sao Paulo",
+            "seed": 0,
+            "engine": "analytic",
+        },
+        smoke={"list_size": 5_000},
+    )
+)
+
+
+def run(
+    list_size: int = 100_000,
+    vantage_name: str = "Sao Paulo",
+    seed: int = 0,
+    engine: str = "analytic",
+) -> ExperimentResult:
+    return SPEC.execute(
+        overrides={
+            "list_size": list_size,
+            "vantage_name": vantage_name,
+            "seed": seed,
+            "engine": engine,
+        }
     )
 
 

@@ -11,13 +11,21 @@ fraction.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
-from repro.experiments.common import ExperimentResult, CLIENT_ORDER, matrix_runner
+from repro.experiments.common import ExperimentResult, CLIENT_ORDER
+from repro.experiments.registry import register
+from repro.experiments.spec import (
+    CellResults,
+    ExperimentSpec,
+    KIND_MATRIX,
+    Params,
+    expand_cells,
+)
 from repro.interop.runner import Scenario, SIZE_10MB
 from repro.qlog.analysis import count_metric_updates, count_new_ack_packets
 from repro.quic.server import ServerMode
-from repro.runtime import ArtifactLevel, MatrixRunner, ResultCache
+from repro.runtime import ArtifactLevel, Cell, MatrixRunner, ResultCache
 
 RTT_MS = 100.0
 
@@ -25,16 +33,8 @@ RTT_MS = 100.0
 FULL_EXPOSURE = {"aioquic", "go-x-net", "mvfst", "quiche"}
 
 
-def run(
-    repetitions: int = 3,
-    rtt_ms: float = RTT_MS,
-    response_size: int = SIZE_10MB,
-    http: str = "h1",
-    runner: "MatrixRunner" = None,
-    workers: int = 0,
-    cache: "ResultCache" = None,
-) -> ExperimentResult:
-    scenarios = [
+def scenarios(http: str, rtt_ms: float, response_size: int) -> List[Scenario]:
+    return [
         Scenario(
             client=client,
             mode=ServerMode.WFC,
@@ -45,11 +45,18 @@ def run(
         )
         for client in CLIENT_ORDER
     ]
-    with matrix_runner(
-        runner, workers=workers, artifact_level=ArtifactLevel.TRACE, cache=cache
-    ) as mr:
-        matrix = mr.run_matrix(scenarios, repetitions)
-    per_scenario = iter(matrix)
+
+
+def cells(params: Params) -> List[Cell]:
+    return expand_cells(
+        scenarios(params["http"], params["rtt_ms"], params["response_size"]),
+        params["repetitions"],
+        params["base_seed"],
+    )
+
+
+def aggregate(results: CellResults, params: Params) -> ExperimentResult:
+    per_scenario = results.groups(params["repetitions"])
     rows: List[List[object]] = []
     for client in CLIENT_ORDER:
         metric_counts: List[int] = []
@@ -72,7 +79,8 @@ def run(
         experiment_id="fig11",
         title=(
             f"RTT samples: packets with new ACKs vs exposed metric "
-            f"updates ({response_size // (1024 * 1024)}MB @{rtt_ms:.0f}ms, WFC)"
+            f"updates ({params['response_size'] // (1024 * 1024)}MB "
+            f"@{params['rtt_ms']:.0f}ms, WFC)"
         ),
         headers=[
             "client", "packets with new ACKs", "metric updates",
@@ -82,6 +90,49 @@ def run(
         paper_reference={
             "full_exposure": sorted(FULL_EXPOSURE),
             "partial_exposure": sorted(set(CLIENT_ORDER) - FULL_EXPOSURE),
+        },
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="fig11",
+        title="RTT samples available vs exposed (qlog metric updates)",
+        paper="Figure 11",
+        kind=KIND_MATRIX,
+        artifact_level=ArtifactLevel.TRACE,
+        cells=cells,
+        aggregate=aggregate,
+        defaults={
+            "http": "h1",
+            "repetitions": 3,
+            "rtt_ms": RTT_MS,
+            "response_size": SIZE_10MB,
+            "base_seed": 0,
+        },
+        smoke={"repetitions": 1, "response_size": 512 * 1024},
+    )
+)
+
+
+def run(
+    repetitions: int = 3,
+    rtt_ms: float = RTT_MS,
+    response_size: int = SIZE_10MB,
+    http: str = "h1",
+    runner: Optional[MatrixRunner] = None,
+    workers: int = 0,
+    cache: Optional[ResultCache] = None,
+) -> ExperimentResult:
+    return SPEC.execute(
+        runner=runner,
+        workers=workers,
+        cache=cache,
+        overrides={
+            "http": http,
+            "repetitions": repetitions,
+            "rtt_ms": rtt_ms,
+            "response_size": response_size,
         },
     )
 

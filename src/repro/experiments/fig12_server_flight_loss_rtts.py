@@ -9,27 +9,28 @@ space becomes relevant ... At 300 ms RTT, IACK outperforms WFC."
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.analysis.stats import median
-from repro.experiments.common import ExperimentResult, clients_for, matrix_runner
+from repro.experiments.common import ExperimentResult, clients_for
+from repro.experiments.registry import register
+from repro.experiments.spec import (
+    CellResults,
+    ExperimentSpec,
+    KIND_MATRIX,
+    Params,
+    expand_cells,
+)
 from repro.interop.runner import Scenario, SIZE_10KB
 from repro.interop.scenarios import first_server_flight_tail_loss
 from repro.quic.server import ServerMode
-from repro.runtime import MatrixRunner, ResultCache
+from repro.runtime import ArtifactLevel, Cell, MatrixRunner, ResultCache
 
 RTTS_MS = (1.0, 9.0, 20.0, 100.0, 300.0)
 
 
-def run(
-    http: str = "h1",
-    repetitions: int = 10,
-    rtts_ms=RTTS_MS,
-    runner: "MatrixRunner" = None,
-    workers: int = 0,
-    cache: "ResultCache" = None,
-) -> ExperimentResult:
-    scenarios = [
+def scenarios(http: str, rtts_ms) -> List[Scenario]:
+    return [
         Scenario(
             client=client,
             mode=mode,
@@ -42,16 +43,26 @@ def run(
         for client in clients_for(http)
         for mode in (ServerMode.WFC, ServerMode.IACK)
     ]
-    with matrix_runner(runner, workers=workers, cache=cache) as mr:
-        matrix = mr.run_matrix(scenarios, repetitions)
-    per_scenario = iter(matrix)
+
+
+def cells(params: Params) -> List[Cell]:
+    return expand_cells(
+        scenarios(params["http"], params["rtts_ms"]),
+        params["repetitions"],
+        params["base_seed"],
+    )
+
+
+def aggregate(results: CellResults, params: Params) -> ExperimentResult:
+    http = params["http"]
+    per_scenario = results.groups(params["repetitions"])
     rows: List[List[object]] = []
-    for rtt in rtts_ms:
+    for rtt in params["rtts_ms"]:
         for client in clients_for(http):
             medians = {}
             for mode in (ServerMode.WFC, ServerMode.IACK):
-                results = next(per_scenario)
-                medians[mode.name] = median([r.response_ttfb_ms for r in results])
+                group = next(per_scenario)
+                medians[mode.name] = median([r.response_ttfb_ms for r in group])
             wfc, iack = medians["WFC"], medians["IACK"]
             rows.append(
                 [
@@ -73,6 +84,42 @@ def run(
                 "shrinking at 100 ms, inverted at 300 ms"
             ),
         },
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="fig12",
+        title="Figure 6 scenario swept across emulated RTTs",
+        paper="Figure 12",
+        kind=KIND_MATRIX,
+        artifact_level=ArtifactLevel.STATS,
+        cells=cells,
+        aggregate=aggregate,
+        defaults={
+            "http": "h1",
+            "repetitions": 10,
+            "rtts_ms": RTTS_MS,
+            "base_seed": 0,
+        },
+        smoke={"repetitions": 2, "rtts_ms": (9.0, 100.0)},
+    )
+)
+
+
+def run(
+    http: str = "h1",
+    repetitions: int = 10,
+    rtts_ms=RTTS_MS,
+    runner: Optional[MatrixRunner] = None,
+    workers: int = 0,
+    cache: Optional[ResultCache] = None,
+) -> ExperimentResult:
+    return SPEC.execute(
+        runner=runner,
+        workers=workers,
+        cache=cache,
+        overrides={"http": http, "repetitions": repetitions, "rtts_ms": rtts_ms},
     )
 
 

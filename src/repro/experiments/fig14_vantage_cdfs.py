@@ -12,7 +12,20 @@ from typing import List
 
 from repro.analysis.stats import median
 from repro.experiments.common import ExperimentResult
-from repro.runtime import get_shared_input, parallel_map, set_shared_input
+from repro.experiments.registry import register
+from repro.experiments.spec import (
+    CellResults,
+    ExperimentSpec,
+    KIND_WILD,
+    Params,
+)
+from repro.runtime import (
+    ArtifactLevel,
+    Cell,
+    get_shared_input,
+    parallel_map,
+    set_shared_input,
+)
 from repro.wild.asdb import Cdn
 from repro.wild.qscanner import QScanner, scan_with_engine
 from repro.wild.tranco import TrancoGenerator
@@ -28,28 +41,28 @@ def _probe_vantage(vantage_name: str, list_size: int, seed: int, engine: str):
     return scan_with_engine(scanner, domains, engine=engine)
 
 
-def run(
-    list_size: int = 50_000,
-    seed: int = 0,
-    workers: int = 0,
-    engine: str = "analytic",
-) -> ExperimentResult:
+def cells(params: Params) -> List[Cell]:
+    return []
+
+
+def aggregate(results: CellResults, params: Params) -> ExperimentResult:
+    list_size, seed = params["list_size"], params["seed"]
     generator = TrancoGenerator(list_size=list_size, seed=seed)
     domains = generator.quic_domains()
     vantage_names = sorted(VANTAGE_POINTS)
     per_vantage = parallel_map(
         _probe_vantage,
-        [(name, list_size, seed, engine) for name in vantage_names],
-        workers=workers,
+        [(name, list_size, seed, params["engine"]) for name in vantage_names],
+        workers=params["workers"],
         initializer=set_shared_input,
         initargs=(domains,),
     )
     rows: List[List[object]] = []
-    for vantage_name, results in zip(vantage_names, per_vantage):
+    for vantage_name, scan in zip(vantage_names, per_vantage):
         for cdn in FIGURE_CDNS:
             delays = [
                 r.ack_to_sh_delay_ms
-                for r in results
+                for r in scan
                 if r.cdn is cdn and r.iack_observed
             ]
             med = median(delays)
@@ -68,6 +81,43 @@ def run(
         rows=rows,
         paper_reference={
             "note": "per-CDN delay distributions homogeneous across vantages",
+        },
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="fig14",
+        title="ACK→ServerHello delay CDFs across vantage points",
+        paper="Figure 14",
+        kind=KIND_WILD,
+        artifact_level=ArtifactLevel.STATS,
+        cells=cells,
+        aggregate=aggregate,
+        defaults={
+            "list_size": 50_000,
+            "seed": 0,
+            "workers": 0,
+            "engine": "analytic",
+        },
+        smoke={"list_size": 5_000},
+    )
+)
+
+
+def run(
+    list_size: int = 50_000,
+    seed: int = 0,
+    workers: int = 0,
+    engine: str = "analytic",
+) -> ExperimentResult:
+    return SPEC.execute(
+        workers=workers,
+        overrides={
+            "list_size": list_size,
+            "seed": seed,
+            "workers": workers,
+            "engine": engine,
         },
     )
 

@@ -14,7 +14,14 @@ from typing import List
 
 from repro.analysis.stats import median, percentile_interval
 from repro.experiments.common import ExperimentResult
-from repro.runtime import parallel_map
+from repro.experiments.registry import register
+from repro.experiments.spec import (
+    CellResults,
+    ExperimentSpec,
+    KIND_WILD,
+    Params,
+)
+from repro.runtime import ArtifactLevel, Cell, parallel_map
 from repro.wild.cloudflare import CloudflareLongitudinalStudy, filter_valid
 from repro.wild.vantage import VANTAGE_POINTS, vantage
 
@@ -41,13 +48,18 @@ def _study_vantage(vantage_name: str, days: int, seed: int):
     )
 
 
-def run(days: int = 7, seed: int = 0, workers: int = 0) -> ExperimentResult:
+def cells(params: Params) -> List[Cell]:
+    return []
+
+
+def aggregate(results: CellResults, params: Params) -> ExperimentResult:
+    days, seed = params["days"], params["seed"]
     rows: List[List[object]] = []
     vantage_names = sorted(VANTAGE_POINTS)
     per_vantage = parallel_map(
         _study_vantage,
         [(name, days, seed) for name in vantage_names],
-        workers=workers,
+        workers=params["workers"],
     )
     for vantage_name, samples in zip(vantage_names, per_vantage):
         separate_sh = [s.sh_latency_ms for s in samples if s.kind == "SH"]
@@ -88,6 +100,28 @@ def run(days: int = 7, seed: int = 0, workers: int = 0) -> ExperimentResult:
             "gaps_ms": PAPER_GAPS_MS,
             "note": "coalesced faster everywhere; Hong Kong shows gaps",
         },
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="fig15",
+        title="Cloudflare request→response time per location",
+        paper="Figure 15",
+        kind=KIND_WILD,
+        artifact_level=ArtifactLevel.STATS,
+        cells=cells,
+        aggregate=aggregate,
+        defaults={"days": 7, "seed": 0, "workers": 0},
+        smoke={"days": 1},
+    )
+)
+
+
+def run(days: int = 7, seed: int = 0, workers: int = 0) -> ExperimentResult:
+    return SPEC.execute(
+        workers=workers,
+        overrides={"days": days, "seed": seed, "workers": workers},
     )
 
 

@@ -13,11 +13,19 @@ from typing import List, Optional
 
 from repro.analysis.stats import median
 from repro.core.pto_calc import PtoCalculator
-from repro.experiments.common import ExperimentResult, CLIENT_ORDER, matrix_runner
+from repro.experiments.common import ExperimentResult, CLIENT_ORDER
+from repro.experiments.registry import register
+from repro.experiments.spec import (
+    CellResults,
+    ExperimentSpec,
+    KIND_MATRIX,
+    Params,
+    expand_cells,
+)
 from repro.interop.runner import Scenario, SIZE_10KB
 from repro.qlog.analysis import first_pto_from_qlog
 from repro.quic.server import ServerMode
-from repro.runtime import ArtifactLevel, MatrixRunner, ResultCache
+from repro.runtime import ArtifactLevel, Cell, MatrixRunner, ResultCache
 
 RTTS_MS = (1.0, 9.0, 20.0, 50.0, 100.0, 200.0, 300.0)
 
@@ -32,15 +40,8 @@ def _first_pto(result) -> Optional[float]:
     return PtoCalculator().first_pto(events)
 
 
-def run(
-    http: str = "h1",
-    repetitions: int = 10,
-    rtts_ms=RTTS_MS,
-    runner: "MatrixRunner" = None,
-    workers: int = 0,
-    cache: "ResultCache" = None,
-) -> ExperimentResult:
-    scenarios = [
+def scenarios(http: str, rtts_ms) -> List[Scenario]:
+    return [
         Scenario(
             client=client,
             mode=mode,
@@ -52,20 +53,25 @@ def run(
         for rtt in rtts_ms
         for mode in (ServerMode.WFC, ServerMode.IACK)
     ]
-    with matrix_runner(
-        runner, workers=workers, artifact_level=ArtifactLevel.TRACE, cache=cache
-    ) as mr:
-        matrix = mr.run_matrix(scenarios, repetitions)
-    per_scenario = iter(matrix)
+
+
+def cells(params: Params) -> List[Cell]:
+    return expand_cells(
+        scenarios(params["http"], params["rtts_ms"]),
+        params["repetitions"],
+        params["base_seed"],
+    )
+
+
+def aggregate(results: CellResults, params: Params) -> ExperimentResult:
+    per_scenario = results.groups(params["repetitions"])
     rows: List[List[object]] = []
     for client in CLIENT_ORDER:
-        for rtt in rtts_ms:
+        for rtt in params["rtts_ms"]:
             ptos = {}
             for mode in (ServerMode.WFC, ServerMode.IACK):
-                results = next(per_scenario)
-                ptos[mode.name] = median(
-                    [_first_pto(r) for r in results]
-                )
+                group = next(per_scenario)
+                ptos[mode.name] = median([_first_pto(r) for r in group])
             wfc, iack = ptos["WFC"], ptos["IACK"]
             improvement = None
             if wfc is not None and iack is not None:
@@ -91,6 +97,42 @@ def run(
             "median_improvement_range_ms": (7.0, 24.7),
             "note": "improvement roughly constant across RTTs per client",
         },
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="fig16",
+        title="First-PTO improvement of IACK over WFC across RTTs",
+        paper="Figure 16",
+        kind=KIND_MATRIX,
+        artifact_level=ArtifactLevel.TRACE,
+        cells=cells,
+        aggregate=aggregate,
+        defaults={
+            "http": "h1",
+            "repetitions": 10,
+            "rtts_ms": RTTS_MS,
+            "base_seed": 0,
+        },
+        smoke={"repetitions": 1, "rtts_ms": (9.0, 100.0)},
+    )
+)
+
+
+def run(
+    http: str = "h1",
+    repetitions: int = 10,
+    rtts_ms=RTTS_MS,
+    runner: Optional[MatrixRunner] = None,
+    workers: int = 0,
+    cache: Optional[ResultCache] = None,
+) -> ExperimentResult:
+    return SPEC.execute(
+        runner=runner,
+        workers=workers,
+        cache=cache,
+        overrides={"http": http, "repetitions": repetitions, "rtts_ms": rtts_ms},
     )
 
 

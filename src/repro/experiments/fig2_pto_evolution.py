@@ -8,15 +8,30 @@ of 3 x Δt."
 
 from __future__ import annotations
 
+from typing import List
+
 from repro.core.pto_model import PtoModel
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import register
+from repro.experiments.spec import (
+    CellResults,
+    ExperimentSpec,
+    KIND_MODEL,
+    Params,
+)
+from repro.runtime import ArtifactLevel, Cell
 
 RTTS_MS = (9.0, 25.0)
 DELTA_T_MS = 4.0
 N_SAMPLES = 50
 
 
-def run(n_samples: int = N_SAMPLES) -> ExperimentResult:
+def cells(params: Params) -> List[Cell]:
+    return []
+
+
+def aggregate(results: CellResults, params: Params) -> ExperimentResult:
+    n_samples = params["n_samples"]
     model = PtoModel()
     curves = model.figure2(RTTS_MS, DELTA_T_MS, n_samples)
     rows = []
@@ -54,6 +69,25 @@ def run(n_samples: int = N_SAMPLES) -> ExperimentResult:
         },
         extra={"curves": curves},
     )
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="fig2",
+        title="Calculated evolution of the Probe Timeout",
+        paper="Figure 2",
+        kind=KIND_MODEL,
+        artifact_level=ArtifactLevel.STATS,
+        cells=cells,
+        aggregate=aggregate,
+        defaults={"n_samples": N_SAMPLES},
+        smoke={"n_samples": 10},
+    )
+)
+
+
+def run(n_samples: int = N_SAMPLES) -> ExperimentResult:
+    return SPEC.execute(overrides={"n_samples": n_samples})
 
 
 if __name__ == "__main__":  # pragma: no cover

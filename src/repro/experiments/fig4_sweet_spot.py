@@ -8,23 +8,33 @@ with IACK."
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence
 
 from repro.core.sweet_spot import (
     reduced_latency_zone_boundary_ms,
     sweep,
 )
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import register
+from repro.experiments.spec import (
+    CellResults,
+    ExperimentSpec,
+    KIND_MODEL,
+    Params,
+)
+from repro.runtime import ArtifactLevel, Cell
 
 DELTA_T_VALUES_MS = (1.0, 9.0, 25.0)
 RTT_VALUES_MS = tuple(float(v) for v in range(1, 101, 3))
 
 
-def run(
-    delta_t_values_ms: Sequence[float] = DELTA_T_VALUES_MS,
-    rtt_values_ms: Sequence[float] = RTT_VALUES_MS,
-) -> ExperimentResult:
-    points = sweep(rtt_values_ms, delta_t_values_ms)
+def cells(params: Params) -> List[Cell]:
+    return []
+
+
+def aggregate(results: CellResults, params: Params) -> ExperimentResult:
+    delta_t_values_ms = params["delta_t_values_ms"]
+    points = sweep(params["rtt_values_ms"], delta_t_values_ms)
     rows = []
     for delta in delta_t_values_ms:
         series = [p for p in points if p.delta_t_ms == delta]
@@ -62,6 +72,36 @@ def run(
             ),
         },
         extra={"points": points},
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="fig4",
+        title="First PTO reduction and the spurious-retransmit zone",
+        paper="Figure 4",
+        kind=KIND_MODEL,
+        artifact_level=ArtifactLevel.STATS,
+        cells=cells,
+        aggregate=aggregate,
+        defaults={
+            "delta_t_values_ms": DELTA_T_VALUES_MS,
+            "rtt_values_ms": RTT_VALUES_MS,
+        },
+        smoke={"rtt_values_ms": (1.0, 25.0, 100.0)},
+    )
+)
+
+
+def run(
+    delta_t_values_ms: Sequence[float] = DELTA_T_VALUES_MS,
+    rtt_values_ms: Sequence[float] = RTT_VALUES_MS,
+) -> ExperimentResult:
+    return SPEC.execute(
+        overrides={
+            "delta_t_values_ms": delta_t_values_ms,
+            "rtt_values_ms": rtt_values_ms,
+        }
     )
 
 

@@ -14,26 +14,26 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.analysis.stats import median
-from repro.experiments.common import ExperimentResult, clients_for, matrix_runner
+from repro.experiments.common import ExperimentResult, clients_for
+from repro.experiments.registry import register
+from repro.experiments.spec import (
+    CellResults,
+    ExperimentSpec,
+    KIND_MATRIX,
+    Params,
+    expand_cells,
+)
 from repro.interop.runner import Scenario, SIZE_10KB
 from repro.quic.certs import LARGE_CERTIFICATE
 from repro.quic.server import ServerMode
-from repro.runtime import MatrixRunner, ResultCache
+from repro.runtime import ArtifactLevel, Cell, MatrixRunner, ResultCache
 
 RTT_MS = 9.0
 DELTA_T_MS = 200.0
 
 
-def run(
-    http: str = "h3",
-    repetitions: int = 25,
-    rtt_ms: float = RTT_MS,
-    delta_t_ms: float = DELTA_T_MS,
-    runner: "MatrixRunner" = None,
-    workers: int = 0,
-    cache: "ResultCache" = None,
-) -> ExperimentResult:
-    scenarios = [
+def scenarios(http: str, rtt_ms: float, delta_t_ms: float) -> List[Scenario]:
+    return [
         Scenario(
             client=client,
             mode=mode,
@@ -46,17 +46,27 @@ def run(
         for client in clients_for(http)
         for mode in (ServerMode.WFC, ServerMode.IACK)
     ]
-    with matrix_runner(runner, workers=workers, cache=cache) as mr:
-        matrix = mr.run_matrix(scenarios, repetitions)
-    per_scenario = iter(matrix)
+
+
+def cells(params: Params) -> List[Cell]:
+    return expand_cells(
+        scenarios(params["http"], params["rtt_ms"], params["delta_t_ms"]),
+        params["repetitions"],
+        params["base_seed"],
+    )
+
+
+def aggregate(results: CellResults, params: Params) -> ExperimentResult:
+    http = params["http"]
+    per_scenario = results.groups(params["repetitions"])
     rows: List[List[object]] = []
     per_client: Dict[str, Dict[str, List[Optional[float]]]] = {}
     for client in clients_for(http):
         medians: Dict[str, Optional[float]] = {}
         raw: Dict[str, List[Optional[float]]] = {}
         for mode in (ServerMode.WFC, ServerMode.IACK):
-            results = next(per_scenario)
-            ttfbs = [r.ttfb_ms for r in results]
+            group = next(per_scenario)
+            ttfbs = [r.ttfb_ms for r in group]
             raw[mode.name] = ttfbs
             medians[mode.name] = median(ttfbs)
         per_client[client] = raw
@@ -75,8 +85,8 @@ def run(
     return ExperimentResult(
         experiment_id="fig5",
         title=(
-            f"TTFB [ms] 10KB @{rtt_ms:.0f}ms RTT, large cert, "
-            f"dt={delta_t_ms:.0f}ms, no loss, {http}"
+            f"TTFB [ms] 10KB @{params['rtt_ms']:.0f}ms RTT, large cert, "
+            f"dt={params['delta_t_ms']:.0f}ms, no loss, {http}"
         ),
         headers=["client", "WFC median", "IACK median", "improvement"],
         rows=rows,
@@ -88,6 +98,49 @@ def run(
             "aioquic/mvfst/quic-go": "default PTO expires in both modes",
         },
         extra={"raw": per_client},
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="fig5",
+        title="TTFB under the anti-amplification limit (large cert)",
+        paper="Figure 5",
+        kind=KIND_MATRIX,
+        artifact_level=ArtifactLevel.STATS,
+        cells=cells,
+        aggregate=aggregate,
+        defaults={
+            "http": "h3",
+            "repetitions": 25,
+            "rtt_ms": RTT_MS,
+            "delta_t_ms": DELTA_T_MS,
+            "base_seed": 0,
+        },
+        smoke={"repetitions": 2},
+    )
+)
+
+
+def run(
+    http: str = "h3",
+    repetitions: int = 25,
+    rtt_ms: float = RTT_MS,
+    delta_t_ms: float = DELTA_T_MS,
+    runner: Optional[MatrixRunner] = None,
+    workers: int = 0,
+    cache: Optional[ResultCache] = None,
+) -> ExperimentResult:
+    return SPEC.execute(
+        runner=runner,
+        workers=workers,
+        cache=cache,
+        overrides={
+            "http": http,
+            "repetitions": repetitions,
+            "rtt_ms": rtt_ms,
+            "delta_t_ms": delta_t_ms,
+        },
     )
 
 

@@ -13,11 +13,19 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.analysis.stats import median
-from repro.experiments.common import ExperimentResult, clients_for, matrix_runner
+from repro.experiments.common import ExperimentResult, clients_for
+from repro.experiments.registry import register
+from repro.experiments.spec import (
+    CellResults,
+    ExperimentSpec,
+    KIND_MATRIX,
+    Params,
+    expand_cells,
+)
 from repro.interop.runner import Scenario, SIZE_10KB
 from repro.interop.scenarios import first_server_flight_tail_loss
 from repro.quic.server import ServerMode
-from repro.runtime import MatrixRunner, ResultCache
+from repro.runtime import ArtifactLevel, Cell, MatrixRunner, ResultCache
 
 RTT_MS = 9.0
 
@@ -40,31 +48,30 @@ def scenarios(
     ]
 
 
-def run(
-    http: str = "h1",
-    repetitions: int = 25,
-    rtt_ms: float = RTT_MS,
-    runner: Optional[MatrixRunner] = None,
-    workers: int = 0,
-    cache: Optional[ResultCache] = None,
-) -> ExperimentResult:
+def cells(params: Params) -> List[Cell]:
+    return expand_cells(
+        scenarios(params["http"], params["rtt_ms"]),
+        params["repetitions"],
+        params["base_seed"],
+    )
+
+
+def aggregate(results: CellResults, params: Params) -> ExperimentResult:
+    http, rtt_ms = params["http"], params["rtt_ms"]
     rows: List[List[object]] = []
     raw: Dict[str, Dict[str, List[Optional[float]]]] = {}
-    cells = scenarios(http, rtt_ms)
-    with matrix_runner(runner, workers=workers, cache=cache) as mr:
-        matrix = mr.run_matrix(cells, repetitions)
-    per_scenario = iter(matrix)
+    per_scenario = results.groups(params["repetitions"])
     for client in clients_for(http):
         medians: Dict[str, Optional[float]] = {}
         aborts: Dict[str, int] = {}
         raw[client] = {}
         for mode in (ServerMode.WFC, ServerMode.IACK):
-            results = next(per_scenario)
-            ttfbs = [r.response_ttfb_ms for r in results]
+            group = next(per_scenario)
+            ttfbs = [r.response_ttfb_ms for r in group]
             raw[client][mode.name] = ttfbs
             medians[mode.name] = median(ttfbs)
             aborts[mode.name] = sum(
-                1 for r in results if r.client_stats.aborted is not None
+                1 for r in group if r.client_stats.aborted is not None
             )
         wfc, iack = medians["WFC"], medians["IACK"]
         penalty = None
@@ -92,6 +99,37 @@ def run(
             "quiche": "duplicate CID retirement aborts the measurement (HTTP/1.1)",
         },
         extra={"raw": raw},
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="fig6",
+        title="TTFB under loss of the first server flight tail",
+        paper="Figure 6",
+        kind=KIND_MATRIX,
+        artifact_level=ArtifactLevel.STATS,
+        cells=cells,
+        aggregate=aggregate,
+        defaults={"http": "h1", "repetitions": 25, "rtt_ms": RTT_MS, "base_seed": 0},
+        smoke={"repetitions": 2},
+    )
+)
+
+
+def run(
+    http: str = "h1",
+    repetitions: int = 25,
+    rtt_ms: float = RTT_MS,
+    runner: Optional[MatrixRunner] = None,
+    workers: int = 0,
+    cache: Optional[ResultCache] = None,
+) -> ExperimentResult:
+    return SPEC.execute(
+        runner=runner,
+        workers=workers,
+        cache=cache,
+        overrides={"http": http, "repetitions": repetitions, "rtt_ms": rtt_ms},
     )
 
 

@@ -12,11 +12,19 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.analysis.stats import median
-from repro.experiments.common import ExperimentResult, clients_for, matrix_runner
+from repro.experiments.common import ExperimentResult, clients_for
+from repro.experiments.registry import register
+from repro.experiments.spec import (
+    CellResults,
+    ExperimentSpec,
+    KIND_MATRIX,
+    Params,
+    expand_cells,
+)
 from repro.interop.runner import Scenario, SIZE_10KB
 from repro.interop.scenarios import second_client_flight_loss
 from repro.quic.server import ServerMode
-from repro.runtime import MatrixRunner, ResultCache
+from repro.runtime import ArtifactLevel, Cell, MatrixRunner, ResultCache
 
 RTT_MS = 9.0
 
@@ -33,15 +41,8 @@ PAPER_IMPROVEMENTS_MS = {
 }
 
 
-def run(
-    http: str = "h1",
-    repetitions: int = 25,
-    rtt_ms: float = RTT_MS,
-    runner: "MatrixRunner" = None,
-    workers: int = 0,
-    cache: "ResultCache" = None,
-) -> ExperimentResult:
-    scenarios = [
+def scenarios(http: str, rtt_ms: float) -> List[Scenario]:
+    return [
         Scenario(
             client=client,
             mode=mode,
@@ -53,17 +54,27 @@ def run(
         for client in clients_for(http)
         for mode in (ServerMode.WFC, ServerMode.IACK)
     ]
-    with matrix_runner(runner, workers=workers, cache=cache) as mr:
-        matrix = mr.run_matrix(scenarios, repetitions)
-    per_scenario = iter(matrix)
+
+
+def cells(params: Params) -> List[Cell]:
+    return expand_cells(
+        scenarios(params["http"], params["rtt_ms"]),
+        params["repetitions"],
+        params["base_seed"],
+    )
+
+
+def aggregate(results: CellResults, params: Params) -> ExperimentResult:
+    http = params["http"]
+    per_scenario = results.groups(params["repetitions"])
     rows: List[List[object]] = []
     raw: Dict[str, Dict[str, List[Optional[float]]]] = {}
     for client in clients_for(http):
         medians: Dict[str, Optional[float]] = {}
         raw[client] = {}
         for mode in (ServerMode.WFC, ServerMode.IACK):
-            results = next(per_scenario)
-            ttfbs = [r.response_ttfb_ms for r in results]
+            group = next(per_scenario)
+            ttfbs = [r.response_ttfb_ms for r in group]
             raw[client][mode.name] = ttfbs
             medians[mode.name] = median(ttfbs)
         wfc, iack = medians["WFC"], medians["IACK"]
@@ -82,8 +93,8 @@ def run(
     return ExperimentResult(
         experiment_id="fig7",
         title=(
-            f"TTFB [ms] 10KB @{rtt_ms:.0f}ms RTT, loss of second client "
-            f"flight, {http}"
+            f"TTFB [ms] 10KB @{params['rtt_ms']:.0f}ms RTT, loss of second "
+            f"client flight, {http}"
         ),
         headers=[
             "client", "WFC median", "IACK median", "improvement",
@@ -92,6 +103,37 @@ def run(
         rows=rows,
         paper_reference={"median_improvements_ms": PAPER_IMPROVEMENTS_MS},
         extra={"raw": raw},
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="fig7",
+        title="TTFB under loss of the second client flight",
+        paper="Figure 7",
+        kind=KIND_MATRIX,
+        artifact_level=ArtifactLevel.STATS,
+        cells=cells,
+        aggregate=aggregate,
+        defaults={"http": "h1", "repetitions": 25, "rtt_ms": RTT_MS, "base_seed": 0},
+        smoke={"repetitions": 2},
+    )
+)
+
+
+def run(
+    http: str = "h1",
+    repetitions: int = 25,
+    rtt_ms: float = RTT_MS,
+    runner: Optional[MatrixRunner] = None,
+    workers: int = 0,
+    cache: Optional[ResultCache] = None,
+) -> ExperimentResult:
+    return SPEC.execute(
+        runner=runner,
+        workers=workers,
+        cache=cache,
+        overrides={"http": http, "repetitions": repetitions, "rtt_ms": rtt_ms},
     )
 
 

@@ -13,6 +13,14 @@ from typing import Dict, List
 
 from repro.analysis.stats import cdf, median
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import register
+from repro.experiments.spec import (
+    CellResults,
+    ExperimentSpec,
+    KIND_WILD,
+    Params,
+)
+from repro.runtime import ArtifactLevel, Cell
 from repro.wild.asdb import Cdn
 from repro.wild.qscanner import QScanner, scan_with_engine
 from repro.wild.tranco import TrancoGenerator
@@ -28,25 +36,26 @@ PAPER_MEDIANS_MS = {
 FIGURE_CDNS = (Cdn.AKAMAI, Cdn.AMAZON, Cdn.CLOUDFLARE, Cdn.GOOGLE, Cdn.OTHERS)
 
 
-def run(
-    list_size: int = 100_000,
-    vantage_name: str = "Sao Paulo",
-    seed: int = 0,
-    engine: str = "analytic",
-) -> ExperimentResult:
+def cells(params: Params) -> List[Cell]:
+    return []
+
+
+def aggregate(results: CellResults, params: Params) -> ExperimentResult:
+    list_size, seed = params["list_size"], params["seed"]
+    vantage_name = params["vantage_name"]
     generator = TrancoGenerator(list_size=list_size, seed=seed)
     scanner = QScanner(vantage(vantage_name), seed=seed)
     domains = generator.quic_domains()
-    results = scan_with_engine(scanner, domains, engine=engine)
+    scan = scan_with_engine(scanner, domains, engine=params["engine"])
     rows: List[List[object]] = []
     cdfs: Dict[Cdn, List] = {}
     for cdn in FIGURE_CDNS:
         delays = [
-            r.ack_to_sh_delay_ms for r in results
+            r.ack_to_sh_delay_ms for r in scan
             if r.cdn is cdn and r.iack_observed
         ]
-        coalesced = sum(1 for r in results if r.cdn is cdn and r.coalesced)
-        total = sum(1 for r in results if r.cdn is cdn)
+        coalesced = sum(1 for r in scan if r.cdn is cdn and r.coalesced)
+        total = sum(1 for r in scan if r.cdn is cdn)
         cdfs[cdn] = cdf(delays)
         med = median(delays)
         rows.append(
@@ -71,6 +80,42 @@ def run(
             "note": "Akamai significantly slower to deliver the SH",
         },
         extra={"cdfs": {c.value: v for c, v in cdfs.items()}},
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="fig8",
+        title="ACK→ServerHello delay per CDN (single vantage)",
+        paper="Figure 8",
+        kind=KIND_WILD,
+        artifact_level=ArtifactLevel.STATS,
+        cells=cells,
+        aggregate=aggregate,
+        defaults={
+            "list_size": 100_000,
+            "vantage_name": "Sao Paulo",
+            "seed": 0,
+            "engine": "analytic",
+        },
+        smoke={"list_size": 5_000},
+    )
+)
+
+
+def run(
+    list_size: int = 100_000,
+    vantage_name: str = "Sao Paulo",
+    seed: int = 0,
+    engine: str = "analytic",
+) -> ExperimentResult:
+    return SPEC.execute(
+        overrides={
+            "list_size": list_size,
+            "vantage_name": vantage_name,
+            "seed": seed,
+            "engine": engine,
+        }
     )
 
 

@@ -9,10 +9,18 @@ delays are larger during local daytime.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from repro.analysis.stats import median, percentile_interval
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import register
+from repro.experiments.spec import (
+    CellResults,
+    ExperimentSpec,
+    KIND_WILD,
+    Params,
+)
+from repro.runtime import ArtifactLevel, Cell
 from repro.wild.cloudflare import (
     CloudflareLongitudinalStudy,
     filter_valid,
@@ -20,12 +28,15 @@ from repro.wild.cloudflare import (
 from repro.wild.vantage import vantage
 
 
-def run(
-    vantage_name: str = "Sao Paulo",
-    days: int = 7,
-    seed: int = 0,
-) -> ExperimentResult:
-    study = CloudflareLongitudinalStudy(vantage(vantage_name), seed=seed)
+def cells(params: Params) -> List[Cell]:
+    return []
+
+
+def aggregate(results: CellResults, params: Params) -> ExperimentResult:
+    vantage_name, days = params["vantage_name"], params["days"]
+    study = CloudflareLongitudinalStudy(
+        vantage(vantage_name), seed=params["seed"]
+    )
     samples = filter_valid(study.run(minutes=days * 24 * 60))
     ack_latencies = [
         s.ack_latency_ms for s in samples if s.kind in ("ACK", "SH") and s.ack_latency_ms
@@ -96,6 +107,31 @@ def run(
             ),
             "samples": len(samples),
         },
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="fig9",
+        title="Cloudflare reception latency over one week",
+        paper="Figure 9",
+        kind=KIND_WILD,
+        artifact_level=ArtifactLevel.STATS,
+        cells=cells,
+        aggregate=aggregate,
+        defaults={"vantage_name": "Sao Paulo", "days": 7, "seed": 0},
+        smoke={"days": 1},
+    )
+)
+
+
+def run(
+    vantage_name: str = "Sao Paulo",
+    days: int = 7,
+    seed: int = 0,
+) -> ExperimentResult:
+    return SPEC.execute(
+        overrides={"vantage_name": vantage_name, "days": days, "seed": seed}
     )
 
 

@@ -1,0 +1,263 @@
+"""Declarative experiment specifications.
+
+Every figure/table module used to own its whole pipeline — scenario
+construction, runner lifecycle, repetition bookkeeping, and table
+assembly — so overlapping sweeps (fig6 is the 9 ms column of fig12)
+only shared work when a caller manually threaded one cache through.
+An :class:`ExperimentSpec` splits each experiment into the two parts a
+planner can reason about:
+
+``cells(params)``
+    The experiment's demand: the exact ``(scenario, seed)`` cells it
+    needs, in aggregation order. Model- and wild-measurement
+    experiments return no cells; their whole computation lives in the
+    aggregator.
+
+``aggregate(results, params)``
+    A pure function from executed cells (a :class:`CellResults` view,
+    possibly disk-backed) to the experiment's
+    :class:`~repro.experiments.common.ExperimentResult`.
+
+With demand declared up front, the
+:class:`~repro.runtime.suite.SuiteRunner` can plan the union of cells
+across experiments, dedupe shared cells, execute them once, and fan
+the results back out — and :meth:`ExperimentSpec.execute` gives every
+experiment an identical standalone path (the public ``run(...)``
+functions are thin shims over it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+)
+
+from repro.experiments.common import ExperimentResult, matrix_runner
+from repro.runtime import ArtifactLevel, Cell, MatrixRunner, ResultCache, RunArtifacts
+from repro.runtime.store import ArtifactHandle, ArtifactStore
+
+#: Resolved experiment parameters (defaults merged with overrides).
+Params = Dict[str, Any]
+
+#: Experiment kinds (documentation metadata, rendered in EXPERIMENTS.md).
+KIND_MATRIX = "matrix"  #: simulator scenario-matrix sweep (MatrixRunner cells)
+KIND_MODEL = "model"  #: analytic model / registry check, no simulation cells
+KIND_WILD = "wild"  #: emulated internet measurement (scan/longitudinal)
+
+_KINDS = (KIND_MATRIX, KIND_MODEL, KIND_WILD)
+
+
+class CellResults(Sequence):
+    """One experiment's executed cells, in its declared cell order.
+
+    Entries are either in-memory :class:`RunArtifacts` or
+    :class:`ArtifactHandle` references into an :class:`ArtifactStore`;
+    handles load on access, so aggregators that walk
+    :meth:`groups` hold only one per-scenario repetition group in
+    memory at a time regardless of sweep size.
+    """
+
+    def __init__(
+        self,
+        entries: Sequence[Any],
+        store: Optional[ArtifactStore] = None,
+    ):
+        self._entries = list(entries)
+        self._store = store
+
+    @classmethod
+    def in_memory(cls, artifacts: Sequence[RunArtifacts]) -> "CellResults":
+        return cls(artifacts)
+
+    @classmethod
+    def empty(cls) -> "CellResults":
+        return cls([])
+
+    def _load(self, entry: Any) -> RunArtifacts:
+        if isinstance(entry, ArtifactHandle):
+            if self._store is None:
+                raise ValueError("disk-backed entry without a store")
+            return self._store.get(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._load(e) for e in self._entries[index]]
+        return self._load(self._entries[index])
+
+    def __iter__(self) -> Iterator[RunArtifacts]:
+        for entry in self._entries:
+            yield self._load(entry)
+
+    @property
+    def spilled_count(self) -> int:
+        """How many entries live on disk rather than in memory."""
+        return sum(1 for e in self._entries if isinstance(e, ArtifactHandle))
+
+    def groups(self, size: int) -> Iterator[List[RunArtifacts]]:
+        """Consecutive chunks of ``size`` cells — the per-scenario
+        repetition groups of a matrix laid out scenario-major. Each
+        group is loaded eagerly and released when the caller moves on,
+        which keeps disk-backed aggregation memory at one group."""
+        if size <= 0:
+            raise ValueError("group size must be positive")
+        for start in range(0, len(self._entries), size):
+            yield [self._load(e) for e in self._entries[start : start + size]]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one paper figure/table experiment."""
+
+    id: str
+    title: str
+    #: Paper artifact this reproduces, e.g. ``"Figure 6"`` / ``"Table 1"``.
+    paper: str
+    #: ``matrix`` / ``model`` / ``wild`` — see module constants.
+    kind: str
+    #: Minimum artifact retention the aggregator needs. The standalone
+    #: and suite paths both create runners at (at least) this level —
+    #: a qlog-reading experiment can never silently receive ``stats``
+    #: artifacts.
+    artifact_level: ArtifactLevel
+    #: ``params -> List[Cell]``: the cells to execute, aggregation-ordered.
+    cells: Callable[[Params], List[Cell]]
+    #: ``(CellResults, params) -> ExperimentResult``: pure aggregation.
+    aggregate: Callable[[CellResults, Params], ExperimentResult]
+    #: Default parameters; overrides must use these keys.
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    #: Parameter overrides for fast CI smoke runs (``--smoke``).
+    smoke: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"{self.id}: unknown kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        for key in self.smoke:
+            if key not in self.defaults:
+                raise ValueError(
+                    f"{self.id}: smoke override {key!r} is not a known parameter"
+                )
+
+    # -- parameters -----------------------------------------------------
+
+    def resolve(
+        self,
+        overrides: Optional[Mapping[str, Any]] = None,
+        smoke: bool = False,
+    ) -> Params:
+        """Defaults, then smoke overrides, then explicit overrides.
+
+        Unknown override keys raise — a typo must not silently run the
+        experiment at its defaults.
+        """
+        params: Params = dict(self.defaults)
+        if smoke:
+            params.update(self.smoke)
+        for key, value in (overrides or {}).items():
+            if key not in self.defaults:
+                raise ValueError(
+                    f"{self.id}: unknown parameter {key!r}; known "
+                    f"parameters: {sorted(self.defaults)}"
+                )
+            params[key] = value
+        return params
+
+    def plan_cells(self, params: Params) -> List[Cell]:
+        """The (scenario, seed) cells this experiment needs."""
+        return list(self.cells(params))
+
+    # -- standalone execution -------------------------------------------
+
+    def execute(
+        self,
+        *,
+        runner: Optional[MatrixRunner] = None,
+        workers: int = 0,
+        cache: Optional[ResultCache] = None,
+        store: Optional[ArtifactStore] = None,
+        smoke: bool = False,
+        overrides: Optional[Mapping[str, Any]] = None,
+    ) -> ExperimentResult:
+        """Run this experiment on its own.
+
+        A caller-supplied ``runner`` keeps ownership (and must retain
+        at least :attr:`artifact_level`); otherwise one is created at
+        exactly the spec's declared level. A shared runner's
+        ``base_seed`` wins over the spec's ``base_seed`` default, for
+        parity with the historical ``run(runner=...)`` behavior. With a
+        ``store``, executed cells are streamed to disk and the
+        aggregator reads them back group by group.
+
+        ``workers`` also flows into the params of specs that declare a
+        ``workers`` parameter (the wild-measurement experiments fan out
+        their own coarse passes instead of running matrix cells).
+        """
+        params = self.resolve(overrides, smoke=smoke)
+        if "workers" in self.defaults and "workers" not in (overrides or {}):
+            params["workers"] = workers
+        if runner is not None and "base_seed" in params:
+            params["base_seed"] = runner.base_seed
+        cells = self.plan_cells(params)
+        if not cells:
+            return self.aggregate(CellResults.empty(), params)
+        with matrix_runner(
+            runner,
+            workers=workers,
+            artifact_level=self.artifact_level,
+            cache=cache,
+        ) as mr:
+            if store is not None:
+                from repro.runtime.suite import run_cells_streamed
+
+                entries: Sequence[Any] = run_cells_streamed(mr, cells, store)
+            else:
+                entries = mr.run_cells(cells)
+        return self.aggregate(CellResults(entries, store=store), params)
+
+    # -- introspection --------------------------------------------------
+
+    def describe(self) -> Dict[str, Any]:
+        """Registry metadata (EXPERIMENTS.md / ``repro list``)."""
+        return {
+            "id": self.id,
+            "title": self.title,
+            "paper": self.paper,
+            "kind": self.kind,
+            "artifact_level": self.artifact_level.value,
+            "defaults": {k: _brief(v) for k, v in self.defaults.items()},
+        }
+
+
+def _brief(value: Any) -> Any:
+    """Defaults as shown in listings (tuples become lists for JSON)."""
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+def expand_cells(
+    scenarios: Sequence[Any], repetitions: int, base_seed: int = 0
+) -> List[Cell]:
+    """Scenario-major (scenario × repetition) cell expansion with the
+    canonical ``base_seed + repetition`` seed assignment — the layout
+    :meth:`CellResults.groups` undoes on the aggregation side."""
+    if repetitions <= 0:
+        raise ValueError("repetitions must be positive")
+    return [
+        Cell(scenario, base_seed + rep)
+        for scenario in scenarios
+        for rep in range(repetitions)
+    ]

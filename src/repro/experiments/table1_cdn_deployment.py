@@ -11,7 +11,20 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.experiments.common import ExperimentResult
-from repro.runtime import get_shared_input, parallel_map, set_shared_input
+from repro.experiments.registry import register
+from repro.experiments.spec import (
+    CellResults,
+    ExperimentSpec,
+    KIND_WILD,
+    Params,
+)
+from repro.runtime import (
+    ArtifactLevel,
+    Cell,
+    get_shared_input,
+    parallel_map,
+    set_shared_input,
+)
 from repro.wild.asdb import Cdn
 from repro.wild.qscanner import QScanner, deployment_share, scan_with_engine
 from repro.wild.tranco import TrancoGenerator
@@ -46,14 +59,15 @@ PAPER_SHARES = {
 }
 
 
-def run(
-    list_size: int = 100_000,
-    days: int = 2,
-    vantage_names=None,
-    seed: int = 0,
-    workers: int = 0,
-    engine: str = "analytic",
-) -> ExperimentResult:
+def cells(params: Params) -> List[Cell]:
+    # Wild measurement: fans out vantage × day scan passes itself via
+    # parallel_map; no simulator cells for the matrix planner.
+    return []
+
+
+def aggregate(results: CellResults, params: Params) -> ExperimentResult:
+    list_size, days, seed = params["list_size"], params["days"], params["seed"]
+    vantage_names = params["vantage_names"]
     if vantage_names is None:
         vantage_names = sorted(VANTAGE_POINTS)
     generator = TrancoGenerator(list_size=list_size, seed=seed)
@@ -62,7 +76,7 @@ def run(
     for domain in domains:
         counts[domain.cdn] = counts.get(domain.cdn, 0) + 1
     tasks = [
-        (vantage_name, day, list_size, seed, engine)
+        (vantage_name, day, list_size, seed, params["engine"])
         for vantage_name in vantage_names
         for day in range(days)
     ]
@@ -70,7 +84,7 @@ def run(
     measurements: List[Dict[Cdn, float]] = parallel_map(
         _measure_pass,
         tasks,
-        workers=workers,
+        workers=params["workers"],
         initializer=set_shared_input,
         initargs=(domains,),
     )
@@ -103,6 +117,49 @@ def run(
         rows=rows,
         paper_reference={
             "shares": {c.value: v for c, v in PAPER_SHARES.items()},
+        },
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="table1",
+        title="Instant ACK deployment per CDN (Tranco scan)",
+        paper="Table 1",
+        kind=KIND_WILD,
+        artifact_level=ArtifactLevel.STATS,
+        cells=cells,
+        aggregate=aggregate,
+        defaults={
+            "list_size": 100_000,
+            "days": 2,
+            "vantage_names": None,
+            "seed": 0,
+            "workers": 0,
+            "engine": "analytic",
+        },
+        smoke={"list_size": 5_000, "days": 1, "vantage_names": ("Sao Paulo",)},
+    )
+)
+
+
+def run(
+    list_size: int = 100_000,
+    days: int = 2,
+    vantage_names=None,
+    seed: int = 0,
+    workers: int = 0,
+    engine: str = "analytic",
+) -> ExperimentResult:
+    return SPEC.execute(
+        workers=workers,
+        overrides={
+            "list_size": list_size,
+            "days": days,
+            "vantage_names": vantage_names,
+            "seed": seed,
+            "workers": workers,
+            "engine": engine,
         },
     )
 

@@ -13,8 +13,18 @@ vs amplification      except first dgram   flight          dt < 3RTT   dt >= 3RT
 
 from __future__ import annotations
 
+from typing import List
+
 from repro.core.advisor import DeploymentAdvisor, Recommendation
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import register
+from repro.experiments.spec import (
+    CellResults,
+    ExperimentSpec,
+    KIND_MODEL,
+    Params,
+)
+from repro.runtime import ArtifactLevel, Cell
 
 PAPER_TABLE = {
     "fits": {
@@ -32,9 +42,13 @@ PAPER_TABLE = {
 }
 
 
-def run(rtt_ms: float = 9.0) -> ExperimentResult:
+def cells(params: Params) -> List[Cell]:
+    return []
+
+
+def aggregate(results: CellResults, params: Params) -> ExperimentResult:
     advisor = DeploymentAdvisor()
-    table = advisor.table2(rtt_ms=rtt_ms)
+    table = advisor.table2(rtt_ms=params["rtt_ms"])
     rows = []
     matches = True
     for cert_row, columns in table.items():
@@ -59,6 +73,24 @@ def run(rtt_ms: float = 9.0) -> ExperimentResult:
         paper_reference={"matches_paper": matches},
         extra={"matches": matches},
     )
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="table2",
+        title="Deployment guidelines decision table",
+        paper="Table 2",
+        kind=KIND_MODEL,
+        artifact_level=ArtifactLevel.STATS,
+        cells=cells,
+        aggregate=aggregate,
+        defaults={"rtt_ms": 9.0},
+    )
+)
+
+
+def run(rtt_ms: float = 9.0) -> ExperimentResult:
+    return SPEC.execute(overrides={"rtt_ms": rtt_ms})
 
 
 if __name__ == "__main__":  # pragma: no cover

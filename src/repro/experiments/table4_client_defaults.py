@@ -12,14 +12,22 @@ observed second-flight datagram indices match the declared mapping.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
-from repro.experiments.common import ExperimentResult, CLIENT_ORDER, matrix_runner
+from repro.experiments.common import ExperimentResult, CLIENT_ORDER
+from repro.experiments.registry import register
+from repro.experiments.spec import (
+    CellResults,
+    ExperimentSpec,
+    KIND_MATRIX,
+    Params,
+    expand_cells,
+)
 from repro.impls.registry import client_profile
 from repro.interop.runner import Scenario
 from repro.quic.packet import PacketType
 from repro.quic.server import ServerMode
-from repro.runtime import ArtifactLevel, MatrixRunner, ResultCache
+from repro.runtime import ArtifactLevel, Cell, MatrixRunner, ResultCache
 
 PAPER_TABLE4 = {
     "aioquic": (200, (2, 3, 4)),
@@ -59,22 +67,21 @@ def observed_second_flight_indices(result) -> Tuple[int, ...]:
     return tuple(indices)
 
 
-def run(
-    repetitions: int = 5,
-    rtt_ms: float = 9.0,
-    runner: "MatrixRunner" = None,
-    workers: int = 0,
-    cache: "ResultCache" = None,
-) -> ExperimentResult:
-    scenarios = [
+def scenarios(rtt_ms: float) -> List[Scenario]:
+    return [
         Scenario(client=client, mode=ServerMode.WFC, http="h1", rtt_ms=rtt_ms)
         for client in CLIENT_ORDER
     ]
-    with matrix_runner(
-        runner, workers=workers, artifact_level=ArtifactLevel.TRACE, cache=cache
-    ) as mr:
-        matrix = mr.run_matrix(scenarios, repetitions)
-    per_scenario = iter(matrix)
+
+
+def cells(params: Params) -> List[Cell]:
+    return expand_cells(
+        scenarios(params["rtt_ms"]), params["repetitions"], params["base_seed"]
+    )
+
+
+def aggregate(results: CellResults, params: Params) -> ExperimentResult:
+    per_scenario = results.groups(params["repetitions"])
     rows: List[List[object]] = []
     for client in CLIENT_ORDER:
         profile = client_profile(client)
@@ -104,6 +111,36 @@ def run(
         ],
         rows=rows,
         paper_reference={"table4": PAPER_TABLE4},
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="table4",
+        title="Default PTO and second-client-flight datagram coalescing",
+        paper="Table 4",
+        kind=KIND_MATRIX,
+        artifact_level=ArtifactLevel.TRACE,
+        cells=cells,
+        aggregate=aggregate,
+        defaults={"repetitions": 5, "rtt_ms": 9.0, "base_seed": 0},
+        smoke={"repetitions": 1},
+    )
+)
+
+
+def run(
+    repetitions: int = 5,
+    rtt_ms: float = 9.0,
+    runner: Optional[MatrixRunner] = None,
+    workers: int = 0,
+    cache: Optional[ResultCache] = None,
+) -> ExperimentResult:
+    return SPEC.execute(
+        runner=runner,
+        workers=workers,
+        cache=cache,
+        overrides={"repetitions": repetitions, "rtt_ms": rtt_ms},
     )
 
 

@@ -9,6 +9,14 @@ from __future__ import annotations
 from typing import List
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import register
+from repro.experiments.spec import (
+    CellResults,
+    ExperimentSpec,
+    KIND_MODEL,
+    Params,
+)
+from repro.runtime import ArtifactLevel, Cell
 from repro.wild.asdb import AsDatabase, CDN_AS_NUMBERS, Cdn
 
 PAPER_TABLE5 = {
@@ -22,7 +30,11 @@ PAPER_TABLE5 = {
 }
 
 
-def run() -> ExperimentResult:
+def cells(params: Params) -> List[Cell]:
+    return []
+
+
+def aggregate(results: CellResults, params: Params) -> ExperimentResult:
     asdb = AsDatabase()
     rows: List[List[object]] = []
     all_ok = True
@@ -51,6 +63,23 @@ def run() -> ExperimentResult:
         paper_reference={"table5": {c.value: v for c, v in PAPER_TABLE5.items()}},
         extra={"matches": all_ok},
     )
+
+
+SPEC = register(
+    ExperimentSpec(
+        id="table5",
+        title="AS numbers used for CDN inference",
+        paper="Table 5",
+        kind=KIND_MODEL,
+        artifact_level=ArtifactLevel.STATS,
+        cells=cells,
+        aggregate=aggregate,
+    )
+)
+
+
+def run() -> ExperimentResult:
+    return SPEC.execute()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -8,6 +8,10 @@ Public surface:
 * :class:`ArtifactLevel` / :class:`RunArtifacts` — selectable per-run
   retention (``stats`` / ``trace`` / ``full``).
 * :class:`ResultCache` — sweep-scoped (scenario, seed, level) memo.
+* :class:`ArtifactStore` — disk-streamed spill of per-cell artifacts
+  for larger-than-memory sweeps.
+* :class:`SuiteRunner` — cross-experiment planning: union the cells of
+  any set of registered experiments, dedupe, execute once, fan out.
 * :func:`parallel_map` — coarse-grained task fan-out for the wild
   measurement pipelines.
 
@@ -24,18 +28,33 @@ from repro.runtime.matrix import (
     parallel_map,
     set_shared_input,
 )
+from repro.runtime.store import ArtifactHandle, ArtifactStore
+from repro.runtime.suite import (
+    SuitePlan,
+    SuiteReport,
+    SuiteRunner,
+    run_cells_streamed,
+    run_suite,
+)
 
 __all__ = [
+    "ArtifactHandle",
     "ArtifactLevel",
+    "ArtifactStore",
     "Cell",
     "MatrixRunner",
     "ResultCache",
     "RunArtifacts",
+    "SuitePlan",
+    "SuiteReport",
+    "SuiteRunner",
     "default_workers",
     "execute_cell",
     "get_shared_input",
     "loss_pattern_key",
     "parallel_map",
+    "run_cells_streamed",
+    "run_suite",
     "scenario_key",
     "set_shared_input",
 ]

@@ -1,0 +1,108 @@
+"""Disk-backed spill store for :class:`~repro.runtime.artifacts.RunArtifacts`.
+
+Trace-level sweeps retain the full packet trace and both endpoints'
+qlog event lists per cell; a whole-matrix sweep at that level does not
+fit in memory once the matrix grows past a few thousand cells. The
+:class:`ArtifactStore` streams each cell's artifacts to one pickle
+file in a spill directory and hands back a tiny
+:class:`ArtifactHandle`; consumers re-load cells on demand (the
+:class:`~repro.experiments.spec.CellResults` view loads one
+per-scenario group at a time), so peak memory is bounded by the batch
+size of the producing runner plus one group on the consuming side.
+
+The store owns its directory when it created it (the default:
+``tempfile.mkdtemp``) and deletes it on :meth:`close`; a caller-supplied
+``root`` is left on disk for post-run inspection.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.runtime.artifacts import ArtifactLevel, RunArtifacts
+
+
+@dataclass(frozen=True)
+class ArtifactHandle:
+    """Reference to one spilled cell: the file plus its size."""
+
+    index: int
+    path: str
+    nbytes: int
+
+
+class ArtifactStore:
+    """Streams :class:`RunArtifacts` to an on-disk spill directory.
+
+    ``put`` pickles one cell to ``cell-NNNNNN.pkl`` and returns an
+    :class:`ArtifactHandle`; ``get`` loads it back. ``full``-level
+    artifacts embed live endpoint objects and cannot be pickled, so
+    storing them is rejected up front with a clear error.
+    """
+
+    def __init__(self, root: Optional[str] = None):
+        if root is None:
+            self.root = tempfile.mkdtemp(prefix="repro-spill-")
+            self._owns_root = True
+        else:
+            os.makedirs(root, exist_ok=True)
+            self.root = root
+            self._owns_root = False
+        self._count = 0
+        self.bytes_written = 0
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def __enter__(self) -> "ArtifactStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Delete the spill directory if this store created it."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_root:
+            shutil.rmtree(self.root, ignore_errors=True)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- spill / load ---------------------------------------------------
+
+    def put(self, artifacts: RunArtifacts) -> ArtifactHandle:
+        """Spill one cell's artifacts to disk, returning its handle."""
+        if self._closed:
+            raise ValueError("artifact store is closed")
+        if artifacts.level is ArtifactLevel.FULL:
+            raise ValueError(
+                "artifact level 'full' retains live endpoint objects and "
+                "cannot be spilled to disk; use 'stats' or 'trace'"
+            )
+        index = self._count
+        path = os.path.join(self.root, f"cell-{index:06d}.pkl")
+        with open(path, "wb") as handle_file:
+            pickle.dump(artifacts, handle_file, protocol=pickle.HIGHEST_PROTOCOL)
+        nbytes = os.path.getsize(path)
+        self._count += 1
+        self.bytes_written += nbytes
+        return ArtifactHandle(index=index, path=path, nbytes=nbytes)
+
+    def get(self, handle: ArtifactHandle) -> RunArtifacts:
+        """Load one spilled cell back into memory."""
+        if self._closed:
+            raise ValueError("artifact store is closed")
+        with open(handle.path, "rb") as handle_file:
+            return pickle.load(handle_file)

@@ -1,0 +1,389 @@
+"""Cross-experiment suite planning and execution.
+
+The paper's ~19 figures/tables sweep overlapping regions of one
+(client × server-mode × loss-pattern × RTT) space: fig6 is the 9 ms
+column of fig12, fig7 of fig13, and the ablations re-run unpadded
+baseline cells. Because every experiment now *declares* its demand
+(:meth:`~repro.experiments.spec.ExperimentSpec.cells`), a suite run
+can plan the union:
+
+1. **Plan** — collect each selected experiment's cells, dedupe
+   identical ``(scenario value, seed)`` cells across experiments, and
+   take the max required artifact level.
+2. **Execute** — run the unique cells once on a single shared
+   :class:`~repro.runtime.matrix.MatrixRunner` at that level,
+   optionally streaming each finished cell to a disk-backed
+   :class:`~repro.runtime.store.ArtifactStore` so trace-level suites
+   never hold the whole sweep in memory.
+3. **Fan out** — hand every experiment a
+   :class:`~repro.experiments.spec.CellResults` view onto exactly its
+   cells (in its declared order) and call its pure aggregator.
+
+Stats at a richer artifact level are bit-identical to a ``stats``-level
+run (retention never perturbs connection behavior), so suite results
+match the standalone paths cell for cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.runtime.artifacts import ArtifactLevel, RunArtifacts
+from repro.runtime.cache import ResultCache, scenario_key
+from repro.runtime.matrix import Cell, MatrixRunner
+from repro.runtime.store import ArtifactHandle, ArtifactStore
+
+#: Unique-cell batch size for streamed execution: large enough to keep
+#: a worker pool busy, small enough to bound in-memory artifacts.
+STREAM_BATCH_CELLS = 64
+
+
+def cell_key(cell: Cell) -> Optional[Tuple[Any, ...]]:
+    """Value identity of a cell for cross-experiment dedup, or ``None``
+    when the scenario defeats value identity (custom loss patterns) —
+    such cells are planned as always-unique."""
+    skey = scenario_key(cell.scenario)
+    if skey is None:
+        return None
+    return (skey, cell.seed)
+
+
+def max_level(levels: Sequence[ArtifactLevel]) -> ArtifactLevel:
+    """The slimmest level that covers every requirement."""
+    best = ArtifactLevel.STATS
+    for level in levels:
+        if level.covers(best):
+            best = level
+    return best
+
+
+def run_cells_streamed(
+    runner: MatrixRunner,
+    cells: Sequence[Cell],
+    store: ArtifactStore,
+    batch_size: int = STREAM_BATCH_CELLS,
+) -> List[ArtifactHandle]:
+    """Execute cells in batches, spilling each batch to ``store``
+    before dispatching the next — peak memory is one batch of
+    artifacts instead of the whole sweep."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    handles: List[ArtifactHandle] = []
+    for start in range(0, len(cells), batch_size):
+        batch = runner.run_cells(cells[start : start + batch_size])
+        handles.extend(store.put(artifacts) for artifacts in batch)
+    return handles
+
+
+@dataclass
+class PlannedExperiment:
+    """One experiment's slice of a suite plan."""
+
+    spec: Any  # ExperimentSpec (typed loosely: runtime must not import experiments)
+    params: Dict[str, Any]
+    cells: List[Cell]
+    #: For each of this experiment's cells, its index into the plan's
+    #: unique cell list.
+    slots: List[int]
+
+
+@dataclass
+class SuitePlan:
+    """The union-of-cells execution plan for a set of experiments."""
+
+    experiments: List[PlannedExperiment]
+    unique_cells: List[Cell]
+    artifact_level: ArtifactLevel
+
+    @property
+    def total_cells(self) -> int:
+        return sum(len(p.cells) for p in self.experiments)
+
+    @property
+    def shared_cells(self) -> int:
+        """Cells deduplicated away by cross-experiment planning."""
+        return self.total_cells - len(self.unique_cells)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "experiments": [
+                {
+                    "id": p.spec.id,
+                    "kind": p.spec.kind,
+                    "artifact_level": p.spec.artifact_level.value,
+                    "cells": len(p.cells),
+                }
+                for p in self.experiments
+            ],
+            "total_cells": self.total_cells,
+            "unique_cells": len(self.unique_cells),
+            "shared_cells": self.shared_cells,
+            "artifact_level": self.artifact_level.value,
+        }
+
+    def describe(self) -> str:
+        from repro.analysis.render import render_table
+
+        rows = [
+            [p.spec.id, p.spec.kind, p.spec.artifact_level.value, len(p.cells)]
+            for p in self.experiments
+        ]
+        rows.append(["(suite)", "-", self.artifact_level.value, len(self.unique_cells)])
+        table = render_table(
+            ["experiment", "kind", "artifact level", "cells"],
+            rows,
+            title="Suite plan",
+        )
+        return (
+            f"{table}\n"
+            f"total cells: {self.total_cells}, unique after dedup: "
+            f"{len(self.unique_cells)} ({self.shared_cells} shared)"
+        )
+
+
+@dataclass
+class SuiteReport:
+    """Results plus execution accounting of one suite run."""
+
+    plan: SuitePlan
+    results: Dict[str, Any]  # id -> ExperimentResult
+    executed_cells: int
+    spilled_cells: int = 0
+    spill_bytes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [result.render() for result in self.results.values()]
+        parts.append(
+            f"suite: {self.executed_cells} cells executed "
+            f"({self.plan.shared_cells} shared, "
+            f"{self.spilled_cells} spilled to disk)"
+        )
+        return "\n\n".join(parts)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "plan": self.plan.to_dict(),
+            "executed_cells": self.executed_cells,
+            "spilled_cells": self.spilled_cells,
+            "spill_bytes": self.spill_bytes,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "results": {
+                exp_id: result.to_dict()
+                for exp_id, result in self.results.items()
+            },
+        }
+
+
+class SuiteRunner:
+    """Plans and executes any selection of registered experiments.
+
+    ``runner``
+        Optional caller-owned :class:`MatrixRunner`; it must retain at
+        least the plan's artifact level, and its ``base_seed`` flows
+        into the planned cells exactly as it does for the standalone
+        ``run(runner=...)`` shims. Without one, a runner is created per
+        run at exactly the plan's level (and closed afterwards).
+    ``cache``
+        Optional :class:`ResultCache` for runs that create their own
+        runner (a shared ``runner`` brings its own cache — passing
+        both is rejected rather than silently ignoring one). Spilled
+        runs skip the cache: memoizing every trace-level artifact
+        in memory would defeat the store's memory bound.
+    ``spill``
+        ``"auto"`` (default) streams cells to disk whenever the plan's
+        level retains more than stats; ``"always"`` / ``"never"``
+        force it. ``full``-level plans never spill (live endpoints are
+        unpicklable).
+    ``spill_dir``
+        Optional spill directory, kept on disk after the run; the
+        default is a temporary directory deleted when the run ends.
+    """
+
+    def __init__(
+        self,
+        runner: Optional[MatrixRunner] = None,
+        workers: int = 0,
+        cache: Optional[ResultCache] = None,
+        spill: str = "auto",
+        spill_dir: Optional[str] = None,
+    ):
+        if spill not in ("auto", "always", "never"):
+            raise ValueError("spill must be 'auto', 'always', or 'never'")
+        if runner is not None and cache is not None:
+            raise ValueError(
+                "pass cache only when the suite creates its own runner; "
+                "a shared runner keeps (and uses) its own cache"
+            )
+        self.runner = runner
+        self.workers = workers
+        self.cache = cache
+        self.spill = spill
+        self.spill_dir = spill_dir
+
+    # -- planning -------------------------------------------------------
+
+    def plan(
+        self,
+        experiments: Sequence[Any],
+        overrides: Optional[Mapping[str, Mapping[str, Any]]] = None,
+        smoke: bool = False,
+    ) -> SuitePlan:
+        """Resolve params, collect cells, and dedupe across experiments.
+
+        ``experiments`` are ids or :class:`ExperimentSpec` objects;
+        ``overrides`` maps experiment id → parameter overrides.
+        """
+        from repro.experiments.registry import get_spec
+
+        overrides = overrides or {}
+        planned: List[PlannedExperiment] = []
+        unique: List[Cell] = []
+        slot_of: Dict[Tuple[Any, ...], int] = {}
+        levels: List[ArtifactLevel] = []
+        seen_ids = set()
+        for experiment in experiments:
+            spec = get_spec(experiment)
+            if spec.id in seen_ids:
+                raise ValueError(f"experiment {spec.id!r} selected twice")
+            seen_ids.add(spec.id)
+            exp_overrides = overrides.get(spec.id)
+            params = spec.resolve(exp_overrides, smoke=smoke)
+            if "workers" in spec.defaults and "workers" not in (exp_overrides or {}):
+                params["workers"] = self.workers
+            # A shared runner's base_seed governs the cells, matching
+            # the standalone SPEC.execute(runner=...) path cell for cell.
+            if (
+                self.runner is not None
+                and "base_seed" in spec.defaults
+                and "base_seed" not in (exp_overrides or {})
+            ):
+                params["base_seed"] = self.runner.base_seed
+            cells = spec.plan_cells(params)
+            slots: List[int] = []
+            for cell in cells:
+                key = cell_key(cell)
+                slot = slot_of.get(key) if key is not None else None
+                if slot is None:
+                    slot = len(unique)
+                    unique.append(cell)
+                    if key is not None:
+                        slot_of[key] = slot
+                slots.append(slot)
+            if cells:
+                levels.append(spec.artifact_level)
+            planned.append(
+                PlannedExperiment(spec=spec, params=params, cells=cells, slots=slots)
+            )
+        unknown = set(overrides) - seen_ids
+        if unknown:
+            raise ValueError(
+                f"overrides for unselected experiments: {sorted(unknown)}"
+            )
+        return SuitePlan(
+            experiments=planned,
+            unique_cells=unique,
+            artifact_level=max_level(levels),
+        )
+
+    # -- execution ------------------------------------------------------
+
+    def run(
+        self,
+        experiments: Sequence[Any],
+        overrides: Optional[Mapping[str, Mapping[str, Any]]] = None,
+        smoke: bool = False,
+    ) -> SuiteReport:
+        """Plan, execute unique cells once, fan results out."""
+        from repro.experiments.spec import CellResults
+
+        plan = self.plan(experiments, overrides=overrides, smoke=smoke)
+        store, owned_store = self._resolve_store(plan)
+        runner, owned_runner = self._resolve_runner(
+            plan.artifact_level, attach_cache=store is None
+        )
+        cache = runner.cache
+        hits0, misses0 = (cache.hits, cache.misses) if cache else (0, 0)
+        try:
+            entries: Sequence[Any]
+            if plan.unique_cells:
+                if store is not None:
+                    entries = run_cells_streamed(runner, plan.unique_cells, store)
+                else:
+                    entries = runner.run_cells(plan.unique_cells)
+            else:
+                entries = []
+            results: Dict[str, Any] = {}
+            spilled = sum(1 for e in entries if isinstance(e, ArtifactHandle))
+            for planned in plan.experiments:
+                view = CellResults(
+                    [entries[slot] for slot in planned.slots], store=store
+                )
+                results[planned.spec.id] = planned.spec.aggregate(
+                    view, planned.params
+                )
+            return SuiteReport(
+                plan=plan,
+                results=results,
+                executed_cells=len(plan.unique_cells),
+                spilled_cells=spilled,
+                spill_bytes=store.bytes_written if store is not None else 0,
+                cache_hits=(cache.hits - hits0) if cache else 0,
+                cache_misses=(cache.misses - misses0) if cache else 0,
+            )
+        finally:
+            if owned_store and store is not None:
+                store.close()
+            if owned_runner:
+                runner.close()
+
+    def _resolve_runner(
+        self, level: ArtifactLevel, attach_cache: bool = True
+    ) -> Tuple[MatrixRunner, bool]:
+        if self.runner is not None:
+            if not self.runner.artifact_level.covers(level):
+                raise ValueError(
+                    f"suite requires artifact level {level.value!r} but the "
+                    f"shared runner retains only "
+                    f"{self.runner.artifact_level.value!r}"
+                )
+            return self.runner, False
+        # Spilled runs (attach_cache=False) leave the cache off: a memo
+        # holding every trace-level artifact in memory would defeat the
+        # ArtifactStore's whole point.
+        return (
+            MatrixRunner(
+                workers=self.workers,
+                artifact_level=level,
+                cache=self.cache if attach_cache else None,
+            ),
+            True,
+        )
+
+    def _resolve_store(
+        self, plan: SuitePlan
+    ) -> Tuple[Optional[ArtifactStore], bool]:
+        if not plan.unique_cells or plan.artifact_level is ArtifactLevel.FULL:
+            return None, False
+        if self.spill == "never":
+            return None, False
+        if self.spill == "auto" and plan.artifact_level is ArtifactLevel.STATS:
+            return None, False
+        return ArtifactStore(self.spill_dir), True
+
+
+def run_suite(
+    experiments: Sequence[Union[str, Any]],
+    workers: int = 0,
+    overrides: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    smoke: bool = False,
+    **runner_kwargs: Any,
+) -> SuiteReport:
+    """One-call convenience wrapper over :class:`SuiteRunner`."""
+    return SuiteRunner(workers=workers, **runner_kwargs).run(
+        experiments, overrides=overrides, smoke=smoke
+    )

@@ -1,0 +1,67 @@
+"""The ``python -m repro`` CLI: list/plan/run and the JSON bundle."""
+
+import json
+
+import pytest
+
+from repro.cli import experiments_markdown, main
+from repro.experiments import ExperimentResult
+from repro.experiments.registry import REGISTRY
+
+
+def test_list_renders_registry(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for experiment_id in REGISTRY.ids():
+        assert experiment_id in out
+
+
+def test_list_markdown_is_the_experiments_index(capsys):
+    assert main(["list", "--markdown"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("# Experiments")
+    assert "| fig6 | Figure 6 | matrix | stats |" in out
+    assert "| table4 | Table 4 | matrix | trace |" in out
+    assert experiments_markdown() in out
+
+
+def test_plan_json_reports_dedup(capsys):
+    assert main(["plan", "fig6", "fig12", "--smoke", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["total_cells"] == 96
+    assert payload["unique_cells"] == 64
+    assert payload["shared_cells"] == 32
+
+
+def test_plan_unknown_experiment_fails():
+    with pytest.raises(SystemExit, match="unknown experiment"):
+        main(["plan", "fig99"])
+
+
+def test_run_smoke_writes_bundle(tmp_path, capsys):
+    out_dir = tmp_path / "results"
+    assert (
+        main(
+            [
+                "run", "fig6", "table5", "--smoke",
+                "--out", str(out_dir),
+            ]
+        )
+        == 0
+    )
+    rendered = capsys.readouterr().out
+    assert "[fig6]" in rendered and "[table5]" in rendered
+    result = ExperimentResult.from_json((out_dir / "fig6.json").read_text())
+    assert result.experiment_id == "fig6"
+    assert len(result.rows) == 8
+    suite = json.loads((out_dir / "suite.json").read_text())
+    assert suite["plan"]["experiments"][0]["id"] == "fig6"
+    assert suite["executed_cells"] == suite["plan"]["unique_cells"]
+    assert set(suite["results"]) == {"fig6", "table5"}
+
+
+def test_run_all_expands_registry(capsys):
+    assert main(["plan", "all", "--smoke"]) == 0
+    out = capsys.readouterr().out
+    for experiment_id in REGISTRY.ids():
+        assert experiment_id in out

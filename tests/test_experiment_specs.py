@@ -1,0 +1,140 @@
+"""Declarative experiment registry, spec resolution, artifact-level
+flow-through, and the ExperimentResult JSON round trip."""
+
+import pytest
+
+from repro.experiments import EXPERIMENT_INDEX, ExperimentResult
+from repro.experiments.registry import REGISTRY, get_spec
+from repro.experiments.spec import (
+    CellResults,
+    ExperimentSpec,
+    KIND_MATRIX,
+)
+from repro.experiments import fig6_server_flight_loss as fig6
+from repro.experiments import fig11_rtt_samples as fig11
+from repro.experiments import table5_as_numbers as table5
+from repro.runtime import ArtifactLevel, MatrixRunner
+
+
+def test_registry_covers_every_paper_artifact():
+    assert set(REGISTRY.ids()) == set(EXPERIMENT_INDEX)
+    assert len(REGISTRY) == 19
+
+
+def test_registry_presentation_order_figures_then_tables():
+    ids = [spec.id for spec in REGISTRY.specs()]
+    assert ids[0] == "fig2"
+    assert ids[-1] == "table5"
+    assert ids.index("fig10") > ids.index("fig9")  # numeric, not lexical
+
+
+def test_every_spec_declares_paper_and_level():
+    for spec in REGISTRY.specs():
+        assert spec.paper.startswith(("Figure", "Table"))
+        assert isinstance(spec.artifact_level, ArtifactLevel)
+        params = spec.resolve()
+        assert isinstance(spec.plan_cells(params), list)
+
+
+def test_get_spec_unknown_id_raises():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        get_spec("fig99")
+
+
+def test_resolve_rejects_unknown_parameter():
+    with pytest.raises(ValueError, match="unknown parameter"):
+        fig6.SPEC.resolve({"reptitions": 3})
+
+
+def test_resolve_smoke_then_explicit_overrides():
+    params = fig6.SPEC.resolve({"http": "h3"}, smoke=True)
+    assert params["repetitions"] == fig6.SPEC.smoke["repetitions"]
+    assert params["http"] == "h3"
+    # smoke params must themselves be valid parameter names
+    for spec in REGISTRY.specs():
+        assert set(spec.smoke) <= set(spec.defaults)
+
+
+def test_duplicate_registration_rejected():
+    other = ExperimentSpec(
+        id="fig6",
+        title="imposter",
+        paper="Figure 6",
+        kind=KIND_MATRIX,
+        artifact_level=ArtifactLevel.STATS,
+        cells=lambda params: [],
+        aggregate=lambda results, params: None,
+    )
+    with pytest.raises(ValueError, match="registered twice"):
+        REGISTRY.register(other)
+
+
+def test_spec_execute_matches_run_shim():
+    via_spec = fig6.SPEC.execute(overrides={"repetitions": 2})
+    via_shim = fig6.run(repetitions=2)
+    assert via_spec.rows == via_shim.rows
+
+
+# -- artifact-level flow-through (regression) --------------------------
+
+
+def test_trace_spec_level_flows_into_owned_runner():
+    """fig11 reads qlog events; its declared trace level must reach the
+    runner it creates (the old plumbing silently defaulted to stats)."""
+    result = fig11.run(repetitions=1, response_size=64 * 1024)
+    assert result.experiment_id == "fig11"
+    for row in result.rows:
+        assert row[1] > 0  # packets with new ACKs came from qlog events
+
+
+def test_trace_spec_rejects_stats_level_shared_runner():
+    with MatrixRunner(workers=0, artifact_level="stats") as runner:
+        with pytest.raises(ValueError, match="artifact level"):
+            fig11.run(repetitions=1, response_size=64 * 1024, runner=runner)
+
+
+def test_shared_runner_base_seed_flows_into_cells():
+    with MatrixRunner(workers=0, base_seed=7) as runner:
+        cells_seen = fig6.SPEC.plan_cells(
+            dict(fig6.SPEC.resolve({"repetitions": 2}), base_seed=7)
+        )
+        assert {c.seed for c in cells_seen} == {7, 8}
+        result = fig6.run(repetitions=2, runner=runner)
+    baseline = fig6.run(repetitions=2)
+    # different seeds -> same shape, potentially different values
+    assert [row[0] for row in result.rows] == [row[0] for row in baseline.rows]
+
+
+# -- ExperimentResult JSON round trip ----------------------------------
+
+
+def test_result_json_round_trip():
+    result = table5.run()
+    restored = ExperimentResult.from_json(result.to_json())
+    assert restored.experiment_id == result.experiment_id
+    assert restored.title == result.title
+    assert restored.headers == result.headers
+    assert restored.rows == [list(row) for row in result.rows]
+    assert restored.extra["matches"] == result.extra["matches"]
+    assert restored.render() == result.render()
+
+
+def test_result_json_drops_unserializable_extra():
+    result = ExperimentResult(
+        experiment_id="x",
+        title="t",
+        headers=["a"],
+        rows=[[1]],
+        extra={"ok": [1, 2], "bad": object()},
+    )
+    payload = result.to_dict()
+    assert payload["extra"] == {"ok": [1, 2]}
+    assert payload["extra_dropped"] == ["bad"]
+    restored = ExperimentResult.from_json(result.to_json())
+    assert restored.rows == [[1]]
+    assert "bad" not in restored.extra
+
+
+def test_cell_results_groups_requires_positive_size():
+    with pytest.raises(ValueError):
+        list(CellResults.empty().groups(0))

@@ -1,0 +1,175 @@
+"""Suite planning: cross-experiment dedup, shared-runner execution,
+artifact-level promotion, and disk spill."""
+
+import pytest
+
+import repro.runtime.matrix as matrix_module
+from repro.experiments import fig6_server_flight_loss as fig6
+from repro.experiments import fig12_server_flight_loss_rtts as fig12
+from repro.experiments import table4_client_defaults as table4
+from repro.runtime import (
+    ArtifactLevel,
+    ArtifactStore,
+    MatrixRunner,
+    ResultCache,
+    SuiteRunner,
+    run_suite,
+)
+from repro.runtime.suite import max_level
+
+FIG6_FIG12_OVERRIDES = {
+    "fig6": {"repetitions": 2},
+    "fig12": {"repetitions": 2, "rtts_ms": (9.0, 100.0)},
+}
+
+
+def test_max_level_promotes_to_richest():
+    assert max_level([]) is ArtifactLevel.STATS
+    assert (
+        max_level([ArtifactLevel.STATS, ArtifactLevel.TRACE])
+        is ArtifactLevel.TRACE
+    )
+    assert (
+        max_level([ArtifactLevel.FULL, ArtifactLevel.STATS])
+        is ArtifactLevel.FULL
+    )
+
+
+def test_plan_dedupes_shared_cells():
+    plan = SuiteRunner().plan(["fig6", "fig12"], overrides=FIG6_FIG12_OVERRIDES)
+    # fig6: 16 scenarios x 2 reps; fig12: 32 x 2. The 9 ms column of
+    # fig12 is exactly fig6's matrix -> 32 shared cells.
+    assert plan.total_cells == 96
+    assert len(plan.unique_cells) == 64
+    assert plan.shared_cells == 32
+    assert plan.artifact_level is ArtifactLevel.STATS
+    assert "unique after dedup: 64" in plan.describe()
+
+
+def test_suite_dispatches_shared_cells_once_and_stays_bit_identical(monkeypatch):
+    """fig6 + fig12 planned together must execute the shared 9 ms cells
+    exactly once and reproduce the standalone results bit for bit."""
+    executed = []
+    real_execute = matrix_module.execute_cell
+
+    def counting_execute(scenario, seed, level, runner=None):
+        executed.append((scenario, seed))
+        return real_execute(scenario, seed, level, runner)
+
+    monkeypatch.setattr(matrix_module, "execute_cell", counting_execute)
+    report = SuiteRunner(workers=0).run(
+        ["fig6", "fig12"], overrides=FIG6_FIG12_OVERRIDES
+    )
+    assert len(executed) == 64  # one dispatch per unique cell, none twice
+    assert report.executed_cells == 64
+    standalone6 = fig6.run(repetitions=2)
+    standalone12 = fig12.run(repetitions=2, rtts_ms=(9.0, 100.0))
+    assert report.results["fig6"].rows == standalone6.rows
+    assert report.results["fig12"].rows == standalone12.rows
+
+
+def test_suite_promotes_level_and_spills_trace_artifacts(tmp_path):
+    spill_dir = tmp_path / "spill"
+    report = SuiteRunner(
+        workers=0, spill="always", spill_dir=str(spill_dir)
+    ).run(
+        ["table4", "fig6"],
+        overrides={"table4": {"repetitions": 1}, "fig6": {"repetitions": 1}},
+    )
+    # trace (table4) + stats (fig6) -> the shared runner retains trace
+    assert report.plan.artifact_level is ArtifactLevel.TRACE
+    assert report.spilled_cells == report.executed_cells > 0
+    assert report.spill_bytes > 0
+    # caller-supplied spill dir is kept on disk for inspection
+    assert list(spill_dir.glob("cell-*.pkl"))
+    assert report.results["table4"].rows == table4.run(repetitions=1).rows
+    assert report.results["fig6"].rows == fig6.run(repetitions=1).rows
+
+
+def test_suite_auto_spill_off_for_stats_plans():
+    report = SuiteRunner(workers=0).run(
+        ["fig6"], overrides={"fig6": {"repetitions": 1}}
+    )
+    assert report.spilled_cells == 0
+
+
+def test_suite_mixed_kinds_runs_model_and_wild_without_cells():
+    report = run_suite(
+        ["table2", "table5", "fig6"], overrides={"fig6": {"repetitions": 1}}
+    )
+    assert set(report.results) == {"table2", "table5", "fig6"}
+    assert report.results["table2"].extra["matches"]
+    assert report.executed_cells == 16
+
+
+def test_suite_injects_workers_into_wild_params():
+    plan = SuiteRunner(workers=3).plan(["table1"], smoke=True)
+    assert plan.experiments[0].params["workers"] == 3
+    assert plan.experiments[0].cells == []
+
+
+def test_suite_rejects_underpowered_shared_runner():
+    with MatrixRunner(workers=0, artifact_level="stats") as runner:
+        with pytest.raises(ValueError, match="artifact level"):
+            SuiteRunner(runner=runner).run(
+                ["table4"], overrides={"table4": {"repetitions": 1}}
+            )
+
+
+def test_suite_respects_shared_runner_base_seed():
+    """A shared runner's base_seed governs the planned cells, keeping
+    suite results cell-identical to the standalone run(runner=...) path."""
+    overrides = {"fig6": {"repetitions": 2}}
+    with MatrixRunner(workers=0, base_seed=7) as runner:
+        plan = SuiteRunner(runner=runner).plan(["fig6"], overrides=overrides)
+        assert {c.seed for c in plan.unique_cells} == {7, 8}
+        report = SuiteRunner(runner=runner).run(["fig6"], overrides=overrides)
+        standalone = fig6.run(repetitions=2, runner=runner)
+    assert report.results["fig6"].rows == standalone.rows
+
+
+def test_suite_rejects_cache_alongside_shared_runner():
+    with MatrixRunner(workers=0) as runner:
+        with pytest.raises(ValueError, match="cache"):
+            SuiteRunner(runner=runner, cache=ResultCache())
+
+
+def test_suite_cache_used_for_stats_plans_and_skipped_when_spilling():
+    cache = ResultCache()
+    overrides = {"fig6": {"repetitions": 1}}
+    SuiteRunner(workers=0, cache=cache).run(["fig6"], overrides=overrides)
+    assert len(cache) == 16  # owned-runner stats plan populates the memo
+    report = SuiteRunner(workers=0, cache=cache).run(["fig6"], overrides=overrides)
+    assert report.cache_hits == 16  # second run is served from it
+    spill_cache = ResultCache()
+    SuiteRunner(workers=0, cache=spill_cache, spill="always").run(
+        ["fig6"], overrides=overrides
+    )
+    # spilled runs keep artifacts on disk, not pinned in the memo
+    assert len(spill_cache) == 0
+
+
+def test_suite_rejects_duplicate_selection_and_stray_overrides():
+    with pytest.raises(ValueError, match="selected twice"):
+        SuiteRunner().plan(["fig6", "fig6"])
+    with pytest.raises(ValueError, match="unselected"):
+        SuiteRunner().plan(["fig6"], overrides={"fig12": {"repetitions": 1}})
+
+
+def test_suite_report_serializes():
+    report = SuiteRunner(workers=0).run(
+        ["fig6"], overrides={"fig6": {"repetitions": 1}}
+    )
+    payload = report.to_dict()
+    assert payload["plan"]["total_cells"] == 16
+    assert payload["results"]["fig6"]["experiment_id"] == "fig6"
+
+
+def test_streamed_results_identical_to_in_memory():
+    overrides = {"fig6": {"repetitions": 2}}
+    with ArtifactStore() as store:
+        spilled = fig6.SPEC.execute(store=store, overrides={"repetitions": 2})
+    in_memory = SuiteRunner(workers=0, spill="never").run(
+        ["fig6"], overrides=overrides
+    )
+    assert spilled.rows == in_memory.results["fig6"].rows
