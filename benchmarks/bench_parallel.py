@@ -23,6 +23,16 @@ Legs:
 ``parallel_Nw``
     The new pipeline at N workers.
 
+* **suite_distributed**: the fig12+fig6 suite served over the socket
+  backend to two localhost ``repro worker`` processes — the wire
+  protocol's end-to-end overhead against the in-process pool.
+
+Every entry emits ``speedup_<leg>_vs_<baseline>`` ratio keys that are
+computed identically in ``--quick`` and full runs (both legs measured
+in the same process on the same machine), so ``check_regression.py``
+can diff a CI smoke run against the committed full-size
+``BENCH_parallel.json``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_parallel.py              # full
@@ -45,10 +55,11 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.experiments import fig6_server_flight_loss as fig6  # noqa: E402
 from repro.experiments import fig12_server_flight_loss_rtts as fig12  # noqa: E402
+from repro.experiments import fig6_server_flight_loss as fig6  # noqa: E402
 from repro.experiments import table1_cdn_deployment as table1  # noqa: E402
 from repro.runtime import MatrixRunner, ResultCache, SuiteRunner  # noqa: E402
+from repro.runtime.distributed import SocketBackend  # noqa: E402
 
 FIG6_REPETITIONS = 25
 SWEEP_REPETITIONS = 10
@@ -237,6 +248,77 @@ def bench_suite(repetitions: int, rounds: int) -> dict:
     }
 
 
+def _spawn_local_worker(backend: SocketBackend) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "worker",
+            "--connect", backend.address, "--retry", "30",
+        ],
+        env=env, cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def bench_distributed(repetitions: int, rounds: int) -> dict:
+    """The fig12+fig6 suite served to two localhost ``repro worker``
+    processes over the socket backend vs the same suite run locally.
+
+    On one machine the distributed leg measures pure protocol overhead
+    (framing, pickling, heartbeats, reassembly) on top of the local
+    2-worker pool; across real hosts the same path scales with the
+    fleet instead of the local CPU count.
+    """
+    overrides = {
+        "fig12": {"repetitions": repetitions},
+        "fig6": {"repetitions": repetitions},
+    }
+
+    def local(workers: int) -> None:
+        SuiteRunner(workers=workers).run(["fig12", "fig6"], overrides=overrides)
+
+    legs: dict = {}
+    legs["local_serial_s"] = _best_of(lambda: local(0), rounds)
+    legs["local_2w_s"] = _best_of(lambda: local(2), rounds)
+    backend = SocketBackend(port=0, min_workers=2)
+    workers = [_spawn_local_worker(backend) for _ in range(2)]
+    try:
+        backend.wait_for_workers(2, timeout=60)
+        legs["distributed_2w_s"] = _best_of(
+            lambda: SuiteRunner(backend=backend).run(
+                ["fig12", "fig6"], overrides=overrides
+            ),
+            rounds,
+        )
+    finally:
+        backend.close()
+        for proc in workers:
+            proc.wait(timeout=30)
+    legs["speedup_distributed_2w_vs_serial"] = round(
+        legs["local_serial_s"] / legs["distributed_2w_s"], 2
+    )
+    legs["speedup_distributed_2w_vs_local_2w"] = round(
+        legs["local_2w_s"] / legs["distributed_2w_s"], 2
+    )
+    return {
+        "workload": {
+            "experiments": ["fig12", "fig6"],
+            "http": "h1",
+            "repetitions": repetitions,
+            "workers": 2,
+        },
+        "local_leg": "SuiteRunner on the in-process pool (LocalBackend)",
+        "distributed_leg": (
+            "SuiteRunner on a SocketBackend serving two localhost "
+            "'repro worker' subprocesses (full wire protocol)"
+        ),
+        **legs,
+    }
+
+
 def bench_seed_commit(
     ref: str,
     repetitions: int,
@@ -263,7 +345,7 @@ def bench_seed_commit(
             "from repro.experiments import fig12_server_flight_loss_rtts as f12\n"
             "from repro.experiments import table1_cdn_deployment as t1\n"
             "def best(fn):\n"
-            f"    b = float('inf')\n"
+            "    b = float('inf')\n"
             f"    for _ in range({rounds}):\n"
             "        t0 = time.perf_counter(); fn()\n"
             "        b = min(b, time.perf_counter() - t0)\n"
@@ -343,6 +425,13 @@ def main(argv=None) -> int:
     print(f"suite fig12+fig6: {sweep_reps} reps ...", flush=True)
     report["benchmarks"]["suite_fig12_fig6"] = bench_suite(sweep_reps, rounds)
     print(json.dumps(report["benchmarks"]["suite_fig12_fig6"], indent=2), flush=True)
+    print(f"distributed fig12+fig6 (2 localhost workers): {sweep_reps} reps ...",
+          flush=True)
+    report["benchmarks"]["suite_distributed"] = bench_distributed(
+        sweep_reps, rounds
+    )
+    print(json.dumps(report["benchmarks"]["suite_distributed"], indent=2),
+          flush=True)
 
     if args.seed_ref:
         print(f"seed commit reference ({args.seed_ref}) ...", flush=True)

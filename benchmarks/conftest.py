@@ -6,9 +6,6 @@ run log doubles as the EXPERIMENTS.md data source. Heavy experiments
 run a single round via ``benchmark.pedantic``.
 """
 
-import pytest
-
-
 def run_and_render(benchmark, fn, *args, **kwargs):
     """Benchmark ``fn`` once and print its rendered result."""
     result = benchmark.pedantic(

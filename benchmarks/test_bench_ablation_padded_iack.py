@@ -44,7 +44,7 @@ def test_bench_ablation_padded_iack(benchmark):
     result = benchmark.pedantic(ablation, rounds=1, iterations=1)
     print()
     print(
-        f"IACK TTFB, amplification-limited: unpadded "
+        "IACK TTFB, amplification-limited: unpadded "
         f"{result['unpadded_ms']:.1f} ms vs padded {result['padded_ms']:.1f} ms"
     )
     # Padding must never help here, and may hurt (budget consumption).

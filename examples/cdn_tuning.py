@@ -11,9 +11,9 @@ recommendation with a pair of emulated handshakes.
 
 import argparse
 
-from repro.core.advisor import DeploymentAdvisor, LossScenario, Recommendation
-from repro.core.sweet_spot import classify_impact, reduced_latency_zone_boundary_ms
+from repro.core.advisor import DeploymentAdvisor, LossScenario
 from repro.core.pto_model import first_pto_reduction
+from repro.core.sweet_spot import classify_impact, reduced_latency_zone_boundary_ms
 from repro.interop import Runner, Scenario
 from repro.quic.certs import Certificate
 from repro.quic.server import ServerMode
@@ -32,13 +32,13 @@ def main() -> None:
     advisor = DeploymentAdvisor()
     print(f"deployment: cert={args.cert_size}B rtt={args.rtt}ms "
           f"delta_t={args.delta_t}ms")
-    print(f"certificate exceeds 3x amplification budget: "
+    print("certificate exceeds 3x amplification budget: "
           f"{advisor.certificate_exceeds_budget(args.cert_size)}")
-    print(f"spurious-retransmit boundary (3 x RTT): "
+    print("spurious-retransmit boundary (3 x RTT): "
           f"{reduced_latency_zone_boundary_ms(args.rtt):.1f} ms")
-    print(f"expected first-PTO reduction from IACK: "
+    print("expected first-PTO reduction from IACK: "
           f"{first_pto_reduction(args.rtt, args.delta_t):.1f} ms")
-    print(f"impact class: "
+    print("impact class: "
           f"{classify_impact(args.rtt, args.delta_t).value}\n")
 
     print("Table 2 advice per scenario:")

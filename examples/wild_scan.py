@@ -71,7 +71,7 @@ def main() -> None:
     gaps = [s.sh_latency_ms - s.ack_latency_ms for s in samples
             if s.kind == "SH" and s.sh_latency_ms and s.ack_latency_ms]
     print(f"  median IACK->SH gap: {median(gaps):.2f} ms "
-          f"(paper: 2.1 ms in Sao Paulo)")
+          "(paper: 2.1 ms in Sao Paulo)")
 
 
 if __name__ == "__main__":

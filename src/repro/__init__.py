@@ -38,12 +38,12 @@ Subpackages
     One module per paper table and figure.
 """
 
-__version__ = "1.0.0"
-
-from repro.core.pto_model import PtoModel, first_pto_reduction
 from repro.core.advisor import DeploymentAdvisor, Recommendation
+from repro.core.pto_model import PtoModel, first_pto_reduction
+from repro.impls.registry import CLIENT_PROFILES, client_profile
 from repro.quic.recovery import RttEstimator
-from repro.impls.registry import client_profile, CLIENT_PROFILES
+
+__version__ = "1.0.0"
 
 __all__ = [
     "PtoModel",

@@ -1,5 +1,6 @@
 """Statistics and rendering helpers shared by the experiments."""
 
+from repro.analysis.render import render_series, render_table
 from repro.analysis.stats import (
     cdf,
     median,
@@ -7,7 +8,6 @@ from repro.analysis.stats import (
     percentile_interval,
     summarize,
 )
-from repro.analysis.render import render_series, render_table
 
 __all__ = [
     "median",

@@ -125,7 +125,7 @@ def matrix_runner(
         required = ArtifactLevel.coerce(artifact_level)
         if not runner.artifact_level.covers(required):
             raise ValueError(
-                f"this experiment needs artifact level "
+                "this experiment needs artifact level "
                 f"{required.value!r} but the shared runner retains only "
                 f"{runner.artifact_level.value!r}; create the runner "
                 f"with artifact_level={required.value!r} (or 'full')"

@@ -78,7 +78,7 @@ def aggregate(results: CellResults, params: Params) -> ExperimentResult:
     return ExperimentResult(
         experiment_id="fig11",
         title=(
-            f"RTT samples: packets with new ACKs vs exposed metric "
+            "RTT samples: packets with new ACKs vs exposed metric "
             f"updates ({params['response_size'] // (1024 * 1024)}MB "
             f"@{params['rtt_ms']:.0f}ms, WFC)"
         ),

@@ -16,8 +16,8 @@ from typing import List, Optional
 
 from repro.http import semantics_for
 from repro.http.base import RequestSpec
-from repro.impls.registry import QUIC_GO_SERVER, client_profile
 from repro.impls.profile import ImplProfile
+from repro.impls.registry import QUIC_GO_SERVER, client_profile
 from repro.qlog.writer import QlogWriter
 from repro.quic.certs import Certificate, SMALL_CERTIFICATE
 from repro.quic.client import ClientConnection

@@ -10,6 +10,12 @@ event stream and those per-implementation exposure differences
 variance is logged at all.
 """
 
+from repro.qlog.analysis import (
+    count_metric_updates,
+    count_new_ack_packets,
+    first_pto_from_qlog,
+    metric_series,
+)
 from repro.qlog.events import (
     EventCategory,
     MetricsUpdated,
@@ -17,12 +23,6 @@ from repro.qlog.events import (
     QlogEvent,
 )
 from repro.qlog.writer import ExposurePolicy, QlogWriter
-from repro.qlog.analysis import (
-    count_metric_updates,
-    count_new_ack_packets,
-    first_pto_from_qlog,
-    metric_series,
-)
 
 __all__ = [
     "QlogEvent",

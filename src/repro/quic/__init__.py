@@ -18,7 +18,10 @@ sufficient because only sizes, ordering, and processing delays affect
 handshake timing.
 """
 
-from repro.quic.packet import Packet, PacketType, Space
+from repro.quic.amplification import AmplificationLimiter
+from repro.quic.certs import LARGE_CERTIFICATE, SMALL_CERTIFICATE, Certificate
+from repro.quic.client import ClientConnection
+from repro.quic.coalescing import Datagram
 from repro.quic.frames import (
     AckFrame,
     ConnectionCloseFrame,
@@ -31,11 +34,8 @@ from repro.quic.frames import (
     RetireConnectionIdFrame,
     StreamFrame,
 )
-from repro.quic.coalescing import Datagram
+from repro.quic.packet import Packet, PacketType, Space
 from repro.quic.recovery import Recovery, RttEstimator
-from repro.quic.amplification import AmplificationLimiter
-from repro.quic.certs import Certificate, LARGE_CERTIFICATE, SMALL_CERTIFICATE
-from repro.quic.client import ClientConnection
 from repro.quic.server import ServerConnection, ServerMode
 
 __all__ = [

@@ -19,7 +19,6 @@ from repro.quic.coalescing import Datagram
 from repro.quic.connection import Endpoint
 from repro.quic.frames import CryptoFrame, Frame, MaxDataFrame, StreamFrame
 from repro.quic.packet import Packet, Space
-from repro.quic.streams import SendStream
 from repro.quic.tls import (
     SERVER_HELLO_SIZE,
     client_finished,

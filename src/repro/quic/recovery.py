@@ -34,12 +34,11 @@ reproduce their stacks' behavior:
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.quic.frames import AckFrame, Frame
+from repro.quic.frames import AckFrame
 from repro.quic.packet import Packet, Space
 
 #: RFC 9002 timer granularity (kGranularity), 1 ms.

@@ -28,6 +28,7 @@ from repro.impls.profile import ImplProfile
 from repro.qlog.writer import QlogWriter
 from repro.quic.amplification import AmplificationLimiter
 from repro.quic.certs import Certificate, SMALL_CERTIFICATE
+from repro.quic.cid import make_cid
 from repro.quic.coalescing import Datagram, MAX_DATAGRAM_SIZE
 from repro.quic.connection import MAX_FRAME_PAYLOAD, Endpoint
 from repro.quic.frames import (
@@ -44,7 +45,6 @@ from repro.quic.tls import (
     server_handshake_messages,
     server_hello,
 )
-from repro.quic.cid import make_cid
 from repro.sim.engine import EventLoop
 
 

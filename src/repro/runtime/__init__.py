@@ -7,6 +7,10 @@ Public surface:
   stable result order.
 * :class:`ArtifactLevel` / :class:`RunArtifacts` — selectable per-run
   retention (``stats`` / ``trace`` / ``full``).
+* :class:`ExecutionBackend` — pluggable chunk execution:
+  :class:`LocalBackend` (in-process pool) or :class:`SocketBackend`
+  (chunks served over TCP to ``python -m repro worker`` processes on
+  any number of hosts; see :mod:`repro.runtime.distributed`).
 * :class:`ResultCache` — sweep-scoped (scenario, seed, level) memo.
 * :class:`ArtifactStore` — disk-streamed spill of per-cell artifacts
   for larger-than-memory sweeps.
@@ -19,7 +23,9 @@ See ``PERFORMANCE.md`` at the repository root for the complete guide.
 """
 
 from repro.runtime.artifacts import ArtifactLevel, RunArtifacts, execute_cell
+from repro.runtime.backend import ExecutionBackend, LocalBackend
 from repro.runtime.cache import ResultCache, loss_pattern_key, scenario_key
+from repro.runtime.distributed import SocketBackend, worker_main
 from repro.runtime.matrix import (
     Cell,
     MatrixRunner,
@@ -42,9 +48,12 @@ __all__ = [
     "ArtifactLevel",
     "ArtifactStore",
     "Cell",
+    "ExecutionBackend",
+    "LocalBackend",
     "MatrixRunner",
     "ResultCache",
     "RunArtifacts",
+    "SocketBackend",
     "SuitePlan",
     "SuiteReport",
     "SuiteRunner",
@@ -57,4 +66,5 @@ __all__ = [
     "run_suite",
     "scenario_key",
     "set_shared_input",
+    "worker_main",
 ]

@@ -1,0 +1,114 @@
+"""Pluggable execution backends for the parallel runtime.
+
+:class:`~repro.runtime.matrix.MatrixRunner` splits pending cells into
+:data:`~repro.runtime.worker.GroupedChunk` units; *where* those chunks
+execute is a backend decision:
+
+* :class:`LocalBackend` — the in-process ``ProcessPoolExecutor`` fan-out
+  (the original single-host path, now behind the interface).
+* :class:`~repro.runtime.distributed.SocketBackend` — chunks served
+  over TCP to ``python -m repro worker`` processes on any number of
+  hosts (see :mod:`repro.runtime.distributed`).
+
+Backends receive chunks whose scenarios were already grouped and
+stripped for the wire, and return ``(cell index, RunArtifacts)`` pairs;
+the caller reassembles results by index, so any backend that executes
+:func:`~repro.runtime.worker.run_cell_chunk` faithfully is
+bit-identical to serial execution by construction.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+from concurrent.futures import Executor, ProcessPoolExecutor
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.runtime.artifacts import RunArtifacts
+from repro.runtime.worker import GroupedChunk, run_cell_chunk
+
+
+def mp_context():
+    """Fork where available (cheap, inherits the parent's imports);
+    the default context elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class ExecutionBackend(abc.ABC):
+    """Executes grouped cell chunks somewhere.
+
+    Implementations must preserve per-chunk result tagging (each result
+    carries its original cell index) but are free to execute chunks in
+    any order, on any host, with any concurrency.
+    """
+
+    #: Short human-readable backend name (CLI ``--backend`` values).
+    name: str = "backend"
+
+    @abc.abstractmethod
+    def parallelism(self) -> int:
+        """How many chunks the backend can usefully run at once —
+        drives the caller's chunk sizing."""
+
+    @abc.abstractmethod
+    def run_chunks(
+        self, chunks: Sequence[GroupedChunk], level_value: str
+    ) -> List[Tuple[int, RunArtifacts]]:
+        """Execute every chunk, returning the tagged results of all of
+        them (in any order; callers reassemble by index)."""
+
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class LocalBackend(ExecutionBackend):
+    """Chunk execution on a lazily created local process pool.
+
+    The pool is reused across :meth:`run_chunks` calls and reaped by
+    :meth:`close`; ``workers`` bounds the pool size exactly like the
+    historical ``MatrixRunner(workers=N)`` behavior it extracts.
+    """
+
+    name = "local"
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("LocalBackend needs at least one worker")
+        self.workers = workers
+        self._executor: Optional[Executor] = None
+
+    def _pool(self) -> Executor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=mp_context()
+            )
+        return self._executor
+
+    def parallelism(self) -> int:
+        return self.workers
+
+    def run_chunks(
+        self, chunks: Sequence[GroupedChunk], level_value: str
+    ) -> List[Tuple[int, RunArtifacts]]:
+        pool = self._pool()
+        futures = [
+            pool.submit(run_cell_chunk, chunk, level_value) for chunk in chunks
+        ]
+        out: List[Tuple[int, RunArtifacts]] = []
+        for future in futures:
+            out.extend(future.result())
+        return out
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None

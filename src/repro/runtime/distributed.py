@@ -1,0 +1,642 @@
+"""Multi-host chunk execution over a length-prefixed TCP protocol.
+
+The ROADMAP's scaling step past the single-machine pool: a
+:class:`SocketBackend` listens on one port, any number of
+``python -m repro worker --connect HOST:PORT`` processes dial in, and
+planned-suite chunks are served to whichever worker is idle. Results
+carry their original cell indices, so reassembly is deterministic and
+the suite output is bit-identical to local execution regardless of
+worker count, chunk interleaving, or mid-run worker loss.
+
+Wire protocol (version 1)
+-------------------------
+
+Every frame is ``b"RPRO" | type:u8 | length:u32be | payload`` with a
+pickled payload. Frames whose magic is wrong, whose length exceeds the
+configured bound, or whose payload does not unpickle raise
+:class:`ProtocolError`; the server answers any of those by dropping
+that connection (never by crashing the run).
+
+========== =============== ==========================================
+type       direction       payload
+========== =============== ==========================================
+HELLO      worker → server ``{"version", "pid", "host"}``
+CHUNK      server → worker ``(job_id, chunk_id, GroupedChunk, level)``
+RESULT     worker → server ``(job_id, chunk_id, [(index, artifacts)])``
+HEARTBEAT  worker → server ``None`` (liveness while computing)
+ERROR      worker → server ``{"job_id", "chunk_id", "error", "traceback"}``
+SHUTDOWN   server → worker ``None`` (drain and exit 0)
+========== =============== ==========================================
+
+``job_id`` identifies one :meth:`SocketBackend.run_chunks` call; the
+worker echoes it verbatim. Results and errors whose job id does not
+match the current job are stale leftovers of an aborted run on a
+reused backend and are discarded instead of corrupting the new job.
+
+Failure semantics
+-----------------
+
+* A worker that stops sending frames for ``heartbeat_timeout`` seconds
+  (or whose socket dies, or that sends a malformed frame) is dropped
+  and its in-flight chunk is requeued for the remaining workers. A
+  chunk dispatched ``max_chunk_retries`` times without completing
+  aborts the run — a poison chunk must not requeue forever.
+* A chunk that raises *inside* ``run_cell_chunk`` is deterministic
+  (same cells fail everywhere), so the worker reports an ERROR frame
+  and the server aborts the run with the remote traceback instead of
+  requeueing.
+* Late results from a worker presumed lost are accepted if the chunk
+  is still outstanding and ignored otherwise (both copies are
+  bit-identical, so either is safe).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import struct
+import threading
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.runtime.artifacts import RunArtifacts
+from repro.runtime.backend import ExecutionBackend
+from repro.runtime.worker import GroupedChunk, run_cell_chunk
+
+PROTOCOL_VERSION = 1
+MAGIC = b"RPRO"
+_HEADER = struct.Struct(">4sBI")
+
+#: Frames above this are refused on both send and receive. Trace-level
+#: chunks carry full packet traces, so the default bound is generous.
+DEFAULT_MAX_FRAME_BYTES = 256 * 1024 * 1024
+DEFAULT_HEARTBEAT_INTERVAL = 2.0
+DEFAULT_HEARTBEAT_TIMEOUT = 30.0
+DEFAULT_WORKER_WAIT_TIMEOUT = 120.0
+
+MSG_HELLO = 1
+MSG_CHUNK = 2
+MSG_RESULT = 3
+MSG_HEARTBEAT = 4
+MSG_SHUTDOWN = 5
+MSG_ERROR = 6
+
+
+class ProtocolError(Exception):
+    """A frame violated the wire protocol (bad magic, oversized,
+    undecodable payload, or out-of-order message)."""
+
+
+# -- framing ------------------------------------------------------------
+
+
+def send_frame(
+    sock: socket.socket,
+    msg_type: int,
+    payload: Any,
+    lock: Optional[threading.Lock] = None,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> None:
+    """Serialize and send one frame (atomically under ``lock``)."""
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(data) > max_frame_bytes:
+        raise ProtocolError(
+            f"outgoing frame of {len(data)} bytes exceeds the "
+            f"{max_frame_bytes}-byte bound; lower the chunk size"
+        )
+    frame = _HEADER.pack(MAGIC, msg_type, len(data)) + data
+    if lock is None:
+        sock.sendall(frame)
+    else:
+        with lock:
+            sock.sendall(frame)
+
+
+def _recv_exact(sock: socket.socket, nbytes: int) -> bytes:
+    buf = bytearray()
+    while len(buf) < nbytes:
+        piece = sock.recv(nbytes - len(buf))
+        if not piece:
+            raise ConnectionError("connection closed mid-frame")
+        buf += piece
+    return bytes(buf)
+
+
+def recv_frame(
+    sock: socket.socket, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> Tuple[int, Any]:
+    """Read one frame, validating magic and length before the payload
+    is ever buffered."""
+    magic, msg_type, length = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            f"incoming frame of {length} bytes exceeds the "
+            f"{max_frame_bytes}-byte bound"
+        )
+    payload = _recv_exact(sock, length)
+    try:
+        return msg_type, pickle.loads(payload)
+    except Exception as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc!r}") from exc
+
+
+# -- worker side --------------------------------------------------------
+
+
+def _enable_keepalive(sock: socket.socket) -> None:
+    """TCP keepalive so a peer that vanishes without a FIN/RST (host
+    power-off, network partition) is detected in minutes, not never —
+    idle workers block in ``recv`` between jobs with no protocol-level
+    traffic of their own to notice the loss."""
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+    for option, value in (
+        ("TCP_KEEPIDLE", 30),
+        ("TCP_KEEPINTVL", 10),
+        ("TCP_KEEPCNT", 3),
+    ):
+        if hasattr(socket, option):  # Linux; other platforms keep defaults
+            sock.setsockopt(socket.IPPROTO_TCP, getattr(socket, option), value)
+
+
+def connect_with_retry(
+    host: str, port: int, retry_for: float = 0.0, poll: float = 0.2
+) -> socket.socket:
+    """Dial the coordinator, retrying for up to ``retry_for`` seconds —
+    lets workers start before the ``repro run`` process is listening."""
+    deadline = time.monotonic() + retry_for
+    while True:
+        try:
+            return socket.create_connection((host, port))
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(poll)
+
+
+def worker_main(
+    host: str,
+    port: int,
+    heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    retry_for: float = 10.0,
+    fail_after: Optional[int] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> int:
+    """One remote worker: connect, serve chunks until SHUTDOWN.
+
+    A daemon thread heartbeats every ``heartbeat_interval`` seconds so
+    the server can tell a long-running chunk from a dead worker.
+
+    ``fail_after`` is fault injection for the failure-path tests and CI
+    chaos runs: after serving that many chunks the worker hard-exits
+    (``os._exit``) upon receiving its next chunk — indistinguishable
+    from SIGKILL, guaranteeing an unacknowledged in-flight chunk.
+
+    Returns 0 on orderly shutdown, 1 if the coordinator vanished.
+    """
+    say = log or (lambda message: None)
+    sock = connect_with_retry(host, port, retry_for=retry_for)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    _enable_keepalive(sock)
+    send_lock = threading.Lock()
+    send_frame(
+        sock,
+        MSG_HELLO,
+        {
+            "version": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+        },
+        lock=send_lock,
+        max_frame_bytes=max_frame_bytes,
+    )
+    say(f"connected to {host}:{port} (pid {os.getpid()})")
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(heartbeat_interval):
+            try:
+                send_frame(sock, MSG_HEARTBEAT, None, lock=send_lock)
+            except OSError:
+                return
+
+    threading.Thread(target=beat, daemon=True).start()
+    chunks_done = 0
+    try:
+        while True:
+            msg_type, payload = recv_frame(sock, max_frame_bytes)
+            if msg_type == MSG_SHUTDOWN:
+                say(f"shutdown after {chunks_done} chunk(s)")
+                return 0
+            if msg_type != MSG_CHUNK:
+                continue
+            job_id, chunk_id, grouped, level_value = payload
+            if fail_after is not None and chunks_done >= fail_after:
+                say(f"fault injection: dying with chunk {chunk_id} in flight")
+                os._exit(17)
+            try:
+                results = run_cell_chunk(grouped, level_value)
+                send_frame(
+                    sock,
+                    MSG_RESULT,
+                    (job_id, chunk_id, results),
+                    lock=send_lock,
+                    max_frame_bytes=max_frame_bytes,
+                )
+            except Exception as exc:
+                # Includes an oversized RESULT pickle: that is as
+                # deterministic as a simulator error, so report it
+                # instead of dying and letting the chunk requeue.
+                send_frame(
+                    sock,
+                    MSG_ERROR,
+                    {
+                        "job_id": job_id,
+                        "chunk_id": chunk_id,
+                        "error": repr(exc),
+                        "traceback": traceback.format_exc(),
+                    },
+                    lock=send_lock,
+                    max_frame_bytes=max_frame_bytes,
+                )
+                continue
+            chunks_done += 1
+    except (ConnectionError, ProtocolError, OSError) as exc:
+        say(f"coordinator lost: {exc!r}")
+        return 1
+    finally:
+        stop.set()
+        sock.close()
+
+
+# -- server side --------------------------------------------------------
+
+
+@dataclass
+class BackendStats:
+    """Observability counters for one :class:`SocketBackend`."""
+
+    workers_seen: int = 0
+    workers_lost: int = 0
+    chunks_dispatched: int = 0
+    chunks_requeued: int = 0
+    protocol_errors: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return dict(vars(self))
+
+
+class _WorkerConn:
+    """Server-side state of one connected worker."""
+
+    __slots__ = ("wid", "sock", "addr", "send_lock", "alive", "inflight", "info")
+
+    def __init__(self, wid: int, sock: socket.socket, addr: Any, info: Dict[str, Any]):
+        self.wid = wid
+        self.sock = sock
+        self.addr = addr
+        self.send_lock = threading.Lock()
+        self.alive = True
+        #: ``(job_id, chunk_id)`` of the dispatched-but-unanswered chunk.
+        self.inflight: Optional[Tuple[int, int]] = None
+        self.info = info
+
+
+@dataclass
+class _Job:
+    """One ``run_chunks`` call: pending queue, attempts, results."""
+
+    job_id: int
+    chunks: Sequence[GroupedChunk]
+    max_chunk_retries: int
+    pending: deque = field(default_factory=deque)
+    attempts: List[int] = field(default_factory=list)
+    results: Dict[int, List[Tuple[int, RunArtifacts]]] = field(default_factory=dict)
+    failure: Optional[Dict[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        self.pending = deque(range(len(self.chunks)))
+        self.attempts = [0] * len(self.chunks)
+
+    def checkout(self) -> Optional[int]:
+        """Next chunk to dispatch, enforcing the retry bound."""
+        if not self.pending:
+            return None
+        chunk_id = self.pending.popleft()
+        self.attempts[chunk_id] += 1
+        if self.attempts[chunk_id] > self.max_chunk_retries:
+            raise RuntimeError(
+                f"chunk {chunk_id} was dispatched {self.max_chunk_retries} "
+                "times without completing; giving up"
+            )
+        return chunk_id
+
+    def record(self, chunk_id: int, results: List[Tuple[int, RunArtifacts]]) -> None:
+        # First completion wins; a duplicate from a requeued twin is
+        # bit-identical and safely ignored.
+        if chunk_id not in self.results:
+            self.results[chunk_id] = results
+
+    def requeue(self, chunk_id: int) -> None:
+        if chunk_id not in self.results:
+            self.pending.appendleft(chunk_id)
+
+    def done(self) -> bool:
+        return len(self.results) == len(self.chunks)
+
+    def results_in_order(self) -> List[Tuple[int, RunArtifacts]]:
+        out: List[Tuple[int, RunArtifacts]] = []
+        for chunk_id in range(len(self.chunks)):
+            out.extend(self.results[chunk_id])
+        return out
+
+
+class SocketBackend(ExecutionBackend):
+    """Serve chunks to remote ``repro worker`` processes over TCP.
+
+    The listener binds in the constructor (``port=0`` picks an
+    ephemeral port, re-read from :attr:`port`), an accept thread admits
+    workers as they dial in — before, during, and between jobs — and
+    :meth:`run_chunks` blocks until ``min_workers`` are connected
+    before dispatching. One chunk is outstanding per worker; finished
+    workers immediately receive the next pending chunk, so faster
+    workers naturally take more of the queue.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        min_workers: int = 1,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        max_chunk_retries: int = 3,
+        worker_wait_timeout: float = DEFAULT_WORKER_WAIT_TIMEOUT,
+    ):
+        if min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        if max_chunk_retries < 1:
+            raise ValueError("max_chunk_retries must be >= 1")
+        self.min_workers = min_workers
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_frame_bytes = max_frame_bytes
+        self.max_chunk_retries = max_chunk_retries
+        self.worker_wait_timeout = worker_wait_timeout
+        self.stats = BackendStats()
+        self._listener = socket.create_server((host, port), backlog=16)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._workers: Dict[int, _WorkerConn] = {}
+        self._next_wid = 0
+        self._job_seq = 0
+        self._job: Optional[_Job] = None
+        self._closed = False
+        self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._accept_thread.start()
+
+    # -- connection management -----------------------------------------
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                sock, addr = self._listener.accept()
+            except OSError:  # listener closed
+                return
+            threading.Thread(
+                target=self._serve_worker, args=(sock, addr), daemon=True
+            ).start()
+
+    def _serve_worker(self, sock: socket.socket, addr: Any) -> None:
+        sock.settimeout(self.heartbeat_timeout)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            msg_type, payload = recv_frame(sock, self.max_frame_bytes)
+            if msg_type != MSG_HELLO:
+                raise ProtocolError(f"expected HELLO, got message type {msg_type}")
+            if not isinstance(payload, dict) or payload.get("version") != PROTOCOL_VERSION:
+                raise ProtocolError(f"protocol version mismatch: {payload!r}")
+        except (ProtocolError, ConnectionError, OSError):
+            with self._cond:
+                self.stats.protocol_errors += 1
+            sock.close()
+            return
+        with self._cond:
+            if self._closed:
+                sock.close()
+                return
+            self._next_wid += 1
+            conn = _WorkerConn(self._next_wid, sock, addr, payload)
+            self._workers[conn.wid] = conn
+            self.stats.workers_seen += 1
+            self._cond.notify_all()
+        reason: Optional[BaseException] = None
+        try:
+            while True:
+                msg_type, payload = recv_frame(sock, self.max_frame_bytes)
+                if msg_type == MSG_HEARTBEAT:
+                    continue
+                if msg_type == MSG_RESULT:
+                    job_id, chunk_id, results = payload
+                    with self._cond:
+                        if conn.inflight == (job_id, chunk_id):
+                            conn.inflight = None
+                        # Frames from an aborted previous job are stale:
+                        # recording them would graft old-plan cells into
+                        # the new job, so they are discarded.
+                        if self._job is not None and self._job.job_id == job_id:
+                            self._job.record(chunk_id, results)
+                        self._cond.notify_all()
+                elif msg_type == MSG_ERROR:
+                    job_id = payload.get("job_id")
+                    with self._cond:
+                        if conn.inflight == (job_id, payload.get("chunk_id")):
+                            conn.inflight = None
+                        if self._job is not None and self._job.job_id == job_id:
+                            self._job.failure = payload
+                        self._cond.notify_all()
+        except (ProtocolError, ConnectionError, OSError) as exc:
+            reason = exc
+        self._drop_worker(conn, reason)
+
+    def _drop_worker(self, conn: _WorkerConn, reason: Optional[BaseException]) -> None:
+        with self._cond:
+            if not conn.alive:
+                return
+            conn.alive = False
+            self._workers.pop(conn.wid, None)
+            # Orderly shutdown is not a loss — including the race where
+            # a worker acts on SHUTDOWN and closes its socket before
+            # close() reaches its connection.
+            if reason is not None and not self._closed:
+                self.stats.workers_lost += 1
+            if isinstance(reason, ProtocolError):
+                self.stats.protocol_errors += 1
+            if conn.inflight is not None:
+                job_id, chunk_id = conn.inflight
+                if self._job is not None and self._job.job_id == job_id:
+                    self._job.requeue(chunk_id)
+                    self.stats.chunks_requeued += 1
+                conn.inflight = None
+            self._cond.notify_all()
+        try:
+            conn.sock.close()
+        except OSError:  # pragma: no cover - close is best effort
+            pass
+
+    # -- public surface -------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def worker_count(self) -> int:
+        with self._lock:
+            return len(self._workers)
+
+    def wait_for_workers(self, count: int, timeout: Optional[float] = None) -> None:
+        """Block until ``count`` workers are connected."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while len(self._workers) < count:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise RuntimeError(
+                            f"timed out waiting for {count} worker(s) on "
+                            f"{self.address} (have {len(self._workers)})"
+                        )
+                self._cond.wait(timeout=remaining)
+
+    def parallelism(self) -> int:
+        with self._lock:
+            return max(self.min_workers, len(self._workers))
+
+    def run_chunks(
+        self, chunks: Sequence[GroupedChunk], level_value: str
+    ) -> List[Tuple[int, RunArtifacts]]:
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        if not chunks:
+            return []
+        with self._cond:
+            if self._job is not None:
+                raise RuntimeError("backend is already running a job")
+            self._job_seq += 1
+            job = _Job(self._job_seq, list(chunks), self.max_chunk_retries)
+            self._job = job
+        try:
+            self.wait_for_workers(self.min_workers, self.worker_wait_timeout)
+            while True:
+                self._dispatch(job, level_value)
+                with self._cond:
+                    if job.failure is not None:
+                        raise RuntimeError(
+                            "remote worker failed on chunk "
+                            f"{job.failure.get('chunk_id')}: "
+                            f"{job.failure.get('error')}\n"
+                            f"{job.failure.get('traceback', '')}"
+                        )
+                    if job.done():
+                        return job.results_in_order()
+                    if not self._workers and not job.done():
+                        # Every worker is gone with work outstanding;
+                        # give replacements one wait window to dial in.
+                        self._cond.wait(timeout=self.worker_wait_timeout)
+                        if not self._workers and not job.done():
+                            raise RuntimeError(
+                                "all workers lost with "
+                                f"{len(job.chunks) - len(job.results)} "
+                                "chunk(s) outstanding and none reconnected"
+                            )
+                        continue
+                    self._cond.wait(timeout=0.25)
+        finally:
+            with self._cond:
+                self._job = None
+
+    def _dispatch(self, job: _Job, level_value: str) -> None:
+        """Hand pending chunks to idle workers (sends happen outside
+        the state lock so a slow socket never stalls result intake)."""
+        while True:
+            assignments: List[Tuple[_WorkerConn, int]] = []
+            with self._cond:
+                try:
+                    for conn in list(self._workers.values()):
+                        if not conn.alive or conn.inflight is not None:
+                            continue
+                        chunk_id = job.checkout()
+                        if chunk_id is None:
+                            break
+                        conn.inflight = (job.job_id, chunk_id)
+                        self.stats.chunks_dispatched += 1
+                        assignments.append((conn, chunk_id))
+                except RuntimeError:
+                    # Poison-chunk abort mid-batch: nothing in this
+                    # batch was sent yet, so un-assign it all — a stuck
+                    # inflight would exclude those workers from every
+                    # later job on a reused backend.
+                    self._unassign_locked(assignments)
+                    raise
+            if not assignments:
+                return
+            for sent, (conn, chunk_id) in enumerate(assignments):
+                try:
+                    send_frame(
+                        conn.sock,
+                        MSG_CHUNK,
+                        (job.job_id, chunk_id, job.chunks[chunk_id], level_value),
+                        lock=conn.send_lock,
+                        max_frame_bytes=self.max_frame_bytes,
+                    )
+                except ProtocolError as exc:
+                    # An oversized outgoing chunk is deterministic — it
+                    # would fail on every worker, so abort with the
+                    # actionable message instead of tearing the fleet
+                    # down one requeue at a time. The failed chunk and
+                    # the batch's still-unsent tail are un-assigned so
+                    # their workers stay usable after the abort.
+                    with self._cond:
+                        self._unassign_locked(assignments[sent:])
+                    raise RuntimeError(
+                        f"chunk {chunk_id} cannot be dispatched: {exc}"
+                    ) from exc
+                except OSError as exc:
+                    self._drop_worker(conn, exc)
+
+    def _unassign_locked(
+        self, assignments: Sequence[Tuple[_WorkerConn, int]]
+    ) -> None:
+        """Roll back assignments whose CHUNK frame was never sent
+        (caller holds the lock; no RESULT/ERROR will ever clear them)."""
+        for conn, _chunk_id in assignments:
+            conn.inflight = None
+            self.stats.chunks_dispatched -= 1
+
+    def close(self) -> None:
+        """Shut down: stop accepting, tell workers to exit, drop state."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers.values())
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - close is best effort
+            pass
+        for conn in workers:
+            try:
+                send_frame(conn.sock, MSG_SHUTDOWN, None, lock=conn.send_lock)
+            except (ProtocolError, OSError):
+                pass
+        for conn in workers:
+            self._drop_worker(conn, None)

@@ -6,11 +6,14 @@ distinct seeds (§3). Every cell is an independent deterministic
 simulation, so the sweep is embarrassingly parallel:
 
 * :class:`MatrixRunner` expands ``(scenario × seed)`` cells, fans them
-  out over a ``ProcessPoolExecutor`` in contiguous chunks, and returns
+  out in contiguous chunks over an
+  :class:`~repro.runtime.backend.ExecutionBackend` — the in-process
+  pool by default, or any pluggable backend such as the multi-host
+  :class:`~repro.runtime.distributed.SocketBackend` — and returns
   results in cell order. Seeds are assigned ``base_seed + repetition``
   exactly like the serial :meth:`Runner.run_repetitions`, so per-seed
   ``ConnectionStats`` are bit-identical to the serial path regardless
-  of worker count or chunking.
+  of worker count, chunking, or execution host.
 * A shared :class:`~repro.runtime.cache.ResultCache` (optional) memoizes
   cells by scenario *value*, so sweeps that revisit shared baselines
   (fig12 ⊃ fig6, fig13 ⊃ fig7) skip recomputation.
@@ -20,16 +23,16 @@ simulation, so the sweep is embarrassingly parallel:
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-from concurrent.futures import Executor, ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.interop.runner import Scenario
 from repro.runtime.artifacts import ArtifactLevel, RunArtifacts, execute_cell
+from repro.runtime.backend import ExecutionBackend, LocalBackend, mp_context
 from repro.runtime.cache import ResultCache
-from repro.runtime.worker import IndexedCell, call_task, run_cell_chunk
+from repro.runtime.worker import GroupedChunk, IndexedCell, call_task
 
 
 @dataclass(frozen=True)
@@ -59,23 +62,22 @@ def default_workers() -> int:
     return min(8, os.cpu_count() or 1)
 
 
-def _mp_context():
-    """Fork where available (cheap, inherits the parent's imports);
-    the default context elsewhere."""
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        return multiprocessing.get_context()
-
-
 class MatrixRunner:
     """Executes scenario cells serially or across worker processes.
 
     ``workers <= 1`` executes in-process (no pool, no pickling) — the
     deterministic reference path. ``workers >= 2`` dispatches chunks to
-    a lazily created process pool that is reused across calls; close
-    the runner (or use it as a context manager) to reap the pool.
-    ``workers=None`` picks :func:`default_workers`.
+    a lazily created :class:`LocalBackend` process pool that is reused
+    across calls; close the runner (or use it as a context manager) to
+    reap it. ``workers=None`` picks :func:`default_workers`.
+
+    ``backend`` plugs in a caller-owned
+    :class:`~repro.runtime.backend.ExecutionBackend` instead — e.g. a
+    :class:`~repro.runtime.distributed.SocketBackend` serving chunks to
+    remote hosts. The caller keeps ownership (the runner never closes
+    it), chunk sizing follows the backend's reported parallelism, and
+    every non-cached cell is routed through it regardless of
+    ``workers``.
 
     ``artifact_level`` selects what each run retains (see
     :class:`~repro.runtime.artifacts.ArtifactLevel`); ``full`` keeps
@@ -89,6 +91,7 @@ class MatrixRunner:
         base_seed: int = 0,
         cache: Optional[ResultCache] = None,
         chunk_size: Optional[int] = None,
+        backend: Optional[ExecutionBackend] = None,
     ):
         if workers is None:
             workers = default_workers()
@@ -101,8 +104,11 @@ class MatrixRunner:
         self.base_seed = base_seed
         self.cache = cache
         self.chunk_size = chunk_size
-        self._executor: Optional[Executor] = None
-        if self.artifact_level is ArtifactLevel.FULL and workers > 1:
+        self.backend = backend
+        self._owned_backend: Optional[LocalBackend] = None
+        if self.artifact_level is ArtifactLevel.FULL and (
+            workers > 1 or backend is not None
+        ):
             raise ValueError(
                 "artifact level 'full' retains live endpoint objects and "
                 "cannot cross process boundaries; use workers<=1 or a "
@@ -118,17 +124,18 @@ class MatrixRunner:
         self.close()
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
+        """Shut down the owned worker pool (idempotent). A
+        caller-supplied ``backend`` stays open — its owner closes it."""
+        if self._owned_backend is not None:
+            self._owned_backend.close()
+            self._owned_backend = None
 
-    def _pool(self) -> Executor:
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=_mp_context()
-            )
-        return self._executor
+    def _get_backend(self) -> ExecutionBackend:
+        if self.backend is not None:
+            return self.backend
+        if self._owned_backend is None:
+            self._owned_backend = LocalBackend(self.workers)
+        return self._owned_backend
 
     # -- core execution -------------------------------------------------
 
@@ -149,7 +156,7 @@ class MatrixRunner:
                     continue
             pending.append((i, cell.scenario, cell.seed))
         if pending:
-            if self.workers > 1:
+            if self.workers > 1 or self.backend is not None:
                 computed = self._run_parallel(pending)
                 # Workers strip the scenario from the response pickle;
                 # restore it from the authoritative cell list.
@@ -169,27 +176,19 @@ class MatrixRunner:
     def _run_parallel(
         self, pending: Sequence[IndexedCell]
     ) -> List[Tuple[int, RunArtifacts]]:
+        backend = self._get_backend()
         chunk = self.chunk_size
         if chunk is None:
-            # ~2 chunks per worker: cells of one sweep are similar
-            # enough that load balance beats dispatch overhead only
-            # mildly; fewer, larger chunks keep pickling cheap.
-            chunk = max(1, -(-len(pending) // (self.workers * 2)))
-        level_value = self.artifact_level.value
-        pool = self._pool()
-        futures = []
-        for start in range(0, len(pending), chunk):
-            futures.append(
-                pool.submit(
-                    run_cell_chunk,
-                    _group_by_scenario(pending[start : start + chunk]),
-                    level_value,
-                )
-            )
-        out: List[Tuple[int, RunArtifacts]] = []
-        for future in futures:
-            out.extend(future.result())
-        return out
+            # ~2 chunks per execution slot: cells of one sweep are
+            # similar enough that load balance beats dispatch overhead
+            # only mildly; fewer, larger chunks keep pickling cheap.
+            slots = max(1, backend.parallelism())
+            chunk = max(1, -(-len(pending) // (slots * 2)))
+        chunks: List[GroupedChunk] = [
+            _group_by_scenario(pending[start : start + chunk])
+            for start in range(0, len(pending), chunk)
+        ]
+        return backend.run_chunks(chunks, self.artifact_level.value)
 
     # -- convenience sweeps ---------------------------------------------
 
@@ -289,7 +288,7 @@ def parallel_map(
             return [fn(*args) for args in tasks]
         with ProcessPoolExecutor(
             max_workers=min(workers, len(tasks)),
-            mp_context=_mp_context(),
+            mp_context=mp_context(),
             initializer=initializer,
             initargs=initargs,
         ) as pool:

@@ -29,7 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.runtime.artifacts import ArtifactLevel, RunArtifacts
+from repro.runtime.artifacts import ArtifactLevel
+from repro.runtime.backend import ExecutionBackend
 from repro.runtime.cache import ResultCache, scenario_key
 from repro.runtime.matrix import Cell, MatrixRunner
 from repro.runtime.store import ArtifactHandle, ArtifactStore
@@ -202,6 +203,14 @@ class SuiteRunner:
     ``spill_dir``
         Optional spill directory, kept on disk after the run; the
         default is a temporary directory deleted when the run ends.
+    ``backend``
+        Optional caller-owned
+        :class:`~repro.runtime.backend.ExecutionBackend` (e.g. a
+        :class:`~repro.runtime.distributed.SocketBackend` serving
+        remote workers); it is threaded into the runner each run
+        creates and never closed by the suite. Chunk sizing,
+        artifact-level promotion, and disk spill all behave exactly as
+        with local execution — only *where* chunks run changes.
     """
 
     def __init__(
@@ -211,6 +220,7 @@ class SuiteRunner:
         cache: Optional[ResultCache] = None,
         spill: str = "auto",
         spill_dir: Optional[str] = None,
+        backend: Optional[ExecutionBackend] = None,
     ):
         if spill not in ("auto", "always", "never"):
             raise ValueError("spill must be 'auto', 'always', or 'never'")
@@ -219,11 +229,17 @@ class SuiteRunner:
                 "pass cache only when the suite creates its own runner; "
                 "a shared runner keeps (and uses) its own cache"
             )
+        if runner is not None and backend is not None:
+            raise ValueError(
+                "pass backend only when the suite creates its own runner; "
+                "a shared runner already owns its execution backend"
+            )
         self.runner = runner
         self.workers = workers
         self.cache = cache
         self.spill = spill
         self.spill_dir = spill_dir
+        self.backend = backend
 
     # -- planning -------------------------------------------------------
 
@@ -348,7 +364,7 @@ class SuiteRunner:
             if not self.runner.artifact_level.covers(level):
                 raise ValueError(
                     f"suite requires artifact level {level.value!r} but the "
-                    f"shared runner retains only "
+                    "shared runner retains only "
                     f"{self.runner.artifact_level.value!r}"
                 )
             return self.runner, False
@@ -360,6 +376,7 @@ class SuiteRunner:
                 workers=self.workers,
                 artifact_level=level,
                 cache=self.cache if attach_cache else None,
+                backend=self.backend,
             ),
             True,
         )

@@ -16,13 +16,13 @@ with certificate caching and a diurnal backend-delay cycle. The
 is the same code a live measurement would use.
 """
 
-from repro.wild.asdb import AsDatabase, CDN_AS_NUMBERS, Cdn
-from repro.wild.tranco import TrancoGenerator, TrancoDomain
-from repro.wild.cdn import CdnDeployment, DEPLOYMENTS, deployment_for
-from repro.wild.vantage import VANTAGE_POINTS, VantagePoint
-from repro.wild.qscanner import ProbeResult, QScanner
+from repro.wild.asdb import CDN_AS_NUMBERS, AsDatabase, Cdn
+from repro.wild.cdn import DEPLOYMENTS, CdnDeployment, deployment_for
 from repro.wild.cloudflare import CloudflareLongitudinalStudy
 from repro.wild.dissector import DissectedHandshake, dissect
+from repro.wild.qscanner import ProbeResult, QScanner
+from repro.wild.tranco import TrancoDomain, TrancoGenerator
+from repro.wild.vantage import VANTAGE_POINTS, VantagePoint
 
 __all__ = [
     "Cdn",

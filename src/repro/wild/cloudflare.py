@@ -25,7 +25,7 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.wild.asdb import Cdn
 from repro.wild.cdn import deployment_for
-from repro.wild.vantage import VantagePoint, VANTAGE_POINTS
+from repro.wild.vantage import VantagePoint
 
 #: One week of measurement, in minutes.
 WEEK_MINUTES = 7 * 24 * 60

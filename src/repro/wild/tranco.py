@@ -11,10 +11,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import List, Optional
 
 from repro.wild.asdb import AsDatabase, Cdn
-from repro.wild.cdn import DEPLOYMENTS, total_quic_domains
+from repro.wild.cdn import DEPLOYMENTS
 
 
 @dataclass(frozen=True)

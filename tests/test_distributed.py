@@ -1,0 +1,478 @@
+"""Distributed execution backend: wire protocol, worker-loss requeue,
+and bit-identical reassembly.
+
+The load-bearing property mirrors the MatrixRunner suite: results of a
+distributed run must be byte-identical to local execution no matter
+how chunks interleave across workers, which workers die mid-chunk, or
+what garbage third parties write at the coordinator port.
+"""
+
+import json
+import os
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main, parse_address
+from repro.interop.runner import SIZE_10KB, Runner, Scenario
+from repro.interop.scenarios import first_server_flight_tail_loss
+from repro.quic.server import ServerMode
+from repro.runtime import LocalBackend, MatrixRunner, SocketBackend, worker_main
+from repro.runtime.distributed import (
+    MSG_CHUNK,
+    MSG_ERROR,
+    MSG_HEARTBEAT,
+    MSG_HELLO,
+    MSG_RESULT,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+LOSSY_IACK = Scenario(
+    client="quic-go",
+    mode=ServerMode.IACK,
+    http="h1",
+    rtt_ms=9.0,
+    response_size=SIZE_10KB,
+    server_to_client_loss=first_server_flight_tail_loss(ServerMode.IACK),
+)
+
+
+def start_worker_thread(backend: SocketBackend, **kwargs) -> threading.Thread:
+    thread = threading.Thread(
+        target=worker_main,
+        args=(backend.host, backend.port),
+        kwargs={"retry_for": 5.0, **kwargs},
+        daemon=True,
+    )
+    thread.start()
+    return thread
+
+
+def spawn_worker_process(backend: SocketBackend, *extra: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "worker",
+            "--connect", backend.address, "--retry", "30", *extra,
+        ],
+        env=env,
+        cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+# -- wire protocol ------------------------------------------------------
+
+
+def test_frame_round_trip():
+    left, right = socket.socketpair()
+    try:
+        payload = {"version": PROTOCOL_VERSION, "pid": 42}
+        send_frame(left, MSG_HELLO, payload)
+        msg_type, received = recv_frame(right)
+        assert msg_type == MSG_HELLO
+        assert received == payload
+    finally:
+        left.close()
+        right.close()
+
+
+def test_send_frame_refuses_oversized_payload():
+    left, right = socket.socketpair()
+    try:
+        with pytest.raises(ProtocolError, match="exceeds"):
+            send_frame(left, MSG_RESULT, b"x" * 1024, max_frame_bytes=64)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_recv_frame_rejects_oversized_announcement():
+    """A header announcing more bytes than the bound is refused before
+    any payload is buffered."""
+    left, right = socket.socketpair()
+    try:
+        left.sendall(struct.pack(">4sBI", b"RPRO", MSG_RESULT, 2**31))
+        with pytest.raises(ProtocolError, match="exceeds"):
+            recv_frame(right, max_frame_bytes=1024)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_recv_frame_rejects_bad_magic_and_garbage_payload():
+    left, right = socket.socketpair()
+    try:
+        left.sendall(b"GARBAGE..")
+        with pytest.raises(ProtocolError, match="magic"):
+            recv_frame(right)
+    finally:
+        left.close()
+        right.close()
+    left, right = socket.socketpair()
+    try:
+        left.sendall(struct.pack(">4sBI", b"RPRO", MSG_HELLO, 4) + b"\xff\xff\xff\xff")
+        with pytest.raises(ProtocolError, match="undecodable"):
+            recv_frame(right)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_parse_address():
+    assert parse_address("127.0.0.1:7431") == ("127.0.0.1", 7431)
+    with pytest.raises(SystemExit, match="HOST:PORT"):
+        parse_address("7431")
+    with pytest.raises(SystemExit, match="numeric"):
+        parse_address("host:notaport")
+    with pytest.raises(SystemExit, match="range"):
+        parse_address("host:99999")
+
+
+# -- LocalBackend -------------------------------------------------------
+
+
+def test_explicit_local_backend_matches_serial_and_stays_open():
+    serial = Runner().run_repetitions(LOSSY_IACK, repetitions=6)
+    with LocalBackend(workers=2) as backend:
+        with MatrixRunner(backend=backend) as runner:
+            routed = runner.run_repetitions(LOSSY_IACK, repetitions=6)
+        # the runner never closes a caller-owned backend
+        assert backend._executor is not None
+        again = MatrixRunner(backend=backend).run_repetitions(
+            LOSSY_IACK, repetitions=6
+        )
+    for expected, actual in zip(serial, routed):
+        assert actual.client_stats == expected.client_stats
+        assert actual.duration_ms == expected.duration_ms
+    assert [r.client_stats for r in again] == [r.client_stats for r in routed]
+
+
+def test_full_artifacts_rejected_on_any_backend():
+    with pytest.raises(ValueError, match="full"):
+        MatrixRunner(artifact_level="full", backend=LocalBackend(workers=2))
+
+
+# -- SocketBackend ------------------------------------------------------
+
+
+def test_distributed_run_bit_identical_to_serial():
+    serial = Runner().run_repetitions(LOSSY_IACK, repetitions=8)
+    backend = SocketBackend(port=0, min_workers=2)
+    try:
+        for _ in range(2):
+            start_worker_thread(backend)
+        with MatrixRunner(backend=backend, chunk_size=2) as runner:
+            distributed = runner.run_repetitions(LOSSY_IACK, repetitions=8)
+    finally:
+        backend.close()
+    assert len(distributed) == len(serial)
+    for expected, actual in zip(serial, distributed):
+        assert actual.seed == expected.seed
+        assert actual.client_stats == expected.client_stats
+        assert actual.server_stats == expected.server_stats
+        assert actual.duration_ms == expected.duration_ms
+        assert actual.scenario is LOSSY_IACK
+    assert backend.stats.chunks_dispatched == 4
+    assert backend.stats.chunks_requeued == 0
+
+
+def test_killed_worker_chunk_requeued_and_stats_bit_identical():
+    """SIGKILL-equivalent worker death mid-suite: its in-flight chunk
+    must be requeued to the survivors and the reassembled stats must
+    match serial execution bit for bit."""
+    serial = Runner().run_repetitions(LOSSY_IACK, repetitions=12)
+    backend = SocketBackend(port=0, min_workers=2)
+    procs = []
+    try:
+        # --fail-after 0 hard-exits (os._exit) on receiving its first
+        # chunk, leaving it unacknowledged.
+        procs.append(spawn_worker_process(backend, "--fail-after", "0"))
+        procs.append(spawn_worker_process(backend))
+        with MatrixRunner(backend=backend, chunk_size=3) as runner:
+            distributed = runner.run_repetitions(LOSSY_IACK, repetitions=12)
+    finally:
+        backend.close()
+        for proc in procs:
+            proc.wait(timeout=30)
+    assert backend.stats.workers_lost >= 1
+    assert backend.stats.chunks_requeued >= 1
+    for expected, actual in zip(serial, distributed):
+        assert actual.seed == expected.seed
+        assert actual.client_stats == expected.client_stats
+        assert actual.server_stats == expected.server_stats
+
+
+def test_silent_worker_dropped_by_heartbeat_timeout():
+    """A worker that goes silent (no heartbeats, socket still open)
+    must be declared lost after heartbeat_timeout and its chunk served
+    by the remaining worker."""
+    backend = SocketBackend(port=0, min_workers=2, heartbeat_timeout=0.6)
+    mute_ready = threading.Event()
+    release = threading.Event()
+
+    def mute_worker():
+        sock = socket.create_connection((backend.host, backend.port))
+        try:
+            send_frame(sock, MSG_HELLO, {"version": PROTOCOL_VERSION, "pid": 0, "host": "mute"})
+            recv_frame(sock)  # swallow one chunk, then say nothing
+            mute_ready.set()
+            release.wait(timeout=30)
+        finally:
+            sock.close()
+
+    threading.Thread(target=mute_worker, daemon=True).start()
+    try:
+        # heartbeats faster than the timeout keep the real worker alive
+        start_worker_thread(backend, heartbeat_interval=0.2)
+        serial = Runner().run_repetitions(LOSSY_IACK, repetitions=4)
+        with MatrixRunner(backend=backend, chunk_size=1) as runner:
+            distributed = runner.run_repetitions(LOSSY_IACK, repetitions=4)
+        assert mute_ready.is_set()
+        assert backend.stats.chunks_requeued >= 1
+        assert backend.stats.workers_lost >= 1
+        assert [r.client_stats for r in distributed] == [
+            r.client_stats for r in serial
+        ]
+    finally:
+        release.set()
+        backend.close()
+
+
+def test_malformed_and_non_hello_connections_are_dropped_not_fatal():
+    backend = SocketBackend(port=0, min_workers=1)
+    try:
+        # garbage bytes at the port
+        sock = socket.create_connection((backend.host, backend.port))
+        sock.sendall(b"GET / HTTP/1.1\r\n\r\n")
+        sock.close()
+        # a valid frame that is not a HELLO
+        sock = socket.create_connection((backend.host, backend.port))
+        send_frame(sock, MSG_HEARTBEAT, None)
+        sock.close()
+        deadline = time.monotonic() + 5
+        while backend.stats.protocol_errors < 1 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert backend.stats.protocol_errors >= 1
+        assert backend.worker_count() == 0
+        # the backend still serves real workers afterwards
+        start_worker_thread(backend)
+        serial = Runner().run_repetitions(LOSSY_IACK, repetitions=2)
+        with MatrixRunner(backend=backend) as runner:
+            distributed = runner.run_repetitions(LOSSY_IACK, repetitions=2)
+        assert [r.client_stats for r in distributed] == [
+            r.client_stats for r in serial
+        ]
+    finally:
+        backend.close()
+
+
+def test_remote_chunk_error_aborts_with_traceback():
+    """A chunk that raises on the worker is deterministic; the run
+    aborts with the remote error instead of requeueing forever."""
+    backend = SocketBackend(port=0, min_workers=1)
+
+    def erroring_worker():
+        sock = socket.create_connection((backend.host, backend.port))
+        try:
+            send_frame(sock, MSG_HELLO, {"version": PROTOCOL_VERSION, "pid": 0, "host": "err"})
+            while True:
+                msg_type, payload = recv_frame(sock)
+                if msg_type != MSG_CHUNK:
+                    return
+                send_frame(
+                    sock,
+                    MSG_ERROR,
+                    {
+                        "job_id": payload[0],
+                        "chunk_id": payload[1],
+                        "error": "ValueError('boom')",
+                        "traceback": "Traceback: boom",
+                    },
+                )
+        except (ConnectionError, ProtocolError, OSError):
+            pass
+        finally:
+            sock.close()
+
+    threading.Thread(target=erroring_worker, daemon=True).start()
+    try:
+        with MatrixRunner(backend=backend) as runner:
+            with pytest.raises(RuntimeError, match="boom"):
+                runner.run_repetitions(LOSSY_IACK, repetitions=2)
+    finally:
+        backend.close()
+
+
+def test_stale_frames_from_aborted_job_are_discarded():
+    """A backend reused after an aborted run must ignore late RESULT /
+    ERROR frames tagged with the dead job's id instead of grafting
+    old-plan cells into (or spuriously failing) the new job."""
+    from repro.runtime.worker import run_cell_chunk
+
+    backend = SocketBackend(port=0, min_workers=1)
+
+    def tricky_worker():
+        sock = socket.create_connection((backend.host, backend.port))
+        try:
+            send_frame(sock, MSG_HELLO, {"version": PROTOCOL_VERSION, "pid": 0, "host": "tricky"})
+            # job A: fail it outright
+            _, payload = recv_frame(sock)
+            job_a, chunk_a = payload[0], payload[1]
+            send_frame(
+                sock,
+                MSG_ERROR,
+                {"job_id": job_a, "chunk_id": chunk_a, "error": "boom-a", "traceback": ""},
+            )
+            # job B: replay stale job-A frames before every honest answer
+            while True:
+                msg_type, payload = recv_frame(sock)
+                if msg_type != MSG_CHUNK:
+                    return
+                job_b, chunk_b, grouped, level = payload
+                send_frame(sock, MSG_RESULT, (job_a, chunk_b, [(0, "stale-garbage")]))
+                send_frame(
+                    sock,
+                    MSG_ERROR,
+                    {"job_id": job_a, "chunk_id": chunk_a, "error": "stale boom", "traceback": ""},
+                )
+                send_frame(sock, MSG_RESULT, (job_b, chunk_b, run_cell_chunk(grouped, level)))
+        except (ConnectionError, ProtocolError, OSError):
+            pass
+        finally:
+            sock.close()
+
+    threading.Thread(target=tricky_worker, daemon=True).start()
+    try:
+        with MatrixRunner(backend=backend) as runner:
+            with pytest.raises(RuntimeError, match="boom-a"):
+                runner.run_repetitions(LOSSY_IACK, repetitions=2)
+            distributed = runner.run_repetitions(LOSSY_IACK, repetitions=2)
+        serial = Runner().run_repetitions(LOSSY_IACK, repetitions=2)
+        assert [r.client_stats for r in distributed] == [
+            r.client_stats for r in serial
+        ]
+    finally:
+        backend.close()
+
+
+def test_oversized_chunk_aborts_cleanly_and_frees_workers():
+    """A chunk whose frame exceeds the bound is a deterministic
+    dispatch failure: the run aborts with the actionable error (no
+    fleet teardown) and no worker is left marked busy for a frame
+    that was never sent."""
+    # The bound sits between the ~50-byte HELLO and the ~500-byte
+    # CHUNK frame, so workers register but no chunk can ever be sent.
+    backend = SocketBackend(port=0, min_workers=2, max_frame_bytes=256)
+    try:
+        for _ in range(2):
+            start_worker_thread(backend)
+        with MatrixRunner(backend=backend, chunk_size=1) as runner:
+            with pytest.raises(RuntimeError, match="cannot be dispatched"):
+                runner.run_repetitions(LOSSY_IACK, repetitions=4)
+        backend.wait_for_workers(2, timeout=5)  # nobody was dropped
+        with backend._lock:
+            assert all(
+                conn.inflight is None for conn in backend._workers.values()
+            )
+        assert backend.stats.chunks_dispatched == 0
+        assert backend.stats.workers_lost == 0
+    finally:
+        backend.close()
+
+
+def test_wait_for_workers_times_out():
+    backend = SocketBackend(port=0, min_workers=1)
+    try:
+        with pytest.raises(RuntimeError, match="timed out waiting"):
+            backend.wait_for_workers(1, timeout=0.1)
+    finally:
+        backend.close()
+
+
+def test_poison_chunk_gives_up_after_retry_bound():
+    """Workers that die on the same chunk over and over must not
+    requeue it forever."""
+    backend = SocketBackend(port=0, min_workers=1, max_chunk_retries=2,
+                            worker_wait_timeout=10.0)
+
+    def doomed_worker():
+        sock = socket.create_connection((backend.host, backend.port))
+        try:
+            send_frame(sock, MSG_HELLO, {"version": PROTOCOL_VERSION, "pid": 0, "host": "doom"})
+            recv_frame(sock)  # take the chunk ...
+        except (ConnectionError, ProtocolError, OSError):
+            pass
+        finally:
+            sock.close()  # ... and die holding it
+
+    def keep_spawning():
+        while not stop.is_set():
+            doomed_worker()
+
+    stop = threading.Event()
+    threading.Thread(target=keep_spawning, daemon=True).start()
+    try:
+        with MatrixRunner(backend=backend) as runner:
+            with pytest.raises(RuntimeError, match="giving up"):
+                runner.run_repetitions(LOSSY_IACK, repetitions=2)
+    finally:
+        stop.set()
+        backend.close()
+
+
+# -- CLI ----------------------------------------------------------------
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def test_cli_distributed_bundle_byte_identical_to_local(tmp_path, capsys):
+    local_dir = tmp_path / "local"
+    dist_dir = tmp_path / "dist"
+    assert main(
+        ["run", "fig6", "fig12", "--smoke", "--backend", "local",
+         "--out", str(local_dir)]
+    ) == 0
+    port = free_port()
+    workers = [
+        threading.Thread(
+            target=main,
+            args=(["worker", "--connect", f"127.0.0.1:{port}", "--retry", "30"],),
+            daemon=True,
+        )
+        for _ in range(2)
+    ]
+    for thread in workers:
+        thread.start()
+    assert main(
+        ["run", "fig6", "fig12", "--smoke", "--backend", "distributed",
+         "--listen", str(port), "--min-workers", "2", "--out", str(dist_dir)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "distributed backend listening on" in out
+    assert "chunk(s) dispatched" in out
+    for name in ("fig6.json", "fig12.json", "suite.json"):
+        assert (local_dir / name).read_bytes() == (dist_dir / name).read_bytes()
+    payload = json.loads((dist_dir / "suite.json").read_text())
+    assert payload["plan"]["shared_cells"] > 0  # dedup survived distribution
+    for thread in workers:
+        thread.join(timeout=30)

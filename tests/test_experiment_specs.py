@@ -4,15 +4,15 @@ flow-through, and the ExperimentResult JSON round trip."""
 import pytest
 
 from repro.experiments import EXPERIMENT_INDEX, ExperimentResult
+from repro.experiments import fig11_rtt_samples as fig11
+from repro.experiments import fig6_server_flight_loss as fig6
+from repro.experiments import table5_as_numbers as table5
 from repro.experiments.registry import REGISTRY, get_spec
 from repro.experiments.spec import (
+    KIND_MATRIX,
     CellResults,
     ExperimentSpec,
-    KIND_MATRIX,
 )
-from repro.experiments import fig6_server_flight_loss as fig6
-from repro.experiments import fig11_rtt_samples as fig11
-from repro.experiments import table5_as_numbers as table5
 from repro.runtime import ArtifactLevel, MatrixRunner
 
 

@@ -10,7 +10,7 @@ from repro.quic.client import ClientConnection
 from repro.quic.coalescing import Datagram
 from repro.quic.connection import PnRangeTracker
 from repro.quic.frames import AckFrame, CryptoFrame, PaddingFrame, PingFrame
-from repro.quic.packet import Packet, PacketType, Space
+from repro.quic.packet import Packet, PacketType
 from repro.quic.server import ServerConfig, ServerConnection, ServerMode
 from repro.sim.engine import EventLoop
 

@@ -5,7 +5,7 @@ import random
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.quic.frames import AckFrame, CryptoFrame, PingFrame
+from repro.quic.frames import AckFrame, CryptoFrame
 from repro.quic.packet import Packet, PacketType, Space
 from repro.quic.recovery import (
     GRANULARITY_MS,

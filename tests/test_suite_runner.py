@@ -4,8 +4,8 @@ artifact-level promotion, and disk spill."""
 import pytest
 
 import repro.runtime.matrix as matrix_module
-from repro.experiments import fig6_server_flight_loss as fig6
 from repro.experiments import fig12_server_flight_loss_rtts as fig12
+from repro.experiments import fig6_server_flight_loss as fig6
 from repro.experiments import table4_client_defaults as table4
 from repro.runtime import (
     ArtifactLevel,

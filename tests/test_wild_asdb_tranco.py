@@ -3,7 +3,7 @@
 import pytest
 
 from repro.wild.asdb import AsDatabase, CDN_AS_NUMBERS, Cdn, OTHERS_ASN
-from repro.wild.cdn import DEPLOYMENTS, total_quic_domains
+from repro.wild.cdn import total_quic_domains
 from repro.wild.tranco import TrancoDomain, TrancoGenerator
 
 
