@@ -2,13 +2,19 @@
 baseline.
 
 Absolute wall-clock is not comparable between the CI runner and the
-machine that produced the committed ``BENCH_parallel.json``, but the
-``speedup_<leg>_vs_<baseline>`` keys are *ratios of two legs measured
-back to back in the same process*, so they transfer: a parallel path
-that regresses (extra pickling, a serialized lock, a broken cache)
-drags its ratio down on every machine. Those keys are the tracked set
-— ``bench_parallel.py`` emits them identically in ``--quick`` and
-full runs.
+machine that produced the committed ``BENCH_parallel.json``, and
+neither are parallel-speedup ratios whose two legs run at *different*
+parallelism (``speedup_4w_vs_serial`` on a multi-core runner trivially
+clears a single-CPU baseline's floor, and flakes under noisy-neighbor
+load). The tracked set is therefore each entry's ``stable_ratios``
+list: ratios of two legs measured back to back in the same process at
+**identical parallelism** (artifact slimming, batch engine, suite
+dedup, distributed-vs-local protocol overhead). Those measure a code
+path, not the hardware, so a regression (extra pickling, a serialized
+lock, a broken cache) drags them down on every machine.
+``bench_parallel.py`` emits them identically in ``--quick`` and full
+runs. Entries predating the marker fall back to every
+``speedup_*_vs_*`` key.
 
 The gate fails (exit 1) when any tracked ratio in the candidate falls
 more than ``--tolerance`` (default 0.35, i.e. a >35% slowdown) below
@@ -34,19 +40,38 @@ from typing import Dict
 
 
 def tracked_ratios(report: dict) -> Dict[str, float]:
-    """The comparable keys of one benchmark report:
-    ``<benchmark>.speedup_<leg>_vs_<baseline>`` → ratio."""
+    """The machine-comparable keys of one benchmark report:
+    ``<benchmark>.<ratio>`` → value for every ratio the entry declares
+    in its ``stable_ratios`` list (both legs at identical parallelism).
+    Entries without the marker fall back to every ``speedup_*_vs_*``
+    key, so old reports stay checkable. A ``stable_ratios`` name whose
+    value is missing or non-numeric raises ``ValueError`` — a renamed
+    leg must rename the marker too, not silently un-gate the ratio."""
     out: Dict[str, float] = {}
     for name, entry in report.get("benchmarks", {}).items():
         if not isinstance(entry, dict):
             continue
-        for key, value in entry.items():
-            if (
-                key.startswith("speedup_")
-                and "_vs_" in key
-                and isinstance(value, (int, float))
-            ):
-                out[f"{name}.{key}"] = float(value)
+        stable = entry.get("stable_ratios")
+        if isinstance(stable, list):
+            broken = [
+                key
+                for key in stable
+                if not isinstance(entry.get(key), (int, float))
+            ]
+            if broken:
+                raise ValueError(
+                    f"benchmark entry {name!r} declares stable_ratios "
+                    f"{broken} that are missing or non-numeric"
+                )
+            keys = stable
+        else:
+            keys = [
+                key
+                for key in entry
+                if key.startswith("speedup_") and "_vs_" in key
+            ]
+        for key in keys:
+            out[f"{name}.{key}"] = float(entry[key])
     return out
 
 
@@ -62,8 +87,14 @@ def main(argv=None) -> int:
     if not 0 < args.tolerance < 1:
         parser.error("--tolerance must be in (0, 1)")
 
-    candidate = tracked_ratios(json.loads(Path(args.candidate).read_text()))
-    baseline = tracked_ratios(json.loads(Path(args.baseline).read_text()))
+    try:
+        candidate = tracked_ratios(json.loads(Path(args.candidate).read_text()))
+        baseline = tracked_ratios(json.loads(Path(args.baseline).read_text()))
+    except (OSError, ValueError) as exc:
+        # unreadable file, undecodable JSON, or a stable_ratios name
+        # with no matching value — all diagnosed, none a traceback
+        print(f"error: {exc}")
+        return 2
     if not baseline:
         print(f"error: no tracked speedup ratios in {args.baseline}")
         return 2

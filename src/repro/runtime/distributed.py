@@ -32,6 +32,34 @@ SHUTDOWN   server → worker ``None`` (drain and exit 0)
 worker echoes it verbatim. Results and errors whose job id does not
 match the current job are stale leftovers of an aborted run on a
 reused backend and are discarded instead of corrupting the new job.
+A RESULT whose echoed ``chunk_id`` is not a valid index into the
+current job is a protocol error: it is never recorded (a forged or
+buggy echo must not make ``done()`` true with real chunks missing) and
+the worker is dropped.
+
+Authentication
+--------------
+
+Frame payloads are pickled, so accepting a frame from an
+unauthenticated peer is arbitrary code execution. When an auth key is
+configured, both sides run a mutual HMAC-SHA256 challenge/response
+over raw fixed-size messages (the ``multiprocessing.connection``
+authkey idiom) immediately after ``connect()``/``accept()`` — *before
+any pickled frame is read by either side*. The coordinator proves
+knowledge of the key to the worker and vice versa; distinct role
+strings prevent reflecting a challenge back at its issuer. A peer
+that fails (or never starts) the handshake is dropped without
+``pickle.loads`` ever seeing its bytes.
+
+The key is required to bind any non-loopback address:
+:class:`SocketBackend` refuses ``0.0.0.0``-style binds without one.
+Loopback-only coordinators may omit it, but a loopback TCP port is
+still reachable by *every local user* (unlike an authkey-gated
+``multiprocessing`` pipe), so keyless operation is only appropriate on
+single-user machines — on shared hosts, set a key even for localhost
+fleets (the CLI warns when running keyless). And note the handshake
+authenticates peers, it does not encrypt traffic; run the protocol
+over a trusted network, an SSH tunnel, or a VPN.
 
 Failure semantics
 -----------------
@@ -40,7 +68,11 @@ Failure semantics
   (or whose socket dies, or that sends a malformed frame) is dropped
   and its in-flight chunk is requeued for the remaining workers. A
   chunk dispatched ``max_chunk_retries`` times without completing
-  aborts the run — a poison chunk must not requeue forever.
+  aborts the run — a poison chunk must not requeue forever. Note the
+  same socket timeout bounds the *send* of a CHUNK frame, so a chunk
+  must be transferable within ``heartbeat_timeout`` — over slow
+  off-host links, size chunks (``chunk_size`` / ``max_frame_bytes``)
+  well below link_rate × timeout or raise the timeout.
 * A chunk that raises *inside* ``run_cell_chunk`` is deterministic
   (same cells fail everywhere), so the worker reports an ERROR frame
   and the server aborts the run with the remote traceback instead of
@@ -52,6 +84,9 @@ Failure semantics
 
 from __future__ import annotations
 
+import hashlib
+import hmac
+import ipaddress
 import os
 import pickle
 import socket
@@ -77,6 +112,11 @@ DEFAULT_MAX_FRAME_BYTES = 256 * 1024 * 1024
 DEFAULT_HEARTBEAT_INTERVAL = 2.0
 DEFAULT_HEARTBEAT_TIMEOUT = 30.0
 DEFAULT_WORKER_WAIT_TIMEOUT = 120.0
+#: How long a keyed worker waits for the coordinator's challenge — a
+#: keyless coordinator sends nothing (it waits for HELLO), so without a
+#: bound the mismatch would stall until the server's timeout with a
+#: generic connection error instead of naming the key asymmetry.
+DEFAULT_AUTH_TIMEOUT = 10.0
 
 MSG_HELLO = 1
 MSG_CHUNK = 2
@@ -132,6 +172,11 @@ def recv_frame(
     """Read one frame, validating magic and length before the payload
     is ever buffered."""
     magic, msg_type, length = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if magic == AUTH_MAGIC:
+        raise ProtocolError(
+            "peer opened an authentication challenge but this side has "
+            "no auth key (set --auth-key-file / REPRO_AUTH_KEY)"
+        )
     if magic != MAGIC:
         raise ProtocolError(f"bad frame magic {magic!r}")
     if length > max_frame_bytes:
@@ -144,6 +189,78 @@ def recv_frame(
         return msg_type, pickle.loads(payload)
     except Exception as exc:
         raise ProtocolError(f"undecodable frame payload: {exc!r}") from exc
+
+
+# -- authentication -----------------------------------------------------
+#
+# Everything here is raw fixed-size bytes, never pickle: it runs before
+# the peer has proven knowledge of the key, which is exactly when
+# pickle.loads would be remote code execution.
+
+AUTH_MAGIC = b"RPAU"
+_AUTH_WELCOME = b"RPOK"
+_AUTH_FAILURE = b"RPNO"
+_AUTH_NONCE_BYTES = 32
+_AUTH_DIGEST_BYTES = hashlib.sha256().digest_size
+#: Distinct per-direction role strings keyed into the HMAC so a peer
+#: cannot answer a challenge by reflecting it back at its issuer.
+_ROLE_WORKER = b"repro-distributed-v1:worker"
+_ROLE_COORDINATOR = b"repro-distributed-v1:coordinator"
+
+
+def _auth_digest(key: bytes, role: bytes, nonce: bytes) -> bytes:
+    return hmac.new(key, role + b"|" + nonce, hashlib.sha256).digest()
+
+
+def _deliver_challenge(sock: socket.socket, key: bytes, role: bytes) -> None:
+    nonce = os.urandom(_AUTH_NONCE_BYTES)
+    sock.sendall(AUTH_MAGIC + nonce)
+    digest = _recv_exact(sock, _AUTH_DIGEST_BYTES)
+    if not hmac.compare_digest(digest, _auth_digest(key, role, nonce)):
+        sock.sendall(_AUTH_FAILURE)
+        raise ProtocolError("peer failed the authentication challenge")
+    sock.sendall(_AUTH_WELCOME)
+
+
+def _answer_challenge(sock: socket.socket, key: bytes, role: bytes) -> None:
+    magic = _recv_exact(sock, len(AUTH_MAGIC))
+    if magic == MAGIC:
+        raise ProtocolError(
+            "peer sent a protocol frame instead of an authentication "
+            "challenge (peer has no auth key configured?)"
+        )
+    if magic != AUTH_MAGIC:
+        raise ProtocolError("peer did not open an authentication challenge")
+    nonce = _recv_exact(sock, _AUTH_NONCE_BYTES)
+    sock.sendall(_auth_digest(key, role, nonce))
+    verdict = _recv_exact(sock, len(_AUTH_WELCOME))
+    if verdict != _AUTH_WELCOME:
+        raise ProtocolError("authentication digest rejected by peer")
+
+
+def authenticate_server(sock: socket.socket, key: bytes) -> None:
+    """Coordinator side of the mutual pre-pickle handshake: verify the
+    worker knows the key, then prove the coordinator does too."""
+    _deliver_challenge(sock, key, _ROLE_WORKER)
+    _answer_challenge(sock, key, _ROLE_COORDINATOR)
+
+
+def authenticate_client(sock: socket.socket, key: bytes) -> None:
+    """Worker side: answer the coordinator's challenge, then verify the
+    coordinator before accepting any pickled CHUNK from it."""
+    _answer_challenge(sock, key, _ROLE_WORKER)
+    _deliver_challenge(sock, key, _ROLE_COORDINATOR)
+
+
+def _is_loopback(host: str) -> bool:
+    # An empty host binds INADDR_ANY (every interface), so it is
+    # emphatically NOT loopback.
+    if host == "localhost":
+        return True
+    try:
+        return ipaddress.ip_address(host).is_loopback
+    except ValueError:
+        return False
 
 
 # -- worker side --------------------------------------------------------
@@ -186,9 +303,14 @@ def worker_main(
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
     retry_for: float = 10.0,
     fail_after: Optional[int] = None,
+    auth_key: Optional[bytes] = None,
     log: Optional[Callable[[str], None]] = None,
 ) -> int:
     """One remote worker: connect, serve chunks until SHUTDOWN.
+
+    With ``auth_key`` set, the mutual HMAC handshake runs before any
+    pickled frame crosses the socket in either direction; a coordinator
+    that cannot prove knowledge of the key is abandoned (exit 1).
 
     A daemon thread heartbeats every ``heartbeat_interval`` seconds so
     the server can tell a long-running chunk from a dead worker.
@@ -204,6 +326,23 @@ def worker_main(
     sock = connect_with_retry(host, port, retry_for=retry_for)
     sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
     _enable_keepalive(sock)
+    if auth_key is not None:
+        sock.settimeout(DEFAULT_AUTH_TIMEOUT)
+        try:
+            authenticate_client(sock, auth_key)
+        except TimeoutError:
+            say(
+                f"authentication with {host}:{port} timed out waiting "
+                "for a challenge — is the coordinator running without "
+                "an auth key?"
+            )
+            sock.close()
+            return 1
+        except (ProtocolError, ConnectionError, OSError) as exc:
+            say(f"authentication with {host}:{port} failed: {exc!r}")
+            sock.close()
+            return 1
+        sock.settimeout(None)
     send_lock = threading.Lock()
     send_frame(
         sock,
@@ -380,11 +519,21 @@ class SocketBackend(ExecutionBackend):
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         max_chunk_retries: int = 3,
         worker_wait_timeout: float = DEFAULT_WORKER_WAIT_TIMEOUT,
+        auth_key: Optional[bytes] = None,
     ):
         if min_workers < 1:
             raise ValueError("min_workers must be >= 1")
         if max_chunk_retries < 1:
             raise ValueError("max_chunk_retries must be >= 1")
+        if auth_key is not None and not auth_key:
+            raise ValueError("auth_key must be non-empty when set")
+        if auth_key is None and not _is_loopback(host):
+            raise ValueError(
+                f"binding {host!r} exposes the coordinator beyond loopback "
+                "and the protocol carries pickled payloads; an auth key is "
+                "required (auth_key= / --auth-key-file / REPRO_AUTH_KEY)"
+            )
+        self.auth_key = auth_key
         self.min_workers = min_workers
         self.heartbeat_timeout = heartbeat_timeout
         self.max_frame_bytes = max_frame_bytes
@@ -419,6 +568,8 @@ class SocketBackend(ExecutionBackend):
         sock.settimeout(self.heartbeat_timeout)
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            if self.auth_key is not None:
+                authenticate_server(sock, self.auth_key)
             msg_type, payload = recv_frame(sock, self.max_frame_bytes)
             if msg_type != MSG_HELLO:
                 raise ProtocolError(f"expected HELLO, got message type {msg_type}")
@@ -445,6 +596,10 @@ class SocketBackend(ExecutionBackend):
                 if msg_type == MSG_HEARTBEAT:
                     continue
                 if msg_type == MSG_RESULT:
+                    if not (isinstance(payload, tuple) and len(payload) == 3):
+                        raise ProtocolError(
+                            f"malformed RESULT payload: {payload!r}"
+                        )
                     job_id, chunk_id, results = payload
                     with self._cond:
                         if conn.inflight == (job_id, chunk_id):
@@ -453,9 +608,26 @@ class SocketBackend(ExecutionBackend):
                         # recording them would graft old-plan cells into
                         # the new job, so they are discarded.
                         if self._job is not None and self._job.job_id == job_id:
+                            # An echoed chunk id that was never part of
+                            # the job must not be recorded: it would
+                            # inflate the completion count so done()
+                            # turns true with real chunks missing.
+                            if not (
+                                isinstance(chunk_id, int)
+                                and 0 <= chunk_id < len(self._job.chunks)
+                            ):
+                                raise ProtocolError(
+                                    f"worker echoed unknown chunk id "
+                                    f"{chunk_id!r} (job has "
+                                    f"{len(self._job.chunks)} chunks)"
+                                )
                             self._job.record(chunk_id, results)
                         self._cond.notify_all()
                 elif msg_type == MSG_ERROR:
+                    if not isinstance(payload, dict):
+                        raise ProtocolError(
+                            f"malformed ERROR payload: {payload!r}"
+                        )
                     job_id = payload.get("job_id")
                     with self._cond:
                         if conn.inflight == (job_id, payload.get("chunk_id")):
@@ -518,6 +690,14 @@ class SocketBackend(ExecutionBackend):
                 self._cond.wait(timeout=remaining)
 
     def parallelism(self) -> int:
+        # Chunk sizing samples this *before* run_chunks blocks on the
+        # fleet, so wait for it to assemble here — otherwise chunks are
+        # sized for however many workers happened to have dialed in,
+        # and late connectors idle for the whole job. A fleet that never
+        # assembles raises here, so the caller's --worker-timeout is one
+        # deadline, not two back to back (run_chunks' own wait returns
+        # immediately once this one has succeeded).
+        self.wait_for_workers(self.min_workers, self.worker_wait_timeout)
         with self._lock:
             return max(self.min_workers, len(self._workers))
 
@@ -550,14 +730,21 @@ class SocketBackend(ExecutionBackend):
                         return job.results_in_order()
                     if not self._workers and not job.done():
                         # Every worker is gone with work outstanding;
-                        # give replacements one wait window to dial in.
-                        self._cond.wait(timeout=self.worker_wait_timeout)
-                        if not self._workers and not job.done():
-                            raise RuntimeError(
-                                "all workers lost with "
-                                f"{len(job.chunks) - len(job.results)} "
-                                "chunk(s) outstanding and none reconnected"
-                            )
+                        # give replacements one full wait window to dial
+                        # in. Looped on a deadline: an unrelated notify
+                        # (a second worker's drop, a stale frame) must
+                        # not consume the window and abort early.
+                        deadline = time.monotonic() + self.worker_wait_timeout
+                        while not self._workers and not job.done():
+                            remaining = deadline - time.monotonic()
+                            if remaining <= 0:
+                                raise RuntimeError(
+                                    "all workers lost with "
+                                    f"{len(job.chunks) - len(job.results)} "
+                                    "chunk(s) outstanding and none "
+                                    "reconnected"
+                                )
+                            self._cond.wait(timeout=remaining)
                         continue
                     self._cond.wait(timeout=0.25)
         finally:

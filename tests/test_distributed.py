@@ -19,7 +19,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.cli import main, parse_address
+from repro.cli import main, parse_address, resolve_auth_key
 from repro.interop.runner import SIZE_10KB, Runner, Scenario
 from repro.interop.scenarios import first_server_flight_tail_loss
 from repro.quic.server import ServerMode
@@ -32,6 +32,8 @@ from repro.runtime.distributed import (
     MSG_RESULT,
     PROTOCOL_VERSION,
     ProtocolError,
+    authenticate_client,
+    authenticate_server,
     recv_frame,
     send_frame,
 )
@@ -61,6 +63,9 @@ def start_worker_thread(backend: SocketBackend, **kwargs) -> threading.Thread:
 
 def spawn_worker_process(backend: SocketBackend, *extra: str) -> subprocess.Popen:
     env = dict(os.environ)
+    # these fixtures run auth-less on loopback; an exported
+    # REPRO_AUTH_KEY would make the worker demand a handshake
+    env.pop("REPRO_AUTH_KEY", None)
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
@@ -134,8 +139,199 @@ def test_recv_frame_rejects_bad_magic_and_garbage_payload():
         right.close()
 
 
+# -- authentication -----------------------------------------------------
+
+
+UNPICKLED_BY_SERVER = []
+
+
+def _record_unpickle():
+    UNPICKLED_BY_SERVER.append("payload was unpickled")
+
+
+class _PoisonPayload:
+    """Stands in for a pickle that executes code on load: loading it
+    leaves a trace the test can assert never appeared."""
+
+    def __reduce__(self):
+        return (_record_unpickle, ())
+
+
+def test_auth_handshake_mutual_success_and_wrong_key():
+    key = b"handshake-secret"
+
+    def run_pair(server_key, client_key):
+        left, right = socket.socketpair()
+        outcome = {}
+
+        def server_side():
+            try:
+                authenticate_server(left, server_key)
+                outcome["server"] = "ok"
+            except ProtocolError as exc:
+                outcome["server"] = exc
+
+        thread = threading.Thread(target=server_side, daemon=True)
+        thread.start()
+        try:
+            authenticate_client(right, client_key)
+            outcome["client"] = "ok"
+        except ProtocolError as exc:
+            outcome["client"] = exc
+        thread.join(timeout=5)
+        left.close()
+        right.close()
+        return outcome
+
+    assert run_pair(key, key) == {"server": "ok", "client": "ok"}
+    mismatched = run_pair(key, b"not-the-secret")
+    assert isinstance(mismatched["server"], ProtocolError)
+    assert isinstance(mismatched["client"], ProtocolError)
+
+
+def test_unauthenticated_frame_never_reaches_unpickle():
+    """With auth enabled, a peer that skips the handshake and throws a
+    pickled frame at the port is dropped before pickle.loads runs —
+    the pre-unpickle guarantee that makes the port safe to expose."""
+    UNPICKLED_BY_SERVER.clear()
+    backend = SocketBackend(port=0, min_workers=1, auth_key=b"secret")
+    try:
+        sock = socket.create_connection((backend.host, backend.port))
+        send_frame(sock, MSG_HELLO, _PoisonPayload())
+        sock.close()
+        deadline = time.monotonic() + 5
+        while backend.stats.protocol_errors < 1 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert backend.stats.protocol_errors >= 1
+        assert backend.worker_count() == 0
+        assert UNPICKLED_BY_SERVER == []
+    finally:
+        backend.close()
+
+
+def test_wrong_key_worker_rejected_and_right_key_fleet_runs():
+    key = b"fleet-secret"
+    backend = SocketBackend(port=0, min_workers=1, auth_key=key)
+    exit_codes = []
+    try:
+        rejected = threading.Thread(
+            target=lambda: exit_codes.append(
+                worker_main(
+                    backend.host, backend.port,
+                    retry_for=5.0, auth_key=b"not-the-secret",
+                )
+            ),
+            daemon=True,
+        )
+        rejected.start()
+        rejected.join(timeout=10)
+        assert exit_codes == [1]
+        assert backend.worker_count() == 0
+        assert backend.stats.protocol_errors >= 1
+        # the authenticated fleet still produces bit-identical results
+        start_worker_thread(backend, auth_key=key)
+        serial = Runner().run_repetitions(LOSSY_IACK, repetitions=4)
+        with MatrixRunner(backend=backend, chunk_size=2) as runner:
+            distributed = runner.run_repetitions(LOSSY_IACK, repetitions=4)
+        assert [r.client_stats for r in distributed] == [
+            r.client_stats for r in serial
+        ]
+    finally:
+        backend.close()
+
+
+def test_keyed_worker_times_out_promptly_against_keyless_coordinator(monkeypatch):
+    """The reverse misconfiguration: a keyed worker dialing a keyless
+    coordinator (which silently waits for HELLO) must diagnose the key
+    asymmetry after the auth timeout, not stall behind a generic
+    connection error."""
+    import repro.runtime.distributed as dist
+
+    monkeypatch.setattr(dist, "DEFAULT_AUTH_TIMEOUT", 0.5)
+    listener = socket.create_server(("127.0.0.1", 0))
+    host, port = listener.getsockname()[:2]
+    accepted = []
+
+    def silent_coordinator():
+        conn, _ = listener.accept()
+        accepted.append(conn)  # keyless: waits for HELLO, sends nothing
+
+    threading.Thread(target=silent_coordinator, daemon=True).start()
+    messages = []
+    try:
+        code = worker_main(
+            host, port, retry_for=5.0, auth_key=b"secret",
+            log=messages.append,
+        )
+        assert code == 1
+        assert any("timed out waiting for a challenge" in m for m in messages)
+    finally:
+        listener.close()
+        for conn in accepted:
+            conn.close()
+
+
+def test_socketbackend_refuses_nonloopback_bind_without_key():
+    with pytest.raises(ValueError, match="auth key is required"):
+        SocketBackend(host="0.0.0.0", port=0)
+    # "" binds INADDR_ANY too — it must not pass as loopback
+    with pytest.raises(ValueError, match="auth key is required"):
+        SocketBackend(host="", port=0)
+    backend = SocketBackend(host="0.0.0.0", port=0, auth_key=b"secret")
+    backend.close()
+
+
+def test_asymmetric_auth_config_yields_actionable_errors():
+    """The two halves of a fleet misconfiguration are both diagnosed:
+    a keyless side receiving a challenge, and a keyed side receiving a
+    plain frame, each name the auth-key mismatch instead of stalling
+    or reporting garbage magic."""
+    left, right = socket.socketpair()
+
+    def challenging_server():
+        try:
+            authenticate_server(left, b"secret")
+        except (ProtocolError, ConnectionError, OSError):
+            pass  # the keyless peer bails out mid-handshake
+
+    try:
+        thread = threading.Thread(target=challenging_server, daemon=True)
+        thread.start()
+        with pytest.raises(ProtocolError, match="no auth key"):
+            recv_frame(right)  # keyless peer meets a challenge
+    finally:
+        left.close()
+        right.close()
+    thread.join(timeout=5)
+    left, right = socket.socketpair()
+    try:
+        send_frame(left, MSG_HELLO, {"version": PROTOCOL_VERSION})
+        with pytest.raises(ProtocolError, match="no auth key configured"):
+            authenticate_client(right, b"secret")  # keyed peer meets a frame
+    finally:
+        left.close()
+        right.close()
+
+
+def test_resolve_auth_key(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_AUTH_KEY", raising=False)
+    assert resolve_auth_key(None) is None
+    monkeypatch.setenv("REPRO_AUTH_KEY", "env-secret\n")
+    assert resolve_auth_key(None) == b"env-secret"  # stripped like a file
+    key_file = tmp_path / "auth.key"
+    key_file.write_text("file-secret\n")
+    assert resolve_auth_key(str(key_file)) == b"file-secret"  # file wins
+    empty = tmp_path / "empty.key"
+    empty.write_text(" \n")
+    with pytest.raises(SystemExit, match="empty"):
+        resolve_auth_key(str(empty))
+    with pytest.raises(SystemExit, match="not found"):
+        resolve_auth_key(str(tmp_path / "missing.key"))
+
+
 def test_parse_address():
     assert parse_address("127.0.0.1:7431") == ("127.0.0.1", 7431)
+    assert parse_address("[::1]:7431") == ("::1", 7431)
     with pytest.raises(SystemExit, match="HOST:PORT"):
         parse_address("7431")
     with pytest.raises(SystemExit, match="numeric"):
@@ -282,6 +478,41 @@ def test_malformed_and_non_hello_connections_are_dropped_not_fatal():
         backend.close()
 
 
+def test_result_with_out_of_range_chunk_id_drops_worker_not_job():
+    """A buggy worker echoing a chunk id the job never dispatched must
+    not be recorded (it would make done() true with real chunks
+    missing); the echo is a protocol error, the worker is dropped, and
+    its real chunk is requeued to the honest fleet."""
+    backend = SocketBackend(port=0, min_workers=2)
+
+    def lying_worker():
+        sock = socket.create_connection((backend.host, backend.port))
+        try:
+            send_frame(sock, MSG_HELLO, {"version": PROTOCOL_VERSION, "pid": 0, "host": "liar"})
+            _, payload = recv_frame(sock)
+            job_id = payload[0]
+            send_frame(sock, MSG_RESULT, (job_id, 999_999, [(0, "bogus")]))
+            recv_frame(sock)  # blocks until the server hangs up on us
+        except (ConnectionError, ProtocolError, OSError):
+            pass
+        finally:
+            sock.close()
+
+    threading.Thread(target=lying_worker, daemon=True).start()
+    try:
+        start_worker_thread(backend)
+        serial = Runner().run_repetitions(LOSSY_IACK, repetitions=4)
+        with MatrixRunner(backend=backend, chunk_size=1) as runner:
+            distributed = runner.run_repetitions(LOSSY_IACK, repetitions=4)
+        assert backend.stats.protocol_errors >= 1
+        assert backend.stats.chunks_requeued >= 1
+        assert [r.client_stats for r in distributed] == [
+            r.client_stats for r in serial
+        ]
+    finally:
+        backend.close()
+
+
 def test_remote_chunk_error_aborts_with_traceback():
     """A chunk that raises on the worker is deterministic; the run
     aborts with the remote error instead of requeueing forever."""
@@ -396,12 +627,91 @@ def test_oversized_chunk_aborts_cleanly_and_frees_workers():
         backend.close()
 
 
+def test_parallelism_waits_for_the_fleet_before_chunk_sizing():
+    """Chunk sizing samples parallelism() before run_chunks blocks on
+    min_workers, so parallelism() itself must wait for the fleet — or
+    chunks get sized for however many workers had dialed in."""
+    backend = SocketBackend(port=0, min_workers=2)
+    sampled = []
+    try:
+        thread = threading.Thread(
+            target=lambda: sampled.append(backend.parallelism()), daemon=True
+        )
+        thread.start()
+        time.sleep(0.2)
+        assert not sampled  # still waiting for the two workers
+        for _ in range(2):
+            start_worker_thread(backend)
+        thread.join(timeout=10)
+        assert sampled == [2]
+    finally:
+        backend.close()
+
+
 def test_wait_for_workers_times_out():
     backend = SocketBackend(port=0, min_workers=1)
     try:
         with pytest.raises(RuntimeError, match="timed out waiting"):
             backend.wait_for_workers(1, timeout=0.1)
     finally:
+        backend.close()
+
+
+def test_parallelism_raises_after_one_worker_timeout_not_two():
+    """A fleet that never assembles fails at --worker-timeout, not at
+    twice that (chunk sizing and run_chunks must not each burn a full
+    wait window)."""
+    backend = SocketBackend(port=0, min_workers=1, worker_wait_timeout=0.2)
+    try:
+        start = time.monotonic()
+        with pytest.raises(RuntimeError, match="timed out waiting"):
+            backend.parallelism()
+        assert time.monotonic() - start < 2.0
+    finally:
+        backend.close()
+
+
+def test_replacement_window_survives_spurious_wakeups():
+    """When every worker is lost, the coordinator must hold the full
+    --worker-timeout replacement window even while unrelated condition
+    notifies fire (e.g. a second near-simultaneous worker drop) — a
+    single un-looped wait would abort on the first wakeup and never let
+    the replacement that dials in seconds later join."""
+    backend = SocketBackend(port=0, min_workers=1, worker_wait_timeout=20.0)
+    stop = threading.Event()
+
+    def doomed_worker():  # takes the first chunk and dies holding it
+        sock = socket.create_connection((backend.host, backend.port))
+        try:
+            send_frame(sock, MSG_HELLO, {"version": PROTOCOL_VERSION, "pid": 0, "host": "doom"})
+            recv_frame(sock)
+        except (ConnectionError, ProtocolError, OSError):
+            pass
+        finally:
+            sock.close()
+
+    def noisy_notifier():  # unrelated wakeups during the window
+        while not stop.wait(0.05):
+            with backend._cond:
+                backend._cond.notify_all()
+
+    def late_replacement():
+        time.sleep(1.0)
+        worker_main(backend.host, backend.port, retry_for=5.0)
+
+    threading.Thread(target=doomed_worker, daemon=True).start()
+    threading.Thread(target=noisy_notifier, daemon=True).start()
+    threading.Thread(target=late_replacement, daemon=True).start()
+    try:
+        serial = Runner().run_repetitions(LOSSY_IACK, repetitions=2)
+        with MatrixRunner(backend=backend) as runner:
+            distributed = runner.run_repetitions(LOSSY_IACK, repetitions=2)
+        assert backend.stats.workers_lost >= 1
+        assert [r.client_stats for r in distributed] == [
+            r.client_stats for r in serial
+        ]
+    finally:
+        stop.set()
         backend.close()
 
 
@@ -448,6 +758,8 @@ def free_port() -> int:
 def test_cli_distributed_bundle_byte_identical_to_local(tmp_path, capsys):
     local_dir = tmp_path / "local"
     dist_dir = tmp_path / "dist"
+    key_file = tmp_path / "auth.key"
+    key_file.write_text("cli-suite-secret\n")
     assert main(
         ["run", "fig6", "fig12", "--smoke", "--backend", "local",
          "--out", str(local_dir)]
@@ -456,7 +768,8 @@ def test_cli_distributed_bundle_byte_identical_to_local(tmp_path, capsys):
     workers = [
         threading.Thread(
             target=main,
-            args=(["worker", "--connect", f"127.0.0.1:{port}", "--retry", "30"],),
+            args=(["worker", "--connect", f"127.0.0.1:{port}", "--retry", "30",
+                   "--auth-key-file", str(key_file)],),
             daemon=True,
         )
         for _ in range(2)
@@ -465,10 +778,12 @@ def test_cli_distributed_bundle_byte_identical_to_local(tmp_path, capsys):
         thread.start()
     assert main(
         ["run", "fig6", "fig12", "--smoke", "--backend", "distributed",
-         "--listen", str(port), "--min-workers", "2", "--out", str(dist_dir)]
+         "--listen", str(port), "--min-workers", "2",
+         "--auth-key-file", str(key_file), "--out", str(dist_dir)]
     ) == 0
     out = capsys.readouterr().out
     assert "distributed backend listening on" in out
+    assert "(auth on)" in out
     assert "chunk(s) dispatched" in out
     for name in ("fig6.json", "fig12.json", "suite.json"):
         assert (local_dir / name).read_bytes() == (dist_dir / name).read_bytes()
