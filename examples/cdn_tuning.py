@@ -4,17 +4,19 @@
 Feeds a concrete deployment (certificate size, client RTT, frontend to
 certificate-store delay) through the paper's Table 2 decision
 procedure and the Figure 4 sweet-spot analysis, then validates the
-recommendation with a pair of emulated handshakes.
+recommendation with a pair of emulated handshakes run through the
+``repro.api`` façade.
 
     python examples/cdn_tuning.py --cert-size 1212 --rtt 9 --delta-t 20
 """
 
 import argparse
 
+from repro.api import Session
 from repro.core.advisor import DeploymentAdvisor, LossScenario
 from repro.core.pto_model import first_pto_reduction
 from repro.core.sweet_spot import classify_impact, reduced_latency_zone_boundary_ms
-from repro.interop import Runner, Scenario
+from repro.interop import Scenario
 from repro.quic.certs import Certificate
 from repro.quic.server import ServerMode
 
@@ -48,19 +50,19 @@ def main() -> None:
         print(f"    {advice.reason}")
 
     print("\nEmulated validation (no loss):")
-    runner = Runner()
     certificate = Certificate(name="custom", chain_size=args.cert_size)
     ttfbs = {}
-    for mode in (ServerMode.WFC, ServerMode.IACK):
-        scenario = Scenario(
-            client="quic-go", mode=mode, http="h3", rtt_ms=args.rtt,
-            delta_t_ms=args.delta_t, certificate=certificate,
-        )
-        result = runner.run_once(scenario, seed=1)
-        ttfbs[mode] = result.ttfb_ms
-        print(f"  {mode.name:4s}: TTFB {result.ttfb_ms:7.2f} ms  "
-              f"first PTO {result.client_stats.first_pto_ms:6.1f} ms  "
-              f"probes {result.client_stats.probes_sent}")
+    with Session() as session:
+        for mode in (ServerMode.WFC, ServerMode.IACK):
+            scenario = Scenario(
+                client="quic-go", mode=mode, http="h3", rtt_ms=args.rtt,
+                delta_t_ms=args.delta_t, certificate=certificate,
+            )
+            artifacts = session.run_once(scenario, seed=1)
+            ttfbs[mode] = artifacts.ttfb_ms
+            print(f"  {mode.name:4s}: TTFB {artifacts.ttfb_ms:7.2f} ms  "
+                  f"first PTO {artifacts.client_stats.first_pto_ms:6.1f} ms  "
+                  f"probes {artifacts.client_stats.probes_sent}")
     no_loss = advisor.advise(args.cert_size, args.rtt, args.delta_t,
                              LossScenario.NONE)
     print(f"\nadvice for the no-loss case: {no_loss.recommendation.value}")

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Loss-scenario explorer: when does instant ACK help, when does it hurt?
 
-Reproduces the paper's two headline loss experiments for one client:
+Reproduces the paper's two headline loss experiments for one client
+through the ``repro.api`` façade:
 
 * losing the tail of the first *server* flight (Figure 6) — WFC wins,
   because the instant ACK gave the server no RTT sample;
@@ -14,8 +15,8 @@ Reproduces the paper's two headline loss experiments for one client:
 import argparse
 
 from repro.analysis.stats import summarize
+from repro.api import LocalConfig, Session
 from repro.interop import (
-    Runner,
     Scenario,
     first_server_flight_tail_loss,
     second_client_flight_loss,
@@ -23,9 +24,9 @@ from repro.interop import (
 from repro.quic.server import ServerMode
 
 
-def run_scenario(runner, client, rtt, reps, mode, **loss):
+def run_scenario(session, client, rtt, reps, mode, **loss):
     scenario = Scenario(client=client, mode=mode, http="h1", rtt_ms=rtt, **loss)
-    results = runner.run_repetitions(scenario, repetitions=reps)
+    results = session.run_repetitions(scenario, repetitions=reps)
     ttfbs = [r.ttfb_ms for r in results]
     aborted = sum(1 for r in results if r.client_stats.aborted)
     return summarize(ttfbs), aborted
@@ -36,34 +37,35 @@ def main() -> None:
     parser.add_argument("--client", default="quic-go")
     parser.add_argument("--rtt", type=float, default=9.0)
     parser.add_argument("--reps", type=int, default=15)
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes (0 = in-process)")
     args = parser.parse_args()
-    runner = Runner()
 
     print(f"client={args.client} rtt={args.rtt}ms reps={args.reps}\n")
-
-    print("Scenario A: first server flight lost except its first datagram")
-    for mode in (ServerMode.WFC, ServerMode.IACK):
-        summary, aborted = run_scenario(
-            runner, args.client, args.rtt, args.reps, mode,
-            server_to_client_loss=first_server_flight_tail_loss(mode),
+    with Session(LocalConfig(workers=args.workers)) as session:
+        print("Scenario A: first server flight lost except its first datagram")
+        for mode in (ServerMode.WFC, ServerMode.IACK):
+            summary, aborted = run_scenario(
+                session, args.client, args.rtt, args.reps, mode,
+                server_to_client_loss=first_server_flight_tail_loss(mode),
+            )
+            print(f"  {mode.name:4s}: TTFB {summary.format()}  aborted={aborted}")
+        print(
+            "  -> WFC recovers on a ~3xRTT PTO; with IACK the server has no RTT\n"
+            "     sample and waits for its 200 ms default PTO (paper Fig. 6).\n"
         )
-        print(f"  {mode.name:4s}: TTFB {summary.format()}  aborted={aborted}")
-    print(
-        "  -> WFC recovers on a ~3xRTT PTO; with IACK the server has no RTT\n"
-        "     sample and waits for its 200 ms default PTO (paper Fig. 6).\n"
-    )
 
-    print("Scenario B: entire second client flight lost")
-    for mode in (ServerMode.WFC, ServerMode.IACK):
-        summary, aborted = run_scenario(
-            runner, args.client, args.rtt, args.reps, mode,
-            client_to_server_loss=second_client_flight_loss(args.client),
+        print("Scenario B: entire second client flight lost")
+        for mode in (ServerMode.WFC, ServerMode.IACK):
+            summary, aborted = run_scenario(
+                session, args.client, args.rtt, args.reps, mode,
+                client_to_server_loss=second_client_flight_loss(args.client),
+            )
+            print(f"  {mode.name:4s}: TTFB {summary.format()}  aborted={aborted}")
+        print(
+            "  -> The instant ACK shortened the client PTO, so the lost request\n"
+            "     is retransmitted sooner (paper Fig. 7)."
         )
-        print(f"  {mode.name:4s}: TTFB {summary.format()}  aborted={aborted}")
-    print(
-        "  -> The instant ACK shortened the client PTO, so the lost request\n"
-        "     is retransmitted sooner (paper Fig. 7)."
-    )
 
 
 if __name__ == "__main__":

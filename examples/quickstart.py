@@ -1,16 +1,18 @@
 #!/usr/bin/env python3
 """Quickstart: one QUIC handshake, instant ACK versus wait-for-certificate.
 
-Runs the same emulated connection twice — once with a WFC server and
-once with an IACK server — and prints the timeline observables the
-paper is built on: the first RTT sample, the first PTO, and the TTFB.
+Runs the same emulated connection twice through the ``repro.api``
+façade — once with a WFC server and once with an IACK server — and
+prints the timeline observables the paper is built on: the first RTT
+sample, the first PTO, and the TTFB.
 
     python examples/quickstart.py [--rtt 9] [--delta-t 25] [--client quic-go]
 """
 
 import argparse
 
-from repro.interop import Runner, Scenario
+from repro.api import Session
+from repro.interop import Scenario
 from repro.quic.server import ServerMode
 
 
@@ -26,33 +28,33 @@ def main() -> None:
     parser.add_argument("--trace", action="store_true", help="dump packet trace")
     args = parser.parse_args()
 
-    runner = Runner()
     print(
         f"client={args.client} http={args.http} rtt={args.rtt}ms "
         f"delta_t={args.delta_t}ms\n"
     )
-    for mode in (ServerMode.WFC, ServerMode.IACK):
-        scenario = Scenario(
-            client=args.client,
-            mode=mode,
-            http=args.http,
-            rtt_ms=args.rtt,
-            delta_t_ms=args.delta_t,
-        )
-        result = runner.run_once(scenario, seed=1)
-        stats = result.client_stats
-        print(f"== {mode.value} ==")
-        print(f"  first ACK received   : {stats.relative(stats.first_ack_received_ms):8.2f} ms"
-              f"  (coalesced with SH: {stats.first_ack_coalesced_with_sh})")
-        print(f"  ServerHello received : {stats.relative(stats.server_hello_received_ms):8.2f} ms")
-        print(f"  first RTT sample     : {stats.first_rtt_sample_ms:8.2f} ms")
-        print(f"  first PTO            : {stats.first_pto_ms:8.2f} ms")
-        print(f"  handshake complete   : {stats.relative(stats.handshake_complete_ms):8.2f} ms")
-        print(f"  time to first byte   : {stats.ttfb_relative_ms:8.2f} ms")
-        print(f"  transfer complete    : {stats.relative(stats.response_complete_ms):8.2f} ms")
-        if args.trace:
-            print(result.tracer.dump())
-        print()
+    with Session() as session:
+        for mode in (ServerMode.WFC, ServerMode.IACK):
+            scenario = Scenario(
+                client=args.client,
+                mode=mode,
+                http=args.http,
+                rtt_ms=args.rtt,
+                delta_t_ms=args.delta_t,
+            )
+            artifacts = session.run_once(scenario, seed=1)
+            stats = artifacts.client_stats
+            print(f"== {mode.value} ==")
+            print(f"  first ACK received   : {stats.relative(stats.first_ack_received_ms):8.2f} ms"
+                  f"  (coalesced with SH: {stats.first_ack_coalesced_with_sh})")
+            print(f"  ServerHello received : {stats.relative(stats.server_hello_received_ms):8.2f} ms")
+            print(f"  first RTT sample     : {stats.first_rtt_sample_ms:8.2f} ms")
+            print(f"  first PTO            : {stats.first_pto_ms:8.2f} ms")
+            print(f"  handshake complete   : {stats.relative(stats.handshake_complete_ms):8.2f} ms")
+            print(f"  time to first byte   : {stats.ttfb_relative_ms:8.2f} ms")
+            print(f"  transfer complete    : {stats.relative(stats.response_complete_ms):8.2f} ms")
+            if args.trace:
+                print(artifacts.tracer.dump())
+            print()
     print(
         "The WFC first PTO is inflated by ~3 x delta_t — the protocol-level\n"
         "effect the paper quantifies (its Figure 2)."

@@ -1,0 +1,141 @@
+"""``repro.api`` — the stable public façade of the reproduction.
+
+One entry point unifies what used to be four divergent run paths
+(the 19 legacy per-module ``run()`` shims, ``ExperimentSpec.execute``,
+``SuiteRunner.run``, and the ``python -m repro`` CLI):
+
+>>> from repro.api import Session, RunRequest, LocalConfig
+>>> with Session(LocalConfig(workers=4)) as session:
+...     report = session.run(RunRequest(("fig6", "fig12"), smoke=True))
+...     fig6 = report.results["fig6"]
+
+Surface
+-------
+
+:class:`Session`
+    Owns backend lifecycle and execution policy; context manager.
+:class:`RunRequest`
+    Experiment selection + per-experiment parameter overrides + smoke
+    flag.
+:class:`LocalConfig` / :class:`DistributedConfig`
+    Typed backend configurations (process pool vs. TCP worker fleet).
+Run events
+    ``session.run(..., on_event=cb)`` streams typed
+    :class:`RunEvent` objects (suite planned, chunks dispatched,
+    cells completed, workers joined/lost, experiments completed);
+    ``session.stream(request)`` wraps the same channel as an
+    iterator (:class:`RunStream`).
+Errors
+    Every predictable failure is a typed exception from
+    :mod:`repro.errors`, re-exported here: :class:`UnknownExperiment`,
+    :class:`InvalidOverride`, :class:`BackendError`,
+    :class:`WorkerAuthError`, :class:`BundleVersionError`.
+Bundles
+    :func:`write_bundle` / :func:`load_result` / :func:`load_suite`
+    persist and read ``schema_version``-stamped JSON bundles
+    (:data:`BUNDLE_SCHEMA_VERSION`).
+
+See ``API.md`` at the repository root for the full reference and the
+migration table from the legacy ``run()`` entry points.
+"""
+
+from repro.api.bundles import load_result, load_suite, write_bundle
+from repro.api.config import BackendConfig, DistributedConfig, LocalConfig
+from repro.api.session import (
+    RunRequest,
+    Session,
+    describe_experiments,
+    expand_selection,
+    legacy_run,
+)
+from repro.api.stream import RunStream
+from repro.errors import (
+    BackendError,
+    BundleVersionError,
+    InvalidOverride,
+    ReproError,
+    UnknownExperiment,
+    WorkerAuthError,
+)
+from repro.experiments.common import ExperimentResult
+from repro.runtime.events import (
+    CellCompleted,
+    ChunkCompleted,
+    ChunkDispatched,
+    EventSink,
+    ExperimentCompleted,
+    RunEvent,
+    SuiteCompleted,
+    SuitePlanned,
+    WorkerJoined,
+    WorkerLost,
+)
+from repro.runtime.suite import SuitePlan, SuiteReport
+from repro.schema import BUNDLE_SCHEMA_VERSION
+
+__all__ = [
+    "BUNDLE_SCHEMA_VERSION",
+    "BackendConfig",
+    "BackendError",
+    "BundleVersionError",
+    "CellCompleted",
+    "ChunkCompleted",
+    "ChunkDispatched",
+    "DistributedConfig",
+    "EventSink",
+    "ExperimentCompleted",
+    "ExperimentResult",
+    "InvalidOverride",
+    "LocalConfig",
+    "ReproError",
+    "RunEvent",
+    "RunRequest",
+    "RunStream",
+    "Session",
+    "SuiteCompleted",
+    "SuitePlan",
+    "SuitePlanned",
+    "SuiteReport",
+    "UnknownExperiment",
+    "WorkerAuthError",
+    "WorkerJoined",
+    "WorkerLost",
+    "describe_experiments",
+    "expand_selection",
+    "legacy_run",
+    "load_result",
+    "load_suite",
+    "run",
+    "run_experiment",
+    "write_bundle",
+]
+
+
+def run(
+    experiments,
+    *,
+    overrides=None,
+    smoke=False,
+    backend=None,
+    on_event=None,
+    out=None,
+):
+    """One-call convenience: run a selection in an ephemeral session.
+
+    ``out`` optionally writes the versioned bundle directory before
+    returning the :class:`SuiteReport`.
+    """
+    request = RunRequest(experiments=experiments, overrides=overrides or {}, smoke=smoke)
+    with Session(backend, on_event=on_event) as session:
+        report = session.run(request)
+        if out is not None:
+            session.write_bundle(report, out)
+        return report
+
+
+def run_experiment(experiment_id, *, smoke=False, backend=None, on_event=None, **overrides):
+    """One-call convenience: run a single experiment and return its
+    :class:`ExperimentResult` (keyword arguments are parameter
+    overrides)."""
+    with Session(backend, on_event=on_event) as session:
+        return session.run_experiment(experiment_id, smoke=smoke, **overrides)

@@ -1,0 +1,60 @@
+"""Versioned result bundles: writing and reading run output.
+
+A *bundle* is the on-disk form of a run: one
+``<experiment_id>.json`` per experiment plus a ``suite.json`` report,
+every file stamped with ``schema_version``
+(:data:`repro.schema.BUNDLE_SCHEMA_VERSION`). Bundles are
+deterministic — a distributed run writes bytes identical to a local
+run of the same request — so they diff cleanly in CI and across
+machines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.errors import BundleVersionError
+from repro.experiments.common import ExperimentResult
+from repro.runtime.suite import SuiteReport
+from repro.schema import check_bundle_version
+
+__all__ = ["load_result", "load_suite", "write_bundle"]
+
+
+def write_bundle(report: SuiteReport, out_dir: Union[str, Path]) -> List[Path]:
+    """Write one JSON file per experiment plus the ``suite.json``
+    report; returns every path written."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for exp_id, result in report.results.items():
+        path = out / f"{exp_id}.json"
+        path.write_text(result.to_json() + "\n")
+        written.append(path)
+    suite_path = out / "suite.json"
+    suite_path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+    written.append(suite_path)
+    return written
+
+
+def load_result(path: Union[str, Path]) -> ExperimentResult:
+    """Read one experiment bundle, validating its schema version
+    (legacy unstamped bundles load as version 0)."""
+    return ExperimentResult.from_json(Path(path).read_text())
+
+
+def load_suite(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a ``suite.json`` report as a validated dict.
+
+    The suite payload has no dataclass round-trip (its results embed
+    per-experiment payloads); callers get the checked raw dict.
+    """
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict):
+        raise BundleVersionError("suite bundle is not a JSON object")
+    check_bundle_version(payload, what="suite bundle")
+    for exp_id, result in payload.get("results", {}).items():
+        check_bundle_version(result, what=f"suite bundle result {exp_id!r}")
+    return payload

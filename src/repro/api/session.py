@@ -1,0 +1,362 @@
+"""The session/job core of the ``repro.api`` façade.
+
+A :class:`Session` owns the execution context — backend lifecycle,
+spill policy, event observers — and executes :class:`RunRequest` jobs
+against it. All four historical run paths (legacy per-module
+``run()`` shims, ``ExperimentSpec.execute``, ``SuiteRunner.run``, the
+``python -m repro`` CLI) now converge here: one entry point, one
+error taxonomy (:mod:`repro.errors`), one versioned result schema.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.api.bundles import write_bundle
+from repro.api.config import BackendConfig, LocalConfig
+from repro.api.stream import RunStream
+from repro.errors import BackendError, InvalidOverride, UnknownExperiment
+from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import REGISTRY, get_spec
+from repro.runtime.backend import ExecutionBackend
+from repro.runtime.events import EventSink, RunEvent, emit
+from repro.runtime.matrix import MatrixRunner, default_workers
+from repro.runtime.suite import SuitePlan, SuiteReport, SuiteRunner
+
+__all__ = [
+    "RunRequest",
+    "Session",
+    "describe_experiments",
+    "expand_selection",
+    "legacy_run",
+]
+
+#: Selection shorthand accepted everywhere an experiment list is:
+#: the literal ``"all"`` expands to every registered experiment.
+ALL = "all"
+
+
+def expand_selection(experiments: Union[str, Sequence[str]]) -> List[str]:
+    """Normalize a selection to concrete experiment ids.
+
+    Accepts a single id, a sequence of ids, or the literal ``"all"``;
+    unknown ids raise :class:`~repro.errors.UnknownExperiment` before
+    any work happens.
+    """
+    names = [experiments] if isinstance(experiments, str) else list(experiments)
+    if not names:
+        raise UnknownExperiment(
+            f"empty experiment selection; known: {', '.join(REGISTRY.ids())} "
+            f"(or {ALL!r})"
+        )
+    if names == [ALL]:
+        return [spec.id for spec in REGISTRY.specs()]
+    unknown = [name for name in names if name not in REGISTRY]
+    if unknown:
+        raise UnknownExperiment(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"known: {', '.join(REGISTRY.ids())} (or {ALL!r})"
+        )
+    return names
+
+
+def describe_experiments() -> List[Dict[str, Any]]:
+    """Registry metadata for every experiment, in paper order."""
+    return [spec.describe() for spec in REGISTRY.specs()]
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One job: which experiments, at which parameters.
+
+    ``experiments``
+        Ids to run — a single id, a sequence, or ``"all"``.
+    ``overrides``
+        Per-experiment parameter overrides, keyed experiment id →
+        ``{parameter: value}``. Keys are validated against each
+        spec's declared defaults
+        (:class:`~repro.errors.InvalidOverride` on a typo) and against
+        the selection (overriding an unselected experiment is an
+        error, not a no-op).
+    ``smoke``
+        Run at each spec's smoke-sized parameters (explicit overrides
+        still win) — the CI configuration.
+    """
+
+    experiments: Union[str, Tuple[str, ...]]
+    overrides: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+    smoke: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.experiments, str):
+            object.__setattr__(self, "experiments", tuple(self.experiments))
+
+
+class Session:
+    """Owns an execution context and runs jobs against it.
+
+    ``backend``
+        A typed :class:`~repro.api.config.BackendConfig`; defaults to
+        serial local execution. A
+        :class:`~repro.api.config.DistributedConfig` binds its
+        coordinator socket here in the constructor — read
+        :attr:`address` and point ``python -m repro worker --connect``
+        processes at it.
+    ``spill`` / ``spill_dir``
+        Disk-streaming policy for large artifact levels, exactly as on
+        :class:`~repro.runtime.suite.SuiteRunner`.
+    ``on_event``
+        Session-wide :class:`~repro.runtime.events.EventSink`; every
+        run's events are also delivered here (per-run callbacks and
+        streams receive them too).
+
+    Sessions are context managers; :meth:`close` tears down the
+    backend (telling distributed workers to exit). One job runs at a
+    time per session — the underlying backend serves a single job.
+    """
+
+    def __init__(
+        self,
+        backend: Optional[BackendConfig] = None,
+        *,
+        spill: str = "auto",
+        spill_dir: Optional[str] = None,
+        on_event: Optional[EventSink] = None,
+    ):
+        self.config = backend if backend is not None else LocalConfig()
+        if not isinstance(self.config, BackendConfig):
+            raise BackendError(f"backend must be a BackendConfig, got {type(self.config).__name__}")
+        self.spill = spill
+        self.spill_dir = spill_dir
+        self.on_event = on_event
+        self._backend: Optional[ExecutionBackend] = self.config.create()
+        # Attached for the session's whole lifetime, not just during
+        # run(): a distributed fleet assembles while the coordinator
+        # waits, and those WorkerJoined events must reach the observer.
+        if self._backend is not None and on_event is not None:
+            self._backend.set_event_sink(on_event)
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release the backend (idempotent). Distributed workers are
+        sent an orderly SHUTDOWN."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
+
+    @property
+    def address(self) -> Optional[str]:
+        """``host:port`` of the distributed coordinator, or ``None``
+        for local execution."""
+        return getattr(self._backend, "address", None)
+
+    @property
+    def backend_stats(self) -> Optional[Any]:
+        """Distributed observability counters
+        (:class:`~repro.runtime.distributed.BackendStats`), if any."""
+        return getattr(self._backend, "stats", None)
+
+    # -- jobs -----------------------------------------------------------
+
+    def plan(self, request: RunRequest) -> SuitePlan:
+        """The deduplicated execution plan for a request (no cells
+        run)."""
+        ids, overrides = self._validate(request)
+        return self._suite_runner(None).plan(ids, overrides=overrides, smoke=request.smoke)
+
+    def run(self, request: RunRequest, *, on_event: Optional[EventSink] = None) -> SuiteReport:
+        """Execute a request: plan, run unique cells once, fan results
+        out. Blocks until done; see :meth:`stream` for incremental
+        consumption."""
+        ids, overrides = self._validate(request)
+        if self._closed:
+            raise BackendError("session is closed")
+        runner = self._suite_runner(on_event)
+        return runner.run(ids, overrides=overrides, smoke=request.smoke)
+
+    def stream(self, request: RunRequest) -> RunStream:
+        """Run a request on a background thread, yielding its events
+        as an iterator; ``stream.result()`` returns the report."""
+        return RunStream(lambda sink: self.run(request, on_event=sink))
+
+    def run_experiment(
+        self,
+        experiment_id: str,
+        *,
+        smoke: bool = False,
+        on_event: Optional[EventSink] = None,
+        **overrides: Any,
+    ) -> ExperimentResult:
+        """Run a single experiment; keyword arguments are parameter
+        overrides (``session.run_experiment("fig6", rtt_ms=50.0)``)."""
+        request = RunRequest(
+            experiments=(experiment_id,),
+            overrides={experiment_id: overrides} if overrides else {},
+            smoke=smoke,
+        )
+        report = self.run(request, on_event=on_event)
+        return report.results[experiment_id]
+
+    def write_bundle(self, report: SuiteReport, out_dir: Any) -> List[Any]:
+        """Persist a report as a versioned bundle directory."""
+        return write_bundle(report, out_dir)
+
+    # -- single cells ---------------------------------------------------
+    #
+    # Below the experiment grain: one emulated connection (or a seed
+    # sweep of one scenario) through the session's execution context.
+    # This is the notebook/debugging surface the legacy examples used
+    # the interop Runner for.
+
+    def run_once(
+        self,
+        scenario: Any,
+        seed: int = 0,
+        artifact_level: Union[str, Any] = "trace",
+    ) -> Any:
+        """Execute one ``(scenario, seed)`` cell; returns
+        :class:`~repro.runtime.artifacts.RunArtifacts` at
+        ``artifact_level`` (default ``trace``: stats + packet trace +
+        qlog events)."""
+        return self.run_repetitions(
+            scenario,
+            repetitions=1,
+            base_seed=seed,
+            artifact_level=artifact_level,
+        )[0]
+
+    def run_repetitions(
+        self,
+        scenario: Any,
+        repetitions: int,
+        base_seed: int = 0,
+        artifact_level: Union[str, Any] = "stats",
+    ) -> List[Any]:
+        """The paper's repeat-with-distinct-seeds loop for one
+        scenario (seeds ``base_seed + i``), through the session's
+        backend."""
+        if self._closed:
+            raise BackendError("session is closed")
+        workers = self._workers()
+        # MatrixRunner only attaches the sink to the pool backend it
+        # creates itself; the session-lifetime sink is already on a
+        # session-owned (distributed) backend, so only the serial /
+        # owned-pool paths need it passed here.
+        with MatrixRunner(
+            workers=workers,
+            artifact_level=artifact_level,
+            base_seed=base_seed,
+            backend=self._backend,
+            on_event=self._sink(None),
+        ) as runner:
+            return runner.run_repetitions(scenario, repetitions=repetitions)
+
+    # -- internals ------------------------------------------------------
+
+    def _validate(self, request: RunRequest) -> Tuple[List[str], Dict[str, Mapping[str, Any]]]:
+        ids = expand_selection(request.experiments)
+        overrides = dict(request.overrides or {})
+        for exp_id in overrides:
+            if exp_id not in REGISTRY:
+                raise UnknownExperiment(
+                    f"override targets unknown experiment {exp_id!r}; "
+                    f"known: {', '.join(REGISTRY.ids())}"
+                )
+            if exp_id not in ids:
+                raise InvalidOverride(
+                    f"override targets {exp_id!r}, which is not in the "
+                    f"selection {ids}"
+                )
+        return ids, overrides
+
+    def _suite_runner(self, extra_sink: Optional[EventSink]) -> SuiteRunner:
+        workers = self._workers()
+        return SuiteRunner(
+            workers=workers,
+            spill=self.spill,
+            spill_dir=self.spill_dir,
+            backend=self._backend,
+            on_event=self._sink(extra_sink),
+        )
+
+    def _workers(self) -> int:
+        """Coordinator-side worker count — LocalConfig's pool size, or
+        a DistributedConfig's coordinator-side fan-out for the wild
+        experiments' ``workers`` parameter."""
+        workers = getattr(self.config, "workers", 0)
+        return default_workers() if workers is None else workers
+
+    def _sink(self, extra: Optional[EventSink]) -> Optional[EventSink]:
+        sinks = [s for s in (self.on_event, extra) if s is not None]
+        if not sinks:
+            return None
+        if len(sinks) == 1:
+            return sinks[0]
+
+        def fan_out(event: RunEvent) -> None:
+            for sink in sinks:
+                emit(sink, event)
+
+        return fan_out
+
+
+# -- legacy entry point -------------------------------------------------
+
+_LEGACY_HINT = (
+    "is deprecated; use repro.api — e.g. "
+    'repro.api.run_experiment("{id}", ...) or '
+    "Session().run(RunRequest(...)) — the façade validates parameters, "
+    "streams events, and writes versioned bundles"
+)
+
+
+def legacy_run(
+    experiment: Any,
+    *,
+    runner: Optional[Any] = None,
+    workers: int = 0,
+    cache: Optional[Any] = None,
+    smoke: bool = False,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> ExperimentResult:
+    """The routing target of the 19 historical per-module ``run()``
+    shims.
+
+    Emits a ``DeprecationWarning`` (once per call site under the
+    default warning filters) and executes through the façade's single
+    parameter-resolution path. ``runner`` / ``cache`` keep the
+    historical shared-runner semantics for callers that still thread
+    their own :class:`~repro.runtime.matrix.MatrixRunner`.
+
+    ``experiment`` is an id or an :class:`ExperimentSpec` — the shims
+    pass their own ``SPEC`` object, so a module executed as
+    ``python -m repro.experiments.fig6_...`` (where the registry would
+    re-import it under its canonical name and register a twin) never
+    round-trips through the registry.
+    """
+    spec = get_spec(experiment)
+    warnings.warn(
+        f"{spec.id}.run() " + _LEGACY_HINT.format(id=spec.id),
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return spec.execute(
+        runner=runner,
+        workers=workers,
+        cache=cache,
+        smoke=smoke,
+        overrides=overrides,
+    )

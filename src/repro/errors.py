@@ -1,0 +1,83 @@
+"""The public error taxonomy of the ``repro.api`` façade.
+
+Every failure a caller of :class:`repro.api.Session` can provoke maps
+to exactly one exception type here, so embedding code (services,
+notebooks, the CLI) can branch on *what went wrong* instead of
+pattern-matching message strings. Each type also carries the distinct
+process exit code the CLI uses (tracebacks are for bugs; predictable
+failures get predictable codes).
+
+The classes double-inherit from the builtin exception the pre-façade
+code raised (``KeyError``, ``ValueError``, ``RuntimeError``), so code
+written against the historical behavior keeps working while new code
+catches the precise type.
+
+This module deliberately imports nothing from ``repro`` — the
+experiment, runtime, and analysis layers all raise these types, and a
+dependency-free taxonomy can never participate in an import cycle.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BackendError",
+    "BundleVersionError",
+    "InvalidOverride",
+    "ReproError",
+    "UnknownExperiment",
+    "WorkerAuthError",
+]
+
+
+class ReproError(Exception):
+    """Base of every structured ``repro.api`` failure.
+
+    ``exit_code`` is the process exit status ``python -m repro`` maps
+    the exception to — one distinct code per failure class, all
+    disjoint from 0 (success), 1 (unexpected crash), and 2 (argparse
+    usage errors).
+    """
+
+    exit_code = 1
+
+
+class UnknownExperiment(ReproError, KeyError):
+    """An experiment id that is not in the registry was selected."""
+
+    exit_code = 3
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s its argument, which would wrap the
+        # message in quotes; report it verbatim like every other error.
+        return Exception.__str__(self)
+
+
+class InvalidOverride(ReproError, ValueError):
+    """A parameter override used a key the experiment does not declare,
+    targeted an experiment outside the run's selection, or the
+    selection itself was malformed (an experiment selected twice)."""
+
+    exit_code = 4
+
+
+class BackendError(ReproError, RuntimeError):
+    """An execution backend failed: the distributed fleet never
+    assembled, every worker was lost mid-run, a remote chunk raised, or
+    a chunk could not be dispatched at all."""
+
+    exit_code = 5
+
+
+class WorkerAuthError(BackendError):
+    """Workers reached the coordinator but failed the mutual HMAC
+    handshake — almost always a shared-secret mismatch."""
+
+    exit_code = 6
+
+
+class BundleVersionError(ReproError, ValueError):
+    """A result bundle declares a schema version this code cannot
+    read (newer than :data:`repro.schema.BUNDLE_SCHEMA_VERSION`, or
+    not an integer)."""
+
+    exit_code = 7

@@ -9,6 +9,7 @@ from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.analysis.render import render_table
 from repro.runtime import ArtifactLevel, MatrixRunner, ResultCache
+from repro.schema import BUNDLE_SCHEMA_VERSION, check_bundle_version
 
 
 @dataclass
@@ -39,10 +40,13 @@ class ExperimentResult:
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable form of the result.
 
-        ``extra`` may hold arbitrary analysis objects (model curves,
-        sweep points); keys whose values do not serialize are dropped
-        and listed under ``extra_dropped`` so bundles stay honest about
-        what they omit. Tuples normalize to lists, as JSON demands.
+        The payload is stamped with the bundle ``schema_version``
+        (:data:`repro.schema.BUNDLE_SCHEMA_VERSION`) so readers can
+        validate before parsing. ``extra`` may hold arbitrary analysis
+        objects (model curves, sweep points); keys whose values do not
+        serialize are dropped and listed under ``extra_dropped`` so
+        bundles stay honest about what they omit. Tuples normalize to
+        lists, as JSON demands.
         """
         extra: Dict[str, Any] = {}
         dropped: List[str] = []
@@ -52,6 +56,7 @@ class ExperimentResult:
             except (TypeError, ValueError):
                 dropped.append(key)
         payload: Dict[str, Any] = {
+            "schema_version": BUNDLE_SCHEMA_VERSION,
             "experiment_id": self.experiment_id,
             "title": self.title,
             "headers": list(self.headers),
@@ -70,6 +75,15 @@ class ExperimentResult:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "ExperimentResult":
+        """Rebuild a result from a bundle payload.
+
+        Accepts the current schema version and every older one
+        (version 0 is the legacy unstamped format — structurally
+        identical); a *newer* version raises
+        :class:`~repro.errors.BundleVersionError` instead of
+        half-parsing a future format.
+        """
+        check_bundle_version(payload, what="experiment result bundle")
         return cls(
             experiment_id=payload["experiment_id"],
             title=payload["title"],

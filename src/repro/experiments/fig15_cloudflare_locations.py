@@ -119,7 +119,10 @@ SPEC = register(
 
 
 def run(days: int = 7, seed: int = 0, workers: int = 0) -> ExperimentResult:
-    return SPEC.execute(
+    from repro.api import legacy_run
+
+    return legacy_run(
+        SPEC,
         workers=workers,
         overrides={"days": days, "seed": seed, "workers": workers},
     )

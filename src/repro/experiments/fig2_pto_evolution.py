@@ -87,7 +87,9 @@ SPEC = register(
 
 
 def run(n_samples: int = N_SAMPLES) -> ExperimentResult:
-    return SPEC.execute(overrides={"n_samples": n_samples})
+    from repro.api import legacy_run
+
+    return legacy_run(SPEC, overrides={"n_samples": n_samples})
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -97,7 +97,10 @@ def run(
     delta_t_values_ms: Sequence[float] = DELTA_T_VALUES_MS,
     rtt_values_ms: Sequence[float] = RTT_VALUES_MS,
 ) -> ExperimentResult:
-    return SPEC.execute(
+    from repro.api import legacy_run
+
+    return legacy_run(
+        SPEC,
         overrides={
             "delta_t_values_ms": delta_t_values_ms,
             "rtt_values_ms": rtt_values_ms,

@@ -129,7 +129,10 @@ def run(
     workers: int = 0,
     cache: Optional[ResultCache] = None,
 ) -> ExperimentResult:
-    return SPEC.execute(
+    from repro.api import legacy_run
+
+    return legacy_run(
+        SPEC,
         runner=runner,
         workers=workers,
         cache=cache,

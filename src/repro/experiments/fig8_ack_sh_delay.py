@@ -109,7 +109,10 @@ def run(
     seed: int = 0,
     engine: str = "analytic",
 ) -> ExperimentResult:
-    return SPEC.execute(
+    from repro.api import legacy_run
+
+    return legacy_run(
+        SPEC,
         overrides={
             "list_size": list_size,
             "vantage_name": vantage_name,

@@ -130,7 +130,10 @@ def run(
     days: int = 7,
     seed: int = 0,
 ) -> ExperimentResult:
-    return SPEC.execute(
+    from repro.api import legacy_run
+
+    return legacy_run(
+        SPEC,
         overrides={"vantage_name": vantage_name, "days": days, "seed": seed}
     )
 

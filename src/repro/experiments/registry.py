@@ -14,6 +14,7 @@ from __future__ import annotations
 import importlib
 from typing import Dict, Iterator, List, Union
 
+from repro.errors import UnknownExperiment
 from repro.experiments.spec import ExperimentSpec
 
 
@@ -48,7 +49,7 @@ class ExperimentRegistry:
         try:
             return self._specs[experiment_id]
         except KeyError:
-            raise KeyError(
+            raise UnknownExperiment(
                 f"unknown experiment {experiment_id!r}; known: {self.ids()}"
             ) from None
 

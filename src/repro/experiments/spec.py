@@ -40,6 +40,7 @@ from typing import (
     Sequence,
 )
 
+from repro.errors import InvalidOverride
 from repro.experiments.common import ExperimentResult, matrix_runner
 from repro.runtime import ArtifactLevel, Cell, MatrixRunner, ResultCache, RunArtifacts
 from repro.runtime.store import ArtifactHandle, ArtifactStore
@@ -163,12 +164,41 @@ class ExperimentSpec:
         Unknown override keys raise — a typo must not silently run the
         experiment at its defaults.
         """
+        return self.resolve_params(overrides, smoke=smoke)
+
+    def resolve_params(
+        self,
+        overrides: Optional[Mapping[str, Any]] = None,
+        *,
+        smoke: bool = False,
+        workers: Optional[int] = None,
+        base_seed: Optional[int] = None,
+    ) -> Params:
+        """THE parameter-resolution path — every way of running an
+        experiment (``repro.api`` sessions, ``SuiteRunner`` plans,
+        ``SPEC.execute``, the legacy ``run()`` shims, the CLI) resolves
+        through this one method, so they agree by construction.
+
+        Layering, lowest to highest precedence: declared ``defaults``,
+        then ``smoke`` overrides (when ``smoke=True``), then execution
+        context (``workers`` flows into specs that declare a
+        ``workers`` parameter; ``base_seed`` — a shared runner's seed
+        base — into specs that declare ``base_seed``), then explicit
+        ``overrides``, which always win. Unknown override keys raise
+        :class:`~repro.errors.InvalidOverride` — a typo must not
+        silently run the experiment at its defaults.
+        """
         params: Params = dict(self.defaults)
         if smoke:
             params.update(self.smoke)
-        for key, value in (overrides or {}).items():
+        overrides = dict(overrides or {})
+        if workers is not None and "workers" in self.defaults and "workers" not in overrides:
+            params["workers"] = workers
+        if base_seed is not None and "base_seed" in self.defaults and "base_seed" not in overrides:
+            params["base_seed"] = base_seed
+        for key, value in overrides.items():
             if key not in self.defaults:
-                raise ValueError(
+                raise InvalidOverride(
                     f"{self.id}: unknown parameter {key!r}; known "
                     f"parameters: {sorted(self.defaults)}"
                 )
@@ -196,8 +226,9 @@ class ExperimentSpec:
         A caller-supplied ``runner`` keeps ownership (and must retain
         at least :attr:`artifact_level`); otherwise one is created at
         exactly the spec's declared level. A shared runner's
-        ``base_seed`` wins over the spec's ``base_seed`` default, for
-        parity with the historical ``run(runner=...)`` behavior. With a
+        ``base_seed`` wins over the spec's ``base_seed`` default (an
+        explicit override beats both — the
+        :meth:`resolve_params` precedence every run path shares). With a
         ``store``, executed cells are streamed to disk and the
         aggregator reads them back group by group.
 
@@ -205,11 +236,12 @@ class ExperimentSpec:
         ``workers`` parameter (the wild-measurement experiments fan out
         their own coarse passes instead of running matrix cells).
         """
-        params = self.resolve(overrides, smoke=smoke)
-        if "workers" in self.defaults and "workers" not in (overrides or {}):
-            params["workers"] = workers
-        if runner is not None and "base_seed" in params:
-            params["base_seed"] = runner.base_seed
+        params = self.resolve_params(
+            overrides,
+            smoke=smoke,
+            workers=workers,
+            base_seed=runner.base_seed if runner is not None else None,
+        )
         cells = self.plan_cells(params)
         if not cells:
             return self.aggregate(CellResults.empty(), params)

@@ -151,7 +151,10 @@ def run(
     workers: int = 0,
     engine: str = "analytic",
 ) -> ExperimentResult:
-    return SPEC.execute(
+    from repro.api import legacy_run
+
+    return legacy_run(
+        SPEC,
         workers=workers,
         overrides={
             "list_size": list_size,

@@ -90,7 +90,9 @@ SPEC = register(
 
 
 def run(rtt_ms: float = 9.0) -> ExperimentResult:
-    return SPEC.execute(overrides={"rtt_ms": rtt_ms})
+    from repro.api import legacy_run
+
+    return legacy_run(SPEC, overrides={"rtt_ms": rtt_ms})
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -144,7 +144,9 @@ SPEC = register(
 
 
 def run(repetitions: int = 3, rtt_ms: float = 9.0) -> ExperimentResult:
-    return SPEC.execute(overrides={"repetitions": repetitions, "rtt_ms": rtt_ms})
+    from repro.api import legacy_run
+
+    return legacy_run(SPEC, overrides={"repetitions": repetitions, "rtt_ms": rtt_ms})
 
 
 if __name__ == "__main__":  # pragma: no cover

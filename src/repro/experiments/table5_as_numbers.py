@@ -79,7 +79,9 @@ SPEC = register(
 
 
 def run() -> ExperimentResult:
-    return SPEC.execute()
+    from repro.api import legacy_run
+
+    return legacy_run(SPEC)
 
 
 if __name__ == "__main__":  # pragma: no cover

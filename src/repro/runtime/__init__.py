@@ -11,6 +11,9 @@ Public surface:
   :class:`LocalBackend` (in-process pool) or :class:`SocketBackend`
   (chunks served over TCP to ``python -m repro worker`` processes on
   any number of hosts; see :mod:`repro.runtime.distributed`).
+* :class:`RunEvent` / :data:`EventSink` — typed progress events
+  (chunk dispatch, worker membership, completion) streamed to any
+  attached observer; the channel the ``repro.api`` façade exposes.
 * :class:`ResultCache` — sweep-scoped (scenario, seed, level) memo.
 * :class:`ArtifactStore` — disk-streamed spill of per-cell artifacts
   for larger-than-memory sweeps.
@@ -26,6 +29,7 @@ from repro.runtime.artifacts import ArtifactLevel, RunArtifacts, execute_cell
 from repro.runtime.backend import ExecutionBackend, LocalBackend
 from repro.runtime.cache import ResultCache, loss_pattern_key, scenario_key
 from repro.runtime.distributed import SocketBackend, worker_main
+from repro.runtime.events import EventSink, RunEvent
 from repro.runtime.matrix import (
     Cell,
     MatrixRunner,
@@ -48,11 +52,13 @@ __all__ = [
     "ArtifactLevel",
     "ArtifactStore",
     "Cell",
+    "EventSink",
     "ExecutionBackend",
     "LocalBackend",
     "MatrixRunner",
     "ResultCache",
     "RunArtifacts",
+    "RunEvent",
     "SocketBackend",
     "SuitePlan",
     "SuiteReport",

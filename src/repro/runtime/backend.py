@@ -21,11 +21,12 @@ from __future__ import annotations
 
 import abc
 import multiprocessing
-from concurrent.futures import Executor, ProcessPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, as_completed
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.runtime.artifacts import RunArtifacts
-from repro.runtime.worker import GroupedChunk, run_cell_chunk
+from repro.runtime.events import ChunkCompleted, ChunkDispatched, EventSink, RunEvent, emit
+from repro.runtime.worker import GroupedChunk, chunk_cell_count, run_cell_chunk
 
 
 def mp_context():
@@ -47,6 +48,23 @@ class ExecutionBackend(abc.ABC):
 
     #: Short human-readable backend name (CLI ``--backend`` values).
     name: str = "backend"
+
+    #: Where progress events go; see :meth:`set_event_sink`.
+    _event_sink: Optional[EventSink] = None
+
+    def set_event_sink(self, sink: Optional[EventSink]) -> None:
+        """Attach (or detach, with ``None``) the run-event observer.
+
+        Backends report chunk dispatch/completion — and, where it
+        applies, worker membership — as
+        :class:`~repro.runtime.events.RunEvent` objects. Events fire
+        from backend-internal threads; sinks must be quick and
+        thread-safe (see :mod:`repro.runtime.events`).
+        """
+        self._event_sink = sink
+
+    def emit(self, event: RunEvent) -> None:
+        emit(self._event_sink, event)
 
     @abc.abstractmethod
     def parallelism(self) -> int:
@@ -100,12 +118,21 @@ class LocalBackend(ExecutionBackend):
         self, chunks: Sequence[GroupedChunk], level_value: str
     ) -> List[Tuple[int, RunArtifacts]]:
         pool = self._pool()
-        futures = [
-            pool.submit(run_cell_chunk, chunk, level_value) for chunk in chunks
-        ]
+        futures = {}
+        for chunk_id, chunk in enumerate(chunks):
+            cells = chunk_cell_count(chunk)
+            future = pool.submit(run_cell_chunk, chunk, level_value)
+            futures[future] = (chunk_id, cells)
+            self.emit(
+                ChunkDispatched(chunk_id=chunk_id, cells=cells, where="local-pool")
+            )
         out: List[Tuple[int, RunArtifacts]] = []
-        for future in futures:
+        for future in as_completed(futures):
+            chunk_id, cells = futures[future]
             out.extend(future.result())
+            self.emit(
+                ChunkCompleted(chunk_id=chunk_id, cells=cells, where="local-pool")
+            )
         return out
 
     def close(self) -> None:

@@ -98,9 +98,11 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import BackendError, WorkerAuthError
 from repro.runtime.artifacts import RunArtifacts
 from repro.runtime.backend import ExecutionBackend
-from repro.runtime.worker import GroupedChunk, run_cell_chunk
+from repro.runtime.events import ChunkCompleted, ChunkDispatched, WorkerJoined, WorkerLost
+from repro.runtime.worker import GroupedChunk, chunk_cell_count, run_cell_chunk
 
 PROTOCOL_VERSION = 1
 MAGIC = b"RPRO"
@@ -426,6 +428,9 @@ class BackendStats:
     chunks_dispatched: int = 0
     chunks_requeued: int = 0
     protocol_errors: int = 0
+    #: Connections that reached the coordinator but failed the mutual
+    #: HMAC handshake — the signature of a shared-secret mismatch.
+    auth_failures: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return dict(vars(self))
@@ -470,7 +475,7 @@ class _Job:
         chunk_id = self.pending.popleft()
         self.attempts[chunk_id] += 1
         if self.attempts[chunk_id] > self.max_chunk_retries:
-            raise RuntimeError(
+            raise BackendError(
                 f"chunk {chunk_id} was dispatched {self.max_chunk_retries} "
                 "times without completing; giving up"
             )
@@ -568,8 +573,23 @@ class SocketBackend(ExecutionBackend):
         sock.settimeout(self.heartbeat_timeout)
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            if self.auth_key is not None:
+        except OSError:  # pragma: no cover - socket already dead
+            sock.close()
+            return
+        if self.auth_key is not None:
+            try:
                 authenticate_server(sock, self.auth_key)
+            except (ProtocolError, ConnectionError, OSError):
+                # Tracked separately from generic protocol noise so a
+                # fleet that "never assembles" can be diagnosed as a
+                # key mismatch (WorkerAuthError) instead of a timeout.
+                with self._cond:
+                    self.stats.protocol_errors += 1
+                    self.stats.auth_failures += 1
+                    self._cond.notify_all()
+                sock.close()
+                return
+        try:
             msg_type, payload = recv_frame(sock, self.max_frame_bytes)
             if msg_type != MSG_HELLO:
                 raise ProtocolError(f"expected HELLO, got message type {msg_type}")
@@ -589,6 +609,13 @@ class SocketBackend(ExecutionBackend):
             self._workers[conn.wid] = conn
             self.stats.workers_seen += 1
             self._cond.notify_all()
+        self.emit(
+            WorkerJoined(
+                worker_id=conn.wid,
+                host=str(payload.get("host", addr)),
+                pid=int(payload.get("pid", 0) or 0),
+            )
+        )
         reason: Optional[BaseException] = None
         try:
             while True:
@@ -601,6 +628,7 @@ class SocketBackend(ExecutionBackend):
                             f"malformed RESULT payload: {payload!r}"
                         )
                     job_id, chunk_id, results = payload
+                    recorded = False
                     with self._cond:
                         if conn.inflight == (job_id, chunk_id):
                             conn.inflight = None
@@ -621,8 +649,17 @@ class SocketBackend(ExecutionBackend):
                                     f"{chunk_id!r} (job has "
                                     f"{len(self._job.chunks)} chunks)"
                                 )
+                            recorded = chunk_id not in self._job.results
                             self._job.record(chunk_id, results)
                         self._cond.notify_all()
+                    if recorded:
+                        self.emit(
+                            ChunkCompleted(
+                                chunk_id=chunk_id,
+                                cells=len(results),
+                                where=f"worker-{conn.wid}",
+                            )
+                        )
                 elif msg_type == MSG_ERROR:
                     if not isinstance(payload, dict):
                         raise ProtocolError(
@@ -640,6 +677,8 @@ class SocketBackend(ExecutionBackend):
         self._drop_worker(conn, reason)
 
     def _drop_worker(self, conn: _WorkerConn, reason: Optional[BaseException]) -> None:
+        lost = False
+        requeued = 0
         with self._cond:
             if not conn.alive:
                 return
@@ -650,6 +689,7 @@ class SocketBackend(ExecutionBackend):
             # close() reaches its connection.
             if reason is not None and not self._closed:
                 self.stats.workers_lost += 1
+                lost = True
             if isinstance(reason, ProtocolError):
                 self.stats.protocol_errors += 1
             if conn.inflight is not None:
@@ -657,8 +697,11 @@ class SocketBackend(ExecutionBackend):
                 if self._job is not None and self._job.job_id == job_id:
                     self._job.requeue(chunk_id)
                     self.stats.chunks_requeued += 1
+                    requeued = 1
                 conn.inflight = None
             self._cond.notify_all()
+        if lost:
+            self.emit(WorkerLost(worker_id=conn.wid, requeued_chunks=requeued))
         try:
             conn.sock.close()
         except OSError:  # pragma: no cover - close is best effort
@@ -683,7 +726,15 @@ class SocketBackend(ExecutionBackend):
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
-                        raise RuntimeError(
+                        if self.stats.auth_failures:
+                            raise WorkerAuthError(
+                                f"timed out waiting for {count} worker(s) on "
+                                f"{self.address}: {self.stats.auth_failures} "
+                                "connection(s) failed the authentication "
+                                "handshake — do coordinator and workers "
+                                "share the same auth key?"
+                            )
+                        raise BackendError(
                             f"timed out waiting for {count} worker(s) on "
                             f"{self.address} (have {len(self._workers)})"
                         )
@@ -705,12 +756,12 @@ class SocketBackend(ExecutionBackend):
         self, chunks: Sequence[GroupedChunk], level_value: str
     ) -> List[Tuple[int, RunArtifacts]]:
         if self._closed:
-            raise RuntimeError("backend is closed")
+            raise BackendError("backend is closed")
         if not chunks:
             return []
         with self._cond:
             if self._job is not None:
-                raise RuntimeError("backend is already running a job")
+                raise BackendError("backend is already running a job")
             self._job_seq += 1
             job = _Job(self._job_seq, list(chunks), self.max_chunk_retries)
             self._job = job
@@ -720,7 +771,7 @@ class SocketBackend(ExecutionBackend):
                 self._dispatch(job, level_value)
                 with self._cond:
                     if job.failure is not None:
-                        raise RuntimeError(
+                        raise BackendError(
                             "remote worker failed on chunk "
                             f"{job.failure.get('chunk_id')}: "
                             f"{job.failure.get('error')}\n"
@@ -738,7 +789,7 @@ class SocketBackend(ExecutionBackend):
                         while not self._workers and not job.done():
                             remaining = deadline - time.monotonic()
                             if remaining <= 0:
-                                raise RuntimeError(
+                                raise BackendError(
                                     "all workers lost with "
                                     f"{len(job.chunks) - len(job.results)} "
                                     "chunk(s) outstanding and none "
@@ -794,11 +845,19 @@ class SocketBackend(ExecutionBackend):
                     # their workers stay usable after the abort.
                     with self._cond:
                         self._unassign_locked(assignments[sent:])
-                    raise RuntimeError(
+                    raise BackendError(
                         f"chunk {chunk_id} cannot be dispatched: {exc}"
                     ) from exc
                 except OSError as exc:
                     self._drop_worker(conn, exc)
+                    continue
+                self.emit(
+                    ChunkDispatched(
+                        chunk_id=chunk_id,
+                        cells=chunk_cell_count(job.chunks[chunk_id]),
+                        where=f"worker-{conn.wid}",
+                    )
+                )
 
     def _unassign_locked(
         self, assignments: Sequence[Tuple[_WorkerConn, int]]

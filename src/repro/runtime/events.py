@@ -1,0 +1,168 @@
+"""Streaming run events emitted by the execution runtime.
+
+Long suite runs — especially distributed ones — were observable only
+through stdout prints; embedding callers had no programmatic signal
+for "the fleet assembled", "a worker died", or "half the cells are
+done". Every component of the runtime now reports progress as typed
+:class:`RunEvent` objects pushed into an optional *event sink* (any
+``Callable[[RunEvent], None]``):
+
+* :class:`~repro.runtime.suite.SuiteRunner` emits
+  :class:`SuitePlanned`, :class:`ExperimentCompleted`, and
+  :class:`SuiteCompleted`;
+* :class:`~repro.runtime.matrix.MatrixRunner` emits
+  :class:`CellCompleted` on its serial in-process path;
+* execution backends emit :class:`ChunkDispatched` /
+  :class:`ChunkCompleted`, and the distributed
+  :class:`~repro.runtime.distributed.SocketBackend` additionally emits
+  :class:`WorkerJoined` / :class:`WorkerLost`.
+
+Sinks run on whatever thread produced the event (including backend
+reader threads), so they must be quick and thread-safe; exceptions a
+sink raises are swallowed by :func:`emit` — observability must never
+corrupt a run. ``repro.api`` layers the public callback/iterator
+channel on top of these types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Callable, Optional, Tuple
+
+__all__ = [
+    "CellCompleted",
+    "ChunkCompleted",
+    "ChunkDispatched",
+    "EventSink",
+    "ExperimentCompleted",
+    "RunEvent",
+    "SuiteCompleted",
+    "SuitePlanned",
+    "WorkerJoined",
+    "WorkerLost",
+    "emit",
+]
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """Base class of every runtime progress event."""
+
+    #: Stable machine-readable event name (also the CLI line prefix).
+    kind = "event"
+
+    def describe(self) -> str:
+        """One observability line: ``kind field=value ...``."""
+        parts = [
+            f"{f.name}={getattr(self, f.name)}" for f in fields(self)
+        ]
+        return " ".join([self.kind, *parts]) if parts else self.kind
+
+
+@dataclass(frozen=True)
+class SuitePlanned(RunEvent):
+    """The suite plan is final; execution starts next."""
+
+    kind = "suite_planned"
+
+    experiments: Tuple[str, ...]
+    total_cells: int
+    unique_cells: int
+    shared_cells: int
+    artifact_level: str
+
+
+@dataclass(frozen=True)
+class ChunkDispatched(RunEvent):
+    """A chunk of cells left for an execution slot (pool worker or
+    remote host)."""
+
+    kind = "chunk_dispatched"
+
+    chunk_id: int
+    cells: int
+    #: Which slot took it, e.g. ``"local-pool"`` or ``"worker-3"``.
+    where: str
+
+
+@dataclass(frozen=True)
+class ChunkCompleted(RunEvent):
+    """A dispatched chunk returned its results."""
+
+    kind = "chunk_completed"
+
+    chunk_id: int
+    cells: int
+    where: str
+
+
+@dataclass(frozen=True)
+class CellCompleted(RunEvent):
+    """One cell finished on the serial in-process path."""
+
+    kind = "cell_completed"
+
+    completed: int
+    total: int
+
+
+@dataclass(frozen=True)
+class WorkerJoined(RunEvent):
+    """A remote worker passed authentication and registered."""
+
+    kind = "worker_joined"
+
+    worker_id: int
+    host: str
+    pid: int
+
+
+@dataclass(frozen=True)
+class WorkerLost(RunEvent):
+    """A remote worker was dropped (socket death, heartbeat timeout,
+    or protocol violation); its in-flight chunk was requeued."""
+
+    kind = "worker_lost"
+
+    worker_id: int
+    requeued_chunks: int
+
+
+@dataclass(frozen=True)
+class ExperimentCompleted(RunEvent):
+    """One experiment's aggregator produced its result."""
+
+    kind = "experiment_completed"
+
+    experiment_id: str
+    rows: int
+
+
+@dataclass(frozen=True)
+class SuiteCompleted(RunEvent):
+    """The whole suite finished; the report is being returned."""
+
+    kind = "suite_completed"
+
+    executed_cells: int
+    spilled_cells: int
+    cache_hits: int
+
+
+#: Anything that consumes run events.
+EventSink = Callable[[RunEvent], None]
+
+
+def emit(sink: Optional[EventSink], event: RunEvent) -> None:
+    """Deliver ``event`` to ``sink`` if one is attached.
+
+    Sink exceptions are swallowed: events fire from worker-serving
+    threads and between chunk dispatches, where a raising observer
+    would kill a run that is otherwise succeeding.
+    """
+    if sink is None:
+        return
+    try:
+        sink(event)
+    except Exception:
+        pass

@@ -32,6 +32,7 @@ from repro.interop.runner import Scenario
 from repro.runtime.artifacts import ArtifactLevel, RunArtifacts, execute_cell
 from repro.runtime.backend import ExecutionBackend, LocalBackend, mp_context
 from repro.runtime.cache import ResultCache
+from repro.runtime.events import CellCompleted, EventSink, emit
 from repro.runtime.worker import GroupedChunk, IndexedCell, call_task
 
 
@@ -92,6 +93,7 @@ class MatrixRunner:
         cache: Optional[ResultCache] = None,
         chunk_size: Optional[int] = None,
         backend: Optional[ExecutionBackend] = None,
+        on_event: Optional[EventSink] = None,
     ):
         if workers is None:
             workers = default_workers()
@@ -105,6 +107,11 @@ class MatrixRunner:
         self.cache = cache
         self.chunk_size = chunk_size
         self.backend = backend
+        #: Optional run-event observer: per-cell progress on the serial
+        #: path, per-chunk progress via the owned pool backend. A
+        #: caller-supplied ``backend`` keeps whatever sink its owner
+        #: attached (see :meth:`ExecutionBackend.set_event_sink`).
+        self.on_event = on_event
         self._owned_backend: Optional[LocalBackend] = None
         if self.artifact_level is ArtifactLevel.FULL and (
             workers > 1 or backend is not None
@@ -135,6 +142,7 @@ class MatrixRunner:
             return self.backend
         if self._owned_backend is None:
             self._owned_backend = LocalBackend(self.workers)
+            self._owned_backend.set_event_sink(self.on_event)
         return self._owned_backend
 
     # -- core execution -------------------------------------------------
@@ -163,10 +171,14 @@ class MatrixRunner:
                 for i, artifacts in computed:
                     artifacts.scenario = cells[i].scenario
             else:
-                computed = [
-                    (i, execute_cell(scenario, seed, level))
-                    for i, scenario, seed in pending
-                ]
+                computed = []
+                for done, (i, scenario, seed) in enumerate(pending, start=1):
+                    computed.append((i, execute_cell(scenario, seed, level)))
+                    if self.on_event is not None:
+                        emit(
+                            self.on_event,
+                            CellCompleted(completed=done, total=len(pending)),
+                        )
             for i, artifacts in computed:
                 results[i] = artifacts
                 if cache is not None:

@@ -29,11 +29,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.errors import InvalidOverride
 from repro.runtime.artifacts import ArtifactLevel
 from repro.runtime.backend import ExecutionBackend
 from repro.runtime.cache import ResultCache, scenario_key
+from repro.runtime.events import (
+    EventSink,
+    ExperimentCompleted,
+    SuiteCompleted,
+    SuitePlanned,
+    emit,
+)
 from repro.runtime.matrix import Cell, MatrixRunner
 from repro.runtime.store import ArtifactHandle, ArtifactStore
+from repro.schema import BUNDLE_SCHEMA_VERSION
 
 #: Unique-cell batch size for streamed execution: large enough to keep
 #: a worker pool busy, small enough to bound in-memory artifacts.
@@ -167,6 +176,7 @@ class SuiteReport:
 
     def to_dict(self) -> Dict[str, Any]:
         return {
+            "schema_version": BUNDLE_SCHEMA_VERSION,
             "plan": self.plan.to_dict(),
             "executed_cells": self.executed_cells,
             "spilled_cells": self.spilled_cells,
@@ -211,6 +221,13 @@ class SuiteRunner:
         creates and never closed by the suite. Chunk sizing,
         artifact-level promotion, and disk spill all behave exactly as
         with local execution — only *where* chunks run changes.
+    ``on_event``
+        Optional :class:`~repro.runtime.events.EventSink` receiving
+        typed progress events (:class:`SuitePlanned`, chunk/cell
+        progress from the execution layer, worker membership on a
+        distributed backend, :class:`ExperimentCompleted`,
+        :class:`SuiteCompleted`). On a caller-owned ``backend`` the
+        sink is attached for the duration of each :meth:`run`.
     """
 
     def __init__(
@@ -221,6 +238,7 @@ class SuiteRunner:
         spill: str = "auto",
         spill_dir: Optional[str] = None,
         backend: Optional[ExecutionBackend] = None,
+        on_event: Optional[EventSink] = None,
     ):
         if spill not in ("auto", "always", "never"):
             raise ValueError("spill must be 'auto', 'always', or 'never'")
@@ -240,6 +258,7 @@ class SuiteRunner:
         self.spill = spill
         self.spill_dir = spill_dir
         self.backend = backend
+        self.on_event = on_event
 
     # -- planning -------------------------------------------------------
 
@@ -265,20 +284,20 @@ class SuiteRunner:
         for experiment in experiments:
             spec = get_spec(experiment)
             if spec.id in seen_ids:
-                raise ValueError(f"experiment {spec.id!r} selected twice")
+                raise InvalidOverride(f"experiment {spec.id!r} selected twice")
             seen_ids.add(spec.id)
             exp_overrides = overrides.get(spec.id)
-            params = spec.resolve(exp_overrides, smoke=smoke)
-            if "workers" in spec.defaults and "workers" not in (exp_overrides or {}):
-                params["workers"] = self.workers
-            # A shared runner's base_seed governs the cells, matching
-            # the standalone SPEC.execute(runner=...) path cell for cell.
-            if (
-                self.runner is not None
-                and "base_seed" in spec.defaults
-                and "base_seed" not in (exp_overrides or {})
-            ):
-                params["base_seed"] = self.runner.base_seed
+            # One resolution path for every way of running experiments
+            # (ExperimentSpec.resolve_params): a shared runner's
+            # base_seed governs the cells exactly as in the standalone
+            # SPEC.execute(runner=...) path, and self.workers flows
+            # into specs that declare a workers parameter.
+            params = spec.resolve_params(
+                exp_overrides,
+                smoke=smoke,
+                workers=self.workers,
+                base_seed=self.runner.base_seed if self.runner is not None else None,
+            )
             cells = spec.plan_cells(params)
             slots: List[int] = []
             for cell in cells:
@@ -297,7 +316,7 @@ class SuiteRunner:
             )
         unknown = set(overrides) - seen_ids
         if unknown:
-            raise ValueError(
+            raise InvalidOverride(
                 f"overrides for unselected experiments: {sorted(unknown)}"
             )
         return SuitePlan(
@@ -318,12 +337,30 @@ class SuiteRunner:
         from repro.experiments.spec import CellResults
 
         plan = self.plan(experiments, overrides=overrides, smoke=smoke)
+        emit(
+            self.on_event,
+            SuitePlanned(
+                experiments=tuple(p.spec.id for p in plan.experiments),
+                total_cells=plan.total_cells,
+                unique_cells=len(plan.unique_cells),
+                shared_cells=plan.shared_cells,
+                artifact_level=plan.artifact_level.value,
+            ),
+        )
         store, owned_store = self._resolve_store(plan)
         runner, owned_runner = self._resolve_runner(
             plan.artifact_level, attach_cache=store is None
         )
         cache = runner.cache
         hits0, misses0 = (cache.hits, cache.misses) if cache else (0, 0)
+        # Attach this run's sink to a caller-owned backend for the
+        # duration of the run, restoring whatever was attached before
+        # (e.g. a Session-lifetime sink observing worker membership
+        # between runs) rather than clobbering it.
+        prev_sink = None
+        if self.on_event is not None and self.backend is not None:
+            prev_sink = self.backend._event_sink
+            self.backend.set_event_sink(self.on_event)
         try:
             entries: Sequence[Any]
             if plan.unique_cells:
@@ -339,10 +376,16 @@ class SuiteRunner:
                 view = CellResults(
                     [entries[slot] for slot in planned.slots], store=store
                 )
-                results[planned.spec.id] = planned.spec.aggregate(
-                    view, planned.params
+                result = planned.spec.aggregate(view, planned.params)
+                results[planned.spec.id] = result
+                emit(
+                    self.on_event,
+                    ExperimentCompleted(
+                        experiment_id=planned.spec.id,
+                        rows=len(getattr(result, "rows", []) or []),
+                    ),
                 )
-            return SuiteReport(
+            report = SuiteReport(
                 plan=plan,
                 results=results,
                 executed_cells=len(plan.unique_cells),
@@ -351,11 +394,22 @@ class SuiteRunner:
                 cache_hits=(cache.hits - hits0) if cache else 0,
                 cache_misses=(cache.misses - misses0) if cache else 0,
             )
+            emit(
+                self.on_event,
+                SuiteCompleted(
+                    executed_cells=report.executed_cells,
+                    spilled_cells=report.spilled_cells,
+                    cache_hits=report.cache_hits,
+                ),
+            )
+            return report
         finally:
             if owned_store and store is not None:
                 store.close()
             if owned_runner:
                 runner.close()
+            if self.on_event is not None and self.backend is not None:
+                self.backend.set_event_sink(prev_sink)
 
     def _resolve_runner(
         self, level: ArtifactLevel, attach_cache: bool = True
@@ -377,6 +431,7 @@ class SuiteRunner:
                 artifact_level=level,
                 cache=self.cache if attach_cache else None,
                 backend=self.backend,
+                on_event=self.on_event,
             ),
             True,
         )

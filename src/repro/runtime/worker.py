@@ -26,6 +26,11 @@ IndexedCell = Tuple[int, Scenario, int]
 GroupedChunk = Sequence[Tuple[Scenario, Sequence[Tuple[int, int]]]]
 
 
+def chunk_cell_count(chunk: GroupedChunk) -> int:
+    """How many cells a grouped chunk carries (for progress events)."""
+    return sum(len(pairs) for _scenario, pairs in chunk)
+
+
 def run_cell_chunk(
     chunk: GroupedChunk, level_value: str
 ) -> List[Tuple[int, RunArtifacts]]:

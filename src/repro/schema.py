@@ -1,0 +1,51 @@
+"""Versioning of the JSON result bundles.
+
+Every bundle this repository writes — per-experiment
+``ExperimentResult`` files and the ``suite.json`` report — stamps
+``schema_version`` so readers can tell exactly what they are parsing.
+
+Version history
+---------------
+
+``0``
+    Legacy, unstamped bundles (pre-façade). Structurally identical to
+    version 1 minus the stamp; accepted on read.
+``1``
+    The stamp itself. Current.
+
+Readers accept any version ``<= BUNDLE_SCHEMA_VERSION`` and refuse
+newer ones with a :class:`~repro.errors.BundleVersionError` — a
+bundle from a future release must fail loudly, not half-parse. (When
+a version 2 changes the shape, the read path gains a migration step
+keyed on the version this function returns.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import BundleVersionError
+
+#: The bundle schema version this code writes.
+BUNDLE_SCHEMA_VERSION = 1
+
+
+def check_bundle_version(payload: Dict[str, Any], what: str = "bundle") -> int:
+    """Validate ``payload``'s ``schema_version`` and return it.
+
+    Missing stamps are legacy version-0 bundles and pass. Non-integer
+    or future versions raise :class:`BundleVersionError`.
+    """
+    version = payload.get("schema_version", 0)
+    if isinstance(version, bool) or not isinstance(version, int) or version < 0:
+        raise BundleVersionError(
+            f"{what} has a malformed schema_version {version!r} "
+            "(expected a non-negative integer)"
+        )
+    if version > BUNDLE_SCHEMA_VERSION:
+        raise BundleVersionError(
+            f"{what} uses schema_version {version}, but this release reads "
+            f"at most version {BUNDLE_SCHEMA_VERSION}; upgrade the repro "
+            "package to read it"
+        )
+    return version

@@ -1,0 +1,311 @@
+"""The ``repro.api`` façade: sessions, typed errors, run events,
+versioned bundles, and the legacy-shim deprecation path."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.api import (
+    BackendError,
+    BundleVersionError,
+    DistributedConfig,
+    ExperimentResult,
+    InvalidOverride,
+    LocalConfig,
+    RunRequest,
+    Session,
+    UnknownExperiment,
+    WorkerAuthError,
+    load_result,
+    load_suite,
+    run_experiment,
+    write_bundle,
+)
+from repro.runtime.distributed import worker_main
+from repro.runtime.events import (
+    ExperimentCompleted,
+    SuiteCompleted,
+    SuitePlanned,
+    WorkerJoined,
+)
+from repro.schema import BUNDLE_SCHEMA_VERSION
+
+
+# -- sessions and requests ----------------------------------------------
+
+
+def test_session_runs_a_suite_and_fans_results_out():
+    with Session() as session:
+        report = session.run(
+            RunRequest(("fig6", "table5"), smoke=True)
+        )
+    assert set(report.results) == {"fig6", "table5"}
+    assert len(report.results["fig6"].rows) == 8
+    assert report.plan.shared_cells == 0
+
+
+def test_session_run_experiment_kwargs_are_overrides():
+    with Session() as session:
+        result = session.run_experiment("fig6", smoke=True, rtt_ms=50.0)
+    assert "@50ms RTT" in result.title
+
+
+def test_all_selection_expands_to_the_registry():
+    with Session() as session:
+        plan = session.plan(RunRequest("all", smoke=True))
+    assert len(plan.experiments) == 19
+
+
+def test_module_level_run_experiment_convenience():
+    result = run_experiment("table5")
+    assert result.experiment_id == "table5"
+
+
+# -- the error taxonomy through Session.run -----------------------------
+
+
+def test_unknown_experiment_raises_typed_error():
+    with Session() as session:
+        with pytest.raises(UnknownExperiment, match="fig99"):
+            session.run(RunRequest(("fig6", "fig99")))
+
+
+def test_unknown_override_key_raises_invalid_override():
+    with Session() as session:
+        with pytest.raises(InvalidOverride, match="unknown parameter 'reptitions'"):
+            session.run(
+                RunRequest(("fig6",), overrides={"fig6": {"reptitions": 2}})
+            )
+
+
+def test_override_for_unselected_experiment_raises_invalid_override():
+    with Session() as session:
+        with pytest.raises(InvalidOverride, match="not in the selection"):
+            session.run(
+                RunRequest(("fig6",), overrides={"fig12": {"rtt_ms": 9.0}})
+            )
+
+
+def test_duplicate_selection_raises_invalid_override():
+    with Session() as session:
+        with pytest.raises(InvalidOverride, match="selected twice"):
+            session.run(RunRequest(("fig6", "fig6"), smoke=True))
+
+
+def test_override_for_unknown_experiment_raises_unknown_experiment():
+    with Session() as session:
+        with pytest.raises(UnknownExperiment, match="fig99"):
+            session.run(RunRequest(("fig6",), overrides={"fig99": {"x": 1}}))
+
+
+def test_distributed_backend_that_never_assembles_raises_backend_error():
+    config = DistributedConfig(min_workers=1, worker_timeout=0.2)
+    with Session(config) as session:
+        with pytest.raises(BackendError, match="timed out waiting"):
+            session.run(RunRequest(("fig6",), smoke=True))
+
+
+def test_wrong_auth_key_raises_worker_auth_error():
+    config = DistributedConfig(
+        min_workers=1, worker_timeout=2.0, auth_key="right-key"
+    )
+    with Session(config) as session:
+        host, port_text = session.address.rsplit(":", 1)
+        threading.Thread(
+            target=worker_main,
+            args=(host, int(port_text)),
+            kwargs={"retry_for": 5.0, "auth_key": b"wrong-key"},
+            daemon=True,
+        ).start()
+        with pytest.raises(WorkerAuthError, match="authentication"):
+            session.run(RunRequest(("fig6",), smoke=True))
+
+
+def test_closed_session_refuses_to_run():
+    session = Session()
+    session.close()
+    with pytest.raises(BackendError, match="closed"):
+        session.run(RunRequest(("table5",)))
+
+
+# -- run events ---------------------------------------------------------
+
+
+def test_run_events_cover_plan_progress_and_completion():
+    events = []
+    with Session() as session:
+        session.run(RunRequest(("fig6",), smoke=True), on_event=events.append)
+    kinds = [event.kind for event in events]
+    assert kinds[0] == "suite_planned"
+    planned = events[0]
+    assert isinstance(planned, SuitePlanned)
+    assert planned.experiments == ("fig6",)
+    assert planned.unique_cells == 32  # 16 scenarios x 2 smoke repetitions
+    assert "cell_completed" in kinds
+    assert isinstance(events[-2], ExperimentCompleted)
+    assert isinstance(events[-1], SuiteCompleted)
+    assert events[-1].executed_cells == 32
+
+
+def test_session_level_and_per_run_sinks_both_fire():
+    session_events, run_events = [], []
+    with Session(on_event=session_events.append) as session:
+        session.run(RunRequest(("table5",)), on_event=run_events.append)
+    assert [e.kind for e in session_events] == [e.kind for e in run_events]
+    assert session_events
+
+
+def test_raising_sink_does_not_break_the_run():
+    def broken(event):
+        raise RuntimeError("observer bug")
+
+    with Session(on_event=broken) as session:
+        report = session.run(RunRequest(("table5",)))
+    assert "table5" in report.results
+
+
+def test_stream_yields_events_then_result():
+    with Session() as session:
+        stream = session.stream(RunRequest(("table5",)))
+        kinds = [event.kind for event in stream]
+        report = stream.result()
+    assert kinds[0] == "suite_planned"
+    assert kinds[-1] == "suite_completed"
+    assert report.results["table5"].rows
+
+
+def test_stream_reraises_run_failures():
+    with Session() as session:
+        stream = session.stream(RunRequest(("fig99",)))
+        list(stream)
+        with pytest.raises(UnknownExperiment):
+            stream.result()
+
+
+def test_distributed_run_emits_worker_events_and_matches_local():
+    request = RunRequest(("fig6",), smoke=True)
+    with Session() as session:
+        local = session.run(request)
+    events = []
+    config = DistributedConfig(min_workers=1, worker_timeout=30.0)
+    with Session(config, on_event=events.append) as session:
+        host, port_text = session.address.rsplit(":", 1)
+        threading.Thread(
+            target=worker_main,
+            args=(host, int(port_text)),
+            kwargs={"retry_for": 10.0},
+            daemon=True,
+        ).start()
+        # The session-lifetime sink sees the fleet assemble *before*
+        # any run starts.
+        deadline = time.monotonic() + 30.0
+        while session.backend_stats.workers_seen < 1:
+            assert time.monotonic() < deadline, "worker never connected"
+            time.sleep(0.05)
+        assert any(isinstance(event, WorkerJoined) for event in events)
+        distributed = session.run(request)
+        assert session.backend_stats.workers_seen == 1
+    assert any(isinstance(event, WorkerJoined) for event in events)
+    assert any(event.kind == "chunk_dispatched" for event in events)
+    assert any(event.kind == "chunk_completed" for event in events)
+    # the api path preserves the runtime's bit-identity guarantee
+    assert distributed.results["fig6"].to_json() == local.results["fig6"].to_json()
+
+
+# -- workers resolve identically on every path (the spec.execute fix) ---
+
+
+def test_workers_resolution_is_identical_across_paths():
+    from repro.experiments.fig15_cloudflare_locations import SPEC
+
+    # façade path
+    with Session(LocalConfig(workers=2)) as session:
+        plan = session.plan(RunRequest(("fig15",), smoke=True))
+    (planned,) = plan.experiments
+    assert planned.params["workers"] == 2
+    # standalone spec path
+    params = SPEC.resolve_params(None, smoke=True, workers=2)
+    assert params["workers"] == 2
+    # an explicit override beats the execution context everywhere
+    with Session(LocalConfig(workers=2)) as session:
+        plan = session.plan(
+            RunRequest(("fig15",), overrides={"fig15": {"workers": 0}}, smoke=True)
+        )
+    assert plan.experiments[0].params["workers"] == 0
+    assert SPEC.resolve_params({"workers": 0}, smoke=True, workers=2)["workers"] == 0
+    # distributed sessions keep coordinator-side workers for the wild
+    # experiments' own fan-out (parity with the pre-facade CLI)
+    with Session(DistributedConfig(workers=2)) as session:
+        plan = session.plan(RunRequest(("fig15",), smoke=True))
+    assert plan.experiments[0].params["workers"] == 2
+
+
+# -- versioned bundles --------------------------------------------------
+
+
+def test_bundles_are_stamped_with_the_schema_version(tmp_path):
+    with Session() as session:
+        report = session.run(RunRequest(("table5",)))
+        written = write_bundle(report, tmp_path / "out")
+    payloads = [json.loads(path.read_text()) for path in written]
+    assert all(p["schema_version"] == BUNDLE_SCHEMA_VERSION for p in payloads)
+    result = load_result(tmp_path / "out" / "table5.json")
+    assert result.experiment_id == "table5"
+    suite = load_suite(tmp_path / "out" / "suite.json")
+    assert suite["results"]["table5"]["schema_version"] == BUNDLE_SCHEMA_VERSION
+
+
+def test_legacy_unstamped_bundle_loads_as_version_zero():
+    payload = ExperimentResult(
+        experiment_id="x", title="t", headers=["a"], rows=[[1]]
+    ).to_dict()
+    del payload["schema_version"]
+    restored = ExperimentResult.from_dict(payload)
+    assert restored.rows == [[1]]
+
+
+def test_future_bundle_version_is_rejected():
+    payload = ExperimentResult(
+        experiment_id="x", title="t", headers=["a"], rows=[[1]]
+    ).to_dict()
+    payload["schema_version"] = BUNDLE_SCHEMA_VERSION + 1
+    with pytest.raises(BundleVersionError, match="at most version"):
+        ExperimentResult.from_dict(payload)
+    with pytest.raises(BundleVersionError, match="malformed"):
+        ExperimentResult.from_dict({**payload, "schema_version": "two"})
+
+
+def test_json_round_trip_preserves_rows():
+    original = ExperimentResult(
+        experiment_id="x", title="t", headers=["a", "b"], rows=[[1, "y"]]
+    )
+    assert ExperimentResult.from_json(original.to_json()).rows == [[1, "y"]]
+
+
+# -- the legacy shims ---------------------------------------------------
+
+
+def test_legacy_run_shims_emit_deprecation_and_match_the_facade():
+    from repro.experiments import fig2_pto_evolution as fig2
+    from repro.experiments import table5_as_numbers as table5
+
+    with pytest.warns(DeprecationWarning, match="fig2.run\\(\\) is deprecated"):
+        legacy = fig2.run(n_samples=10)
+    assert legacy.rows == run_experiment("fig2", n_samples=10).rows
+    with pytest.warns(DeprecationWarning, match="repro.api"):
+        table5.run()
+
+
+def test_every_registered_experiment_routes_its_shim_through_the_api():
+    """All 19 modules' run() functions go through repro.api.legacy_run."""
+    import importlib
+    import inspect
+
+    from repro.experiments import EXPERIMENT_INDEX
+
+    for module_name in EXPERIMENT_INDEX.values():
+        module = importlib.import_module(module_name)
+        source = inspect.getsource(module.run)
+        assert "legacy_run" in source, module_name

@@ -33,9 +33,43 @@ def test_plan_json_reports_dedup(capsys):
     assert payload["shared_cells"] == 32
 
 
-def test_plan_unknown_experiment_fails():
-    with pytest.raises(SystemExit, match="unknown experiment"):
-        main(["plan", "fig99"])
+def test_plan_unknown_experiment_exits_3(capsys):
+    assert main(["plan", "fig99"]) == 3
+    err = capsys.readouterr().err
+    assert err.startswith("error: unknown experiment")
+
+
+def test_run_invalid_override_exits_4(capsys):
+    assert main(["run", "fig6", "--smoke", "--param", "fig6.nope=1"]) == 4
+    assert "unknown parameter 'nope'" in capsys.readouterr().err
+
+
+def test_run_override_for_unselected_experiment_exits_4(capsys):
+    assert main(["run", "fig6", "--smoke", "--param", "fig12.rtt_ms=50"]) == 4
+    assert "not in the selection" in capsys.readouterr().err
+
+
+def test_param_flag_overrides_parameters(capsys):
+    assert main(
+        ["run", "fig6", "--smoke", "--param", "fig6.rtt_ms=50"]
+    ) == 0
+    assert "@50ms RTT" in capsys.readouterr().out
+
+
+def test_param_flag_usage_errors_exit_2(capsys):
+    for bad in ("rtt_ms=50", "fig6.rtt_ms"):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "fig6", "--param", bad])
+        assert excinfo.value.code == 2
+        assert "EXP.key=value" in capsys.readouterr().err
+
+
+def test_events_flag_streams_run_events(capsys):
+    assert main(["run", "table5", "--events"]) == 0
+    out = capsys.readouterr().out
+    assert "event: suite_planned" in out
+    assert "event: experiment_completed experiment_id=table5" in out
+    assert "event: suite_completed" in out
 
 
 def test_run_smoke_writes_bundle(tmp_path, capsys):
