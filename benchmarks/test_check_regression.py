@@ -43,6 +43,7 @@ def test_committed_baseline_gates_only_same_parallelism_ratios():
         "table1.speedup_batch_vs_serial",
         "suite_fig12_fig6.speedup_suite_vs_standalone",
         "suite_distributed.speedup_distributed_2w_vs_local_2w",
+        "suite_distributed_cached.speedup_cached_vs_cold",
     }
     # hardware-dependent worker-scaling ratios must never be gated
     assert not any(key.endswith("w_vs_serial") for key in tracked)

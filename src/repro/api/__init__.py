@@ -60,6 +60,7 @@ from repro.errors import (
 from repro.experiments.common import ExperimentResult
 from repro.runtime.events import (
     CellCompleted,
+    ChunkCacheStats,
     ChunkCompleted,
     ChunkDispatched,
     EventSink,
@@ -79,6 +80,7 @@ __all__ = [
     "BackendError",
     "BundleVersionError",
     "CellCompleted",
+    "ChunkCacheStats",
     "ChunkCompleted",
     "ChunkDispatched",
     "DistributedConfig",

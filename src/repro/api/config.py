@@ -26,7 +26,10 @@ from repro.errors import BackendError
 from repro.runtime.backend import ExecutionBackend
 from repro.runtime.distributed import (
     DEFAULT_HEARTBEAT_TIMEOUT,
+    DEFAULT_MAX_CHUNK_CELLS,
     DEFAULT_MAX_FRAME_BYTES,
+    DEFAULT_MIN_CHUNK_CELLS,
+    DEFAULT_TARGET_CHUNK_SECONDS,
     DEFAULT_WORKER_WAIT_TIMEOUT,
     SocketBackend,
 )
@@ -87,6 +90,15 @@ class DistributedConfig(BackendConfig):
     experiments that declare a ``workers`` parameter fan their coarse
     passes out on the coordinator exactly as they would under
     :class:`LocalConfig`.
+
+    ``adaptive_chunks`` (default on) sizes each worker's next chunk
+    from its observed throughput — ``target_chunk_seconds`` of wall
+    clock per chunk, clamped to ``[min_chunk_cells, max_chunk_cells]``
+    — so fast workers stop starving behind fleet-average chunks and
+    slow links stop receiving oversize ones. Set
+    ``min_chunk_cells == max_chunk_cells`` to pin a fixed size, or
+    ``adaptive_chunks=False`` for the historical ~2-chunks-per-worker
+    slicing. Result bundles are byte-identical either way.
     """
 
     name = "distributed"
@@ -99,6 +111,10 @@ class DistributedConfig(BackendConfig):
     workers: int = 0
     heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    adaptive_chunks: bool = True
+    min_chunk_cells: int = DEFAULT_MIN_CHUNK_CELLS
+    max_chunk_cells: int = DEFAULT_MAX_CHUNK_CELLS
+    target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS
 
     def key_bytes(self) -> Optional[bytes]:
         if self.auth_key is None:
@@ -117,6 +133,10 @@ class DistributedConfig(BackendConfig):
                 auth_key=self.key_bytes(),
                 heartbeat_timeout=self.heartbeat_timeout,
                 max_frame_bytes=self.max_frame_bytes,
+                adaptive_chunks=self.adaptive_chunks,
+                min_chunk_cells=self.min_chunk_cells,
+                max_chunk_cells=self.max_chunk_cells,
+                target_chunk_seconds=self.target_chunk_seconds,
             )
         except (ValueError, OSError) as exc:
             raise BackendError(f"cannot start distributed backend: {exc}") from exc

@@ -29,7 +29,7 @@ from repro.runtime.artifacts import ArtifactLevel, RunArtifacts, execute_cell
 from repro.runtime.backend import ExecutionBackend, LocalBackend
 from repro.runtime.cache import ResultCache, loss_pattern_key, scenario_key
 from repro.runtime.distributed import SocketBackend, worker_main
-from repro.runtime.events import EventSink, RunEvent
+from repro.runtime.events import ChunkCacheStats, EventSink, RunEvent
 from repro.runtime.matrix import (
     Cell,
     MatrixRunner,
@@ -52,6 +52,7 @@ __all__ = [
     "ArtifactLevel",
     "ArtifactStore",
     "Cell",
+    "ChunkCacheStats",
     "EventSink",
     "ExecutionBackend",
     "LocalBackend",

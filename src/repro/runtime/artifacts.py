@@ -107,9 +107,7 @@ class RunArtifacts:
         if self.result is not None:
             return self.result.tracer
         if self.trace_records is None:
-            raise ValueError(
-                f"artifact level {self.level.value!r} retains no packet trace"
-            )
+            raise ValueError(f"artifact level {self.level.value!r} retains no packet trace")
         tracer = Tracer()
         tracer._records = self.trace_records
         return tracer
@@ -125,9 +123,7 @@ def execute_cell(
     if runner is None:
         runner = Runner()
     keep = level is not ArtifactLevel.STATS
-    result = runner.run_once(
-        scenario, seed=seed, capture_trace=keep, record_qlog=keep
-    )
+    result = runner.run_once(scenario, seed=seed, capture_trace=keep, record_qlog=keep)
     artifacts = RunArtifacts(
         scenario=scenario,
         seed=result.seed,

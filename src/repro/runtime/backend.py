@@ -26,7 +26,13 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.runtime.artifacts import RunArtifacts
 from repro.runtime.events import ChunkCompleted, ChunkDispatched, EventSink, RunEvent, emit
-from repro.runtime.worker import GroupedChunk, chunk_cell_count, run_cell_chunk
+from repro.runtime.worker import (
+    GroupedChunk,
+    IndexedCell,
+    chunk_cell_count,
+    group_cells,
+    run_cell_chunk,
+)
 
 
 def mp_context():
@@ -78,6 +84,38 @@ class ExecutionBackend(abc.ABC):
         """Execute every chunk, returning the tagged results of all of
         them (in any order; callers reassemble by index)."""
 
+    def run_cells(
+        self,
+        cells: Sequence[IndexedCell],
+        level_value: str,
+        chunk_size: Optional[int] = None,
+    ) -> List[Tuple[int, RunArtifacts]]:
+        """Execute indexed cells, letting the backend choose how they
+        chunk.
+
+        The default slices fixed-size chunks — ``chunk_size`` cells
+        each, or about two chunks per execution slot when ``None`` —
+        and delegates to :meth:`run_chunks`. Backends that know more
+        about their slots (the distributed coordinator tracks
+        per-worker throughput) override this to size chunks
+        adaptively; results are tagged with cell indices either way,
+        so reassembly and bundle bytes are identical no matter how the
+        backend carves the work.
+        """
+        if not cells:
+            return []
+        if chunk_size is None:
+            # ~2 chunks per execution slot: cells of one sweep are
+            # similar enough that load balance beats dispatch overhead
+            # only mildly; fewer, larger chunks keep pickling cheap.
+            slots = max(1, self.parallelism())
+            chunk_size = max(1, -(-len(cells) // (slots * 2)))
+        chunks: List[GroupedChunk] = [
+            group_cells(cells[start : start + chunk_size])
+            for start in range(0, len(cells), chunk_size)
+        ]
+        return self.run_chunks(chunks, level_value)
+
     def close(self) -> None:
         """Release backend resources (idempotent)."""
 
@@ -106,9 +144,7 @@ class LocalBackend(ExecutionBackend):
 
     def _pool(self) -> Executor:
         if self._executor is None:
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=mp_context()
-            )
+            self._executor = ProcessPoolExecutor(max_workers=self.workers, mp_context=mp_context())
         return self._executor
 
     def parallelism(self) -> int:
@@ -123,16 +159,12 @@ class LocalBackend(ExecutionBackend):
             cells = chunk_cell_count(chunk)
             future = pool.submit(run_cell_chunk, chunk, level_value)
             futures[future] = (chunk_id, cells)
-            self.emit(
-                ChunkDispatched(chunk_id=chunk_id, cells=cells, where="local-pool")
-            )
+            self.emit(ChunkDispatched(chunk_id=chunk_id, cells=cells, where="local-pool"))
         out: List[Tuple[int, RunArtifacts]] = []
         for future in as_completed(futures):
             chunk_id, cells = futures[future]
             out.extend(future.result())
-            self.emit(
-                ChunkCompleted(chunk_id=chunk_id, cells=cells, where="local-pool")
-            )
+            self.emit(ChunkCompleted(chunk_id=chunk_id, cells=cells, where="local-pool"))
         return out
 
     def close(self) -> None:

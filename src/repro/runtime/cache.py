@@ -76,13 +76,26 @@ class ResultCache:
         self._store: Dict[Tuple[Any, ...], Any] = {}
         self.hits = 0
         self.misses = 0
+        #: Lookups for scenarios that defeat value identity (``key is
+        #: None``). Tracked apart from ``misses``: "the cache cannot
+        #: apply" is not "the cache missed", and conflating them makes
+        #: hit-rate reporting lie about how well the memo works on the
+        #: cells it can actually serve.
+        self.uncacheable = 0
 
     def __len__(self) -> int:
         return len(self._store)
 
-    def make_key(
-        self, scenario: Scenario, seed: int, level: Any
-    ) -> Optional[Tuple[Any, ...]]:
+    def stats(self) -> Dict[str, int]:
+        """Accounting snapshot (hits / misses / uncacheable / entries)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "uncacheable": self.uncacheable,
+            "entries": len(self._store),
+        }
+
+    def make_key(self, scenario: Scenario, seed: int, level: Any) -> Optional[Tuple[Any, ...]]:
         skey = scenario_key(scenario)
         if skey is None:
             return None
@@ -90,7 +103,7 @@ class ResultCache:
 
     def get(self, key: Optional[Tuple[Any, ...]]) -> Optional[Any]:
         if key is None:
-            self.misses += 1
+            self.uncacheable += 1
             return None
         value = self._store.get(key)
         if value is None:
@@ -102,10 +115,11 @@ class ResultCache:
     def put(self, key: Optional[Tuple[Any, ...]], value: Any) -> None:
         if key is None:
             return
+        # An overwrite re-inserts so the entry's FIFO age refreshes —
+        # without this, a key rewritten at capacity stays the eviction
+        # queue's oldest entry and is dropped right after being renewed.
+        self._store.pop(key, None)
         if self.max_entries is not None and len(self._store) >= self.max_entries:
-            if key in self._store:
-                self._store[key] = value
-                return
             # Drop the oldest entry (insertion order) — sweeps walk
             # scenarios monotonically, so FIFO eviction is adequate.
             self._store.pop(next(iter(self._store)))
@@ -115,3 +129,4 @@ class ResultCache:
         self._store.clear()
         self.hits = 0
         self.misses = 0
+        self.uncacheable = 0

@@ -8,7 +8,7 @@ carry their original cell indices, so reassembly is deterministic and
 the suite output is bit-identical to local execution regardless of
 worker count, chunk interleaving, or mid-run worker loss.
 
-Wire protocol (version 1)
+Wire protocol (version 2)
 -------------------------
 
 Every frame is ``b"RPRO" | type:u8 | length:u32be | payload`` with a
@@ -22,11 +22,51 @@ type       direction       payload
 ========== =============== ==========================================
 HELLO      worker → server ``{"version", "pid", "host"}``
 CHUNK      server → worker ``(job_id, chunk_id, GroupedChunk, level)``
-RESULT     worker → server ``(job_id, chunk_id, [(index, artifacts)])``
+RESULT     worker → server ``(job_id, chunk_id, [(index, artifacts)],
+                            cache_meta)``
 HEARTBEAT  worker → server ``None`` (liveness while computing)
 ERROR      worker → server ``{"job_id", "chunk_id", "error", "traceback"}``
 SHUTDOWN   server → worker ``None`` (drain and exit 0)
 ========== =============== ==========================================
+
+Version 2 extended RESULT with ``cache_meta``: ``None`` on a worker
+running without a result cache, else a dict of the chunk's worker-cache
+accounting (``hits`` / ``misses`` / ``uncacheable`` / ``entries``) that
+the coordinator surfaces as
+:class:`~repro.runtime.events.ChunkCacheStats`. Versions must match
+exactly (HELLO is rejected otherwise), so mixed fleets fail loudly at
+connect time instead of corrupting frames.
+
+Adaptive chunk sizing
+---------------------
+
+:meth:`SocketBackend.run_cells` (the default path — an explicit
+``chunk_size`` pins fixed slices) does not pre-chunk the sweep.
+The coordinator keeps one EWMA of observed cells/sec per worker —
+measured from CHUNK-send start to RESULT receipt, so a slow *link* is
+priced in exactly like a slow *CPU* — and carves each worker's next
+chunk off the remaining cell pool sized to ``target_chunk_seconds`` of
+that worker's throughput, clamped to ``[min_chunk_cells,
+max_chunk_cells]``. Fast workers stop idling between under-sized
+chunks, slow workers stop sitting on oversize chunks the fleet has to
+wait out (and stop hitting transfer deadlines), and because every
+result is tagged with its cell index, reassembly — and therefore the
+result bundle — is byte-identical no matter how the pool was carved.
+
+Worker-side result cache
+------------------------
+
+Workers keep a bounded :class:`~repro.runtime.cache.ResultCache` for
+the life of the ``repro worker`` process — across chunks, jobs, *and
+suites*. Sweeps that re-run the same ``(scenario value, seed)`` cells
+(fig6 ⊂ fig12, fig13 ⊂ fig7, repeated CI suites against a warm fleet)
+are served from the memo instead of re-simulated; determinism in the
+key makes a cached artifact bit-identical to a recomputation, so
+cached bundles match uncached ones byte for byte. Per-chunk hit
+counts travel on RESULT frames and surface as
+:class:`~repro.runtime.events.ChunkCacheStats` on
+:class:`~repro.runtime.events.ChunkCompleted` events plus the
+coordinator's :class:`BackendStats.worker_cache_hits` counter.
 
 ``job_id`` identifies one :meth:`SocketBackend.run_chunks` call; the
 worker echoes it verbatim. Results and errors whose job id does not
@@ -68,11 +108,13 @@ Failure semantics
   (or whose socket dies, or that sends a malformed frame) is dropped
   and its in-flight chunk is requeued for the remaining workers. A
   chunk dispatched ``max_chunk_retries`` times without completing
-  aborts the run — a poison chunk must not requeue forever. Note the
-  same socket timeout bounds the *send* of a CHUNK frame, so a chunk
-  must be transferable within ``heartbeat_timeout`` — over slow
-  off-host links, size chunks (``chunk_size`` / ``max_frame_bytes``)
-  well below link_rate × timeout or raise the timeout.
+  aborts the run — a poison chunk must not requeue forever. CHUNK
+  *sends* run on a dedicated per-worker write socket with their own
+  size-aware deadline (:func:`chunk_send_timeout`), so a slow link
+  that needs longer than ``heartbeat_timeout`` to receive a large
+  chunk is not misclassified as a dead worker mid-transfer — the
+  worker keeps heartbeating while it reads, and only a transfer slower
+  than the send deadline's assumed floor rate drops it.
 * A chunk that raises *inside* ``run_cell_chunk`` is deterministic
   (same cells fail everywhere), so the worker reports an ERROR frame
   and the server aborts the run with the remote traceback instead of
@@ -95,16 +137,29 @@ import threading
 import time
 import traceback
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import BackendError, WorkerAuthError
 from repro.runtime.artifacts import RunArtifacts
 from repro.runtime.backend import ExecutionBackend
-from repro.runtime.events import ChunkCompleted, ChunkDispatched, WorkerJoined, WorkerLost
-from repro.runtime.worker import GroupedChunk, chunk_cell_count, run_cell_chunk
+from repro.runtime.cache import ResultCache
+from repro.runtime.events import (
+    ChunkCacheStats,
+    ChunkCompleted,
+    ChunkDispatched,
+    WorkerJoined,
+    WorkerLost,
+)
+from repro.runtime.worker import (
+    GroupedChunk,
+    IndexedCell,
+    chunk_cell_count,
+    group_cells,
+    run_cell_chunk,
+)
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 MAGIC = b"RPRO"
 _HEADER = struct.Struct(">4sBI")
 
@@ -114,6 +169,27 @@ DEFAULT_MAX_FRAME_BYTES = 256 * 1024 * 1024
 DEFAULT_HEARTBEAT_INTERVAL = 2.0
 DEFAULT_HEARTBEAT_TIMEOUT = 30.0
 DEFAULT_WORKER_WAIT_TIMEOUT = 120.0
+#: Adaptive chunk sizing: per-worker chunks target this much wall
+#: clock, clamped to the cell bounds below. ~1 s balances dispatch
+#: overhead against load-balance granularity for 10–200 ms cells.
+DEFAULT_TARGET_CHUNK_SECONDS = 1.0
+DEFAULT_MIN_CHUNK_CELLS = 1
+DEFAULT_MAX_CHUNK_CELLS = 1024
+#: EWMA smoothing for the per-worker cells/sec estimate: responsive
+#: enough to track a throttled link, damped enough not to chase one
+#: noisy chunk.
+EWMA_ALPHA = 0.5
+#: CHUNK send deadline = floor + bytes / assumed worst-case link rate,
+#: deliberately decoupled from ``heartbeat_timeout``: a slow-but-alive
+#: worker keeps heartbeating while a large frame trickles in, and must
+#: not be dropped mid-transfer as if it died.
+SEND_TIMEOUT_FLOOR = 30.0
+SEND_MIN_RATE_BYTES = 1_000_000.0
+#: Default bound on the worker-resident cross-suite result cache
+#: (entries, not bytes — stats-level artifacts are a few hundred bytes,
+#: trace-level ones larger; lower it via ``--cache-entries`` for
+#: trace-heavy fleets, or 0 to disable).
+DEFAULT_WORKER_CACHE_ENTRIES = 4096
 #: How long a keyed worker waits for the coordinator's challenge — a
 #: keyless coordinator sends nothing (it waits for HELLO), so without a
 #: bound the mismatch would stall until the server's timeout with a
@@ -136,14 +212,29 @@ class ProtocolError(Exception):
 # -- framing ------------------------------------------------------------
 
 
+def chunk_send_timeout(nbytes: int) -> float:
+    """Size-aware deadline for sending one frame: a generous floor plus
+    the transfer time at an assumed worst-case link rate. Decoupled from
+    ``heartbeat_timeout`` on purpose — receive liveness and send
+    progress are different questions (see the module docs)."""
+    return SEND_TIMEOUT_FLOOR + nbytes / SEND_MIN_RATE_BYTES
+
+
 def send_frame(
     sock: socket.socket,
     msg_type: int,
     payload: Any,
     lock: Optional[threading.Lock] = None,
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    size_aware_timeout: bool = False,
 ) -> None:
-    """Serialize and send one frame (atomically under ``lock``)."""
+    """Serialize and send one frame (atomically under ``lock``).
+
+    With ``size_aware_timeout`` the socket's timeout is set to
+    :func:`chunk_send_timeout` of the frame size before sending — only
+    safe on a socket that is never concurrently read (the coordinator's
+    per-worker write socket), since timeouts are per socket object.
+    """
     data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     if len(data) > max_frame_bytes:
         raise ProtocolError(
@@ -152,9 +243,13 @@ def send_frame(
         )
     frame = _HEADER.pack(MAGIC, msg_type, len(data)) + data
     if lock is None:
+        if size_aware_timeout:
+            sock.settimeout(chunk_send_timeout(len(frame)))
         sock.sendall(frame)
     else:
         with lock:
+            if size_aware_timeout:
+                sock.settimeout(chunk_send_timeout(len(frame)))
             sock.sendall(frame)
 
 
@@ -306,6 +401,7 @@ def worker_main(
     retry_for: float = 10.0,
     fail_after: Optional[int] = None,
     auth_key: Optional[bytes] = None,
+    cache_entries: Optional[int] = DEFAULT_WORKER_CACHE_ENTRIES,
     log: Optional[Callable[[str], None]] = None,
 ) -> int:
     """One remote worker: connect, serve chunks until SHUTDOWN.
@@ -317,6 +413,12 @@ def worker_main(
     A daemon thread heartbeats every ``heartbeat_interval`` seconds so
     the server can tell a long-running chunk from a dead worker.
 
+    ``cache_entries`` bounds the worker-resident
+    :class:`~repro.runtime.cache.ResultCache` that memoizes cells by
+    ``(scenario value, seed, level)`` for the life of this process —
+    across chunks, jobs, and consecutive suites. ``0``/``None``
+    disables it. Per-chunk hit counts are reported on RESULT frames.
+
     ``fail_after`` is fault injection for the failure-path tests and CI
     chaos runs: after serving that many chunks the worker hard-exits
     (``os._exit``) upon receiving its next chunk — indistinguishable
@@ -325,6 +427,7 @@ def worker_main(
     Returns 0 on orderly shutdown, 1 if the coordinator vanished.
     """
     say = log or (lambda message: None)
+    cache = ResultCache(max_entries=cache_entries) if cache_entries else None
     sock = connect_with_retry(host, port, retry_for=retry_for)
     sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
     _enable_keepalive(sock)
@@ -382,11 +485,21 @@ def worker_main(
                 say(f"fault injection: dying with chunk {chunk_id} in flight")
                 os._exit(17)
             try:
-                results = run_cell_chunk(grouped, level_value)
+                before = cache.stats() if cache is not None else None
+                results = run_cell_chunk(grouped, level_value, cache=cache)
+                cache_meta = None
+                if cache is not None:
+                    after = cache.stats()
+                    cache_meta = {
+                        "hits": after["hits"] - before["hits"],
+                        "misses": after["misses"] - before["misses"],
+                        "uncacheable": after["uncacheable"] - before["uncacheable"],
+                        "entries": after["entries"],
+                    }
                 send_frame(
                     sock,
                     MSG_RESULT,
-                    (job_id, chunk_id, results),
+                    (job_id, chunk_id, results, cache_meta),
                     lock=send_lock,
                     max_frame_bytes=max_frame_bytes,
                 )
@@ -419,6 +532,24 @@ def worker_main(
 # -- server side --------------------------------------------------------
 
 
+def _decode_cache_meta(meta: Any) -> Optional[ChunkCacheStats]:
+    """Validate a RESULT frame's cache accounting. ``None`` means the
+    worker runs cacheless; anything else must be a well-formed counter
+    dict — a worker echo is untrusted input, so garbage is a protocol
+    error (dropping the worker), never a crash or silent bad stats."""
+    if meta is None:
+        return None
+    try:
+        return ChunkCacheStats(
+            hits=int(meta["hits"]),
+            misses=int(meta["misses"]),
+            uncacheable=int(meta["uncacheable"]),
+            entries=int(meta["entries"]),
+        )
+    except (KeyError, TypeError, ValueError):
+        raise ProtocolError(f"malformed RESULT cache stats: {meta!r}") from None
+
+
 @dataclass
 class BackendStats:
     """Observability counters for one :class:`SocketBackend`."""
@@ -431,48 +562,130 @@ class BackendStats:
     #: Connections that reached the coordinator but failed the mutual
     #: HMAC handshake — the signature of a shared-secret mismatch.
     auth_failures: int = 0
+    #: Cells served from worker-resident result caches instead of
+    #: simulated, summed over every recorded RESULT frame.
+    worker_cache_hits: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return dict(vars(self))
 
 
 class _WorkerConn:
-    """Server-side state of one connected worker."""
+    """Server-side state of one connected worker.
 
-    __slots__ = ("wid", "sock", "addr", "send_lock", "alive", "inflight", "info")
+    ``wsock`` is a ``dup()`` of the connection used exclusively for
+    server → worker sends: socket timeouts are per Python socket
+    object, so the reader thread's ``heartbeat_timeout`` (liveness)
+    and the dispatcher's size-aware send deadline (transfer progress)
+    stay independent on the one TCP stream.
+    """
+
+    __slots__ = (
+        "wid",
+        "sock",
+        "wsock",
+        "addr",
+        "send_lock",
+        "alive",
+        "inflight",
+        "info",
+        "ewma_rate",
+        "dispatched_at",
+        "dispatched_cells",
+    )
 
     def __init__(self, wid: int, sock: socket.socket, addr: Any, info: Dict[str, Any]):
         self.wid = wid
         self.sock = sock
+        self.wsock = sock.dup()
         self.addr = addr
         self.send_lock = threading.Lock()
         self.alive = True
         #: ``(job_id, chunk_id)`` of the dispatched-but-unanswered chunk.
         self.inflight: Optional[Tuple[int, int]] = None
         self.info = info
+        #: EWMA of observed cells/sec (None until the first RESULT).
+        self.ewma_rate: Optional[float] = None
+        self.dispatched_at: Optional[float] = None
+        self.dispatched_cells = 0
+
+    def observe_result(self, now: float, computed_cells: int) -> None:
+        """Fold the finished chunk's round trip into the throughput
+        EWMA (caller holds the backend lock).
+
+        ``computed_cells`` excludes cells the worker served from its
+        result cache: an all-hit chunk finishing in a millisecond says
+        nothing about how fast the worker *simulates*, and folding it
+        in would hand a slow worker an enormous rate — and then an
+        oversized chunk of cold cells the whole fleet has to wait out.
+        A chunk with no computed cells therefore leaves the EWMA
+        untouched.
+        """
+        if self.dispatched_at is None:
+            return
+        elapsed = max(now - self.dispatched_at, 1e-6)
+        self.dispatched_at = None
+        if computed_cells <= 0:
+            return
+        rate = computed_cells / elapsed
+        if self.ewma_rate is None:
+            self.ewma_rate = rate
+        else:
+            self.ewma_rate = EWMA_ALPHA * rate + (1 - EWMA_ALPHA) * self.ewma_rate
 
 
-@dataclass
 class _Job:
-    """One ``run_chunks`` call: pending queue, attempts, results."""
+    """One coordinator job: pending chunks, attempts, results.
 
-    job_id: int
-    chunks: Sequence[GroupedChunk]
-    max_chunk_retries: int
-    pending: deque = field(default_factory=deque)
-    attempts: List[int] = field(default_factory=list)
-    results: Dict[int, List[Tuple[int, RunArtifacts]]] = field(default_factory=dict)
-    failure: Optional[Dict[str, Any]] = None
+    Two shapes share the bookkeeping:
 
-    def __post_init__(self) -> None:
-        self.pending = deque(range(len(self.chunks)))
-        self.attempts = [0] * len(self.chunks)
+    * **fixed** (``chunks=...``) — the caller pre-chunked the work
+      (:meth:`SocketBackend.run_chunks`); every chunk id exists up
+      front.
+    * **adaptive** (``pool=...``) — the job holds the un-chunked cell
+      pool and :meth:`checkout` carves each worker's next chunk to the
+      requested size, registering fresh chunk ids as it goes
+      (:meth:`SocketBackend.run_cells`).
 
-    def checkout(self) -> Optional[int]:
-        """Next chunk to dispatch, enforcing the retry bound."""
-        if not self.pending:
+    Requeued chunks keep their concrete :data:`GroupedChunk` either
+    way, so the poison-chunk retry bound counts dispatches of the same
+    cells even in adaptive mode.
+    """
+
+    def __init__(
+        self,
+        job_id: int,
+        max_chunk_retries: int,
+        chunks: Sequence[GroupedChunk] = (),
+        pool: Sequence[IndexedCell] = (),
+        initial_chunk_cells: int = 1,
+    ):
+        self.job_id = job_id
+        self.max_chunk_retries = max_chunk_retries
+        self.chunks: List[GroupedChunk] = list(chunks)
+        self.pending: deque = deque(range(len(self.chunks)))
+        self.attempts: List[int] = [0] * len(self.chunks)
+        self._pool: Sequence[IndexedCell] = pool
+        self._pool_pos = 0
+        self.initial_chunk_cells = initial_chunk_cells
+        self.results: Dict[int, List[Tuple[int, RunArtifacts]]] = {}
+        self.failure: Optional[Dict[str, Any]] = None
+
+    def checkout(self, target_cells: int) -> Optional[int]:
+        """Next chunk to dispatch — a requeued chunk first, else one
+        carved from the cell pool at ``target_cells`` — enforcing the
+        retry bound."""
+        if self.pending:
+            chunk_id = self.pending.popleft()
+        elif self._pool_pos < len(self._pool):
+            take = max(1, target_cells)
+            cells = self._pool[self._pool_pos : self._pool_pos + take]
+            self._pool_pos += len(cells)
+            chunk_id = len(self.chunks)
+            self.chunks.append(group_cells(cells))
+            self.attempts.append(0)
+        else:
             return None
-        chunk_id = self.pending.popleft()
         self.attempts[chunk_id] += 1
         if self.attempts[chunk_id] > self.max_chunk_retries:
             raise BackendError(
@@ -491,8 +704,18 @@ class _Job:
         if chunk_id not in self.results:
             self.pending.appendleft(chunk_id)
 
+    def outstanding_cells(self) -> int:
+        """Cells not yet recorded: unanswered carved chunks plus the
+        un-carved remainder of an adaptive job's pool."""
+        carved = sum(
+            chunk_cell_count(self.chunks[chunk_id])
+            for chunk_id in range(len(self.chunks))
+            if chunk_id not in self.results
+        )
+        return carved + len(self._pool) - self._pool_pos
+
     def done(self) -> bool:
-        return len(self.results) == len(self.chunks)
+        return self._pool_pos >= len(self._pool) and len(self.results) == len(self.chunks)
 
     def results_in_order(self) -> List[Tuple[int, RunArtifacts]]:
         out: List[Tuple[int, RunArtifacts]] = []
@@ -507,10 +730,15 @@ class SocketBackend(ExecutionBackend):
     The listener binds in the constructor (``port=0`` picks an
     ephemeral port, re-read from :attr:`port`), an accept thread admits
     workers as they dial in — before, during, and between jobs — and
-    :meth:`run_chunks` blocks until ``min_workers`` are connected
-    before dispatching. One chunk is outstanding per worker; finished
-    workers immediately receive the next pending chunk, so faster
-    workers naturally take more of the queue.
+    :meth:`run_chunks` / :meth:`run_cells` block until ``min_workers``
+    are connected before dispatching. One chunk is outstanding per
+    worker; finished workers immediately receive the next pending
+    chunk, so faster workers naturally take more of the queue.
+
+    :meth:`run_cells` (the :class:`MatrixRunner` default path) sizes
+    each worker's next chunk adaptively from its observed throughput —
+    see the module docs; an explicit ``chunk_size`` or
+    ``adaptive_chunks=False`` pins fixed slices.
     """
 
     name = "distributed"
@@ -525,11 +753,21 @@ class SocketBackend(ExecutionBackend):
         max_chunk_retries: int = 3,
         worker_wait_timeout: float = DEFAULT_WORKER_WAIT_TIMEOUT,
         auth_key: Optional[bytes] = None,
+        adaptive_chunks: bool = True,
+        min_chunk_cells: int = DEFAULT_MIN_CHUNK_CELLS,
+        max_chunk_cells: int = DEFAULT_MAX_CHUNK_CELLS,
+        target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS,
     ):
         if min_workers < 1:
             raise ValueError("min_workers must be >= 1")
         if max_chunk_retries < 1:
             raise ValueError("max_chunk_retries must be >= 1")
+        if min_chunk_cells < 1:
+            raise ValueError("min_chunk_cells must be >= 1")
+        if max_chunk_cells < min_chunk_cells:
+            raise ValueError("max_chunk_cells must be >= min_chunk_cells")
+        if target_chunk_seconds <= 0:
+            raise ValueError("target_chunk_seconds must be positive")
         if auth_key is not None and not auth_key:
             raise ValueError("auth_key must be non-empty when set")
         if auth_key is None and not _is_loopback(host):
@@ -544,6 +782,10 @@ class SocketBackend(ExecutionBackend):
         self.max_frame_bytes = max_frame_bytes
         self.max_chunk_retries = max_chunk_retries
         self.worker_wait_timeout = worker_wait_timeout
+        self.adaptive_chunks = adaptive_chunks
+        self.min_chunk_cells = min_chunk_cells
+        self.max_chunk_cells = max_chunk_cells
+        self.target_chunk_seconds = target_chunk_seconds
         self.stats = BackendStats()
         self._listener = socket.create_server((host, port), backlog=16)
         self.host, self.port = self._listener.getsockname()[:2]
@@ -565,9 +807,7 @@ class SocketBackend(ExecutionBackend):
                 sock, addr = self._listener.accept()
             except OSError:  # listener closed
                 return
-            threading.Thread(
-                target=self._serve_worker, args=(sock, addr), daemon=True
-            ).start()
+            threading.Thread(target=self._serve_worker, args=(sock, addr), daemon=True).start()
 
     def _serve_worker(self, sock: socket.socket, addr: Any) -> None:
         sock.settimeout(self.heartbeat_timeout)
@@ -605,7 +845,11 @@ class SocketBackend(ExecutionBackend):
                 sock.close()
                 return
             self._next_wid += 1
-            conn = _WorkerConn(self._next_wid, sock, addr, payload)
+            try:
+                conn = _WorkerConn(self._next_wid, sock, addr, payload)
+            except OSError:  # dup() failed (fd exhaustion); not a peer bug
+                sock.close()
+                return
             self._workers[conn.wid] = conn
             self.stats.workers_seen += 1
             self._cond.notify_all()
@@ -623,15 +867,26 @@ class SocketBackend(ExecutionBackend):
                 if msg_type == MSG_HEARTBEAT:
                     continue
                 if msg_type == MSG_RESULT:
-                    if not (isinstance(payload, tuple) and len(payload) == 3):
-                        raise ProtocolError(
-                            f"malformed RESULT payload: {payload!r}"
-                        )
-                    job_id, chunk_id, results = payload
+                    if not (isinstance(payload, tuple) and len(payload) == 4):
+                        raise ProtocolError(f"malformed RESULT payload: {payload!r}")
+                    job_id, chunk_id, results, cache_meta = payload
+                    cache_stats = _decode_cache_meta(cache_meta)
                     recorded = False
                     with self._cond:
                         if conn.inflight == (job_id, chunk_id):
                             conn.inflight = None
+                            # Round trip complete: fold dispatch→result
+                            # wall clock into this worker's throughput
+                            # EWMA (drives adaptive chunk sizing),
+                            # counting only cells it actually computed.
+                            # hits is an untrusted echo; clamp so a
+                            # lying worker cannot push computed_cells
+                            # negative.
+                            hits = cache_stats.hits if cache_stats is not None else 0
+                            conn.observe_result(
+                                time.monotonic(),
+                                conn.dispatched_cells - min(max(hits, 0), conn.dispatched_cells),
+                            )
                         # Frames from an aborted previous job are stale:
                         # recording them would graft old-plan cells into
                         # the new job, so they are discarded.
@@ -651,6 +906,8 @@ class SocketBackend(ExecutionBackend):
                                 )
                             recorded = chunk_id not in self._job.results
                             self._job.record(chunk_id, results)
+                            if recorded and cache_stats is not None:
+                                self.stats.worker_cache_hits += cache_stats.hits
                         self._cond.notify_all()
                     if recorded:
                         self.emit(
@@ -658,13 +915,12 @@ class SocketBackend(ExecutionBackend):
                                 chunk_id=chunk_id,
                                 cells=len(results),
                                 where=f"worker-{conn.wid}",
+                                cache=cache_stats,
                             )
                         )
                 elif msg_type == MSG_ERROR:
                     if not isinstance(payload, dict):
-                        raise ProtocolError(
-                            f"malformed ERROR payload: {payload!r}"
-                        )
+                        raise ProtocolError(f"malformed ERROR payload: {payload!r}")
                     job_id = payload.get("job_id")
                     with self._cond:
                         if conn.inflight == (job_id, payload.get("chunk_id")):
@@ -702,10 +958,11 @@ class SocketBackend(ExecutionBackend):
             self._cond.notify_all()
         if lost:
             self.emit(WorkerLost(worker_id=conn.wid, requeued_chunks=requeued))
-        try:
-            conn.sock.close()
-        except OSError:  # pragma: no cover - close is best effort
-            pass
+        for sock in (conn.sock, conn.wsock):
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close is best effort
+                pass
 
     # -- public surface -------------------------------------------------
 
@@ -755,16 +1012,54 @@ class SocketBackend(ExecutionBackend):
     def run_chunks(
         self, chunks: Sequence[GroupedChunk], level_value: str
     ) -> List[Tuple[int, RunArtifacts]]:
-        if self._closed:
-            raise BackendError("backend is closed")
+        """Serve caller-sized chunks (the pinned-``chunk_size`` path)."""
         if not chunks:
             return []
+        return self._run_job(self._register_job(chunks=list(chunks)), level_value)
+
+    def run_cells(
+        self,
+        cells: Sequence[IndexedCell],
+        level_value: str,
+        chunk_size: Optional[int] = None,
+    ) -> List[Tuple[int, RunArtifacts]]:
+        """Serve cells with adaptively sized per-worker chunks.
+
+        An explicit ``chunk_size`` (or ``adaptive_chunks=False``) falls
+        back to fixed slicing via the base implementation. Otherwise
+        the cell pool stays un-chunked on the coordinator and each idle
+        worker's next chunk is carved to ``target_chunk_seconds`` of
+        its EWMA throughput, clamped to the configured cell bounds.
+        """
+        if chunk_size is not None or not self.adaptive_chunks:
+            return super().run_cells(cells, level_value, chunk_size)
+        if not cells:
+            return []
+        # The first chunks predate any throughput signal: deal each
+        # assembled worker a conservative quarter-share so the EWMA
+        # gets a sample quickly without front-loading a slow worker.
+        self.wait_for_workers(self.min_workers, self.worker_wait_timeout)
+        with self._lock:
+            slots = max(self.min_workers, len(self._workers))
+        initial = max(
+            self.min_chunk_cells,
+            min(self.max_chunk_cells, -(-len(cells) // (slots * 4))),
+        )
+        job = self._register_job(pool=list(cells), initial_chunk_cells=initial)
+        return self._run_job(job, level_value)
+
+    def _register_job(self, **job_kwargs: Any) -> _Job:
+        if self._closed:
+            raise BackendError("backend is closed")
         with self._cond:
             if self._job is not None:
                 raise BackendError("backend is already running a job")
             self._job_seq += 1
-            job = _Job(self._job_seq, list(chunks), self.max_chunk_retries)
+            job = _Job(self._job_seq, self.max_chunk_retries, **job_kwargs)
             self._job = job
+        return job
+
+    def _run_job(self, job: _Job, level_value: str) -> List[Tuple[int, RunArtifacts]]:
         try:
             self.wait_for_workers(self.min_workers, self.worker_wait_timeout)
             while True:
@@ -791,8 +1086,8 @@ class SocketBackend(ExecutionBackend):
                             if remaining <= 0:
                                 raise BackendError(
                                     "all workers lost with "
-                                    f"{len(job.chunks) - len(job.results)} "
-                                    "chunk(s) outstanding and none "
+                                    f"{job.outstanding_cells()} "
+                                    "cell(s) outstanding and none "
                                     "reconnected"
                                 )
                             self._cond.wait(timeout=remaining)
@@ -801,6 +1096,19 @@ class SocketBackend(ExecutionBackend):
         finally:
             with self._cond:
                 self._job = None
+
+    def _target_cells(self, conn: _WorkerConn, job: _Job) -> int:
+        """How many cells this worker's next chunk should carry: its
+        EWMA throughput × the wall-clock budget, clamped to the
+        configured bounds (the job's conservative opening size until a
+        first RESULT seeds the EWMA)."""
+        rate = conn.ewma_rate
+        if rate is None:
+            return job.initial_chunk_cells
+        return max(
+            self.min_chunk_cells,
+            min(self.max_chunk_cells, int(rate * self.target_chunk_seconds)),
+        )
 
     def _dispatch(self, job: _Job, level_value: str) -> None:
         """Hand pending chunks to idle workers (sends happen outside
@@ -812,10 +1120,11 @@ class SocketBackend(ExecutionBackend):
                     for conn in list(self._workers.values()):
                         if not conn.alive or conn.inflight is not None:
                             continue
-                        chunk_id = job.checkout()
+                        chunk_id = job.checkout(self._target_cells(conn, job))
                         if chunk_id is None:
                             break
                         conn.inflight = (job.job_id, chunk_id)
+                        conn.dispatched_cells = chunk_cell_count(job.chunks[chunk_id])
                         self.stats.chunks_dispatched += 1
                         assignments.append((conn, chunk_id))
                 except RuntimeError:
@@ -828,13 +1137,21 @@ class SocketBackend(ExecutionBackend):
             if not assignments:
                 return
             for sent, (conn, chunk_id) in enumerate(assignments):
+                # The round trip is timed per worker from just before
+                # its own send — pickling and transfer included, so a
+                # slow link lowers the observed rate like a slow CPU —
+                # not from batch-assignment time, which would charge
+                # every later worker for earlier workers' serial sends.
+                with self._cond:
+                    conn.dispatched_at = time.monotonic()
                 try:
                     send_frame(
-                        conn.sock,
+                        conn.wsock,
                         MSG_CHUNK,
                         (job.job_id, chunk_id, job.chunks[chunk_id], level_value),
                         lock=conn.send_lock,
                         max_frame_bytes=self.max_frame_bytes,
+                        size_aware_timeout=True,
                     )
                 except ProtocolError as exc:
                     # An oversized outgoing chunk is deterministic — it
@@ -845,9 +1162,7 @@ class SocketBackend(ExecutionBackend):
                     # their workers stay usable after the abort.
                     with self._cond:
                         self._unassign_locked(assignments[sent:])
-                    raise BackendError(
-                        f"chunk {chunk_id} cannot be dispatched: {exc}"
-                    ) from exc
+                    raise BackendError(f"chunk {chunk_id} cannot be dispatched: {exc}") from exc
                 except OSError as exc:
                     self._drop_worker(conn, exc)
                     continue
@@ -859,13 +1174,12 @@ class SocketBackend(ExecutionBackend):
                     )
                 )
 
-    def _unassign_locked(
-        self, assignments: Sequence[Tuple[_WorkerConn, int]]
-    ) -> None:
+    def _unassign_locked(self, assignments: Sequence[Tuple[_WorkerConn, int]]) -> None:
         """Roll back assignments whose CHUNK frame was never sent
         (caller holds the lock; no RESULT/ERROR will ever clear them)."""
         for conn, _chunk_id in assignments:
             conn.inflight = None
+            conn.dispatched_at = None
             self.stats.chunks_dispatched -= 1
 
     def close(self) -> None:
@@ -881,7 +1195,13 @@ class SocketBackend(ExecutionBackend):
             pass
         for conn in workers:
             try:
-                send_frame(conn.sock, MSG_SHUTDOWN, None, lock=conn.send_lock)
+                send_frame(
+                    conn.wsock,
+                    MSG_SHUTDOWN,
+                    None,
+                    lock=conn.send_lock,
+                    size_aware_timeout=True,
+                )
             except (ProtocolError, OSError):
                 pass
         for conn in workers:

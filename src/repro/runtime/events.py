@@ -31,6 +31,7 @@ from typing import Callable, Optional, Tuple
 
 __all__ = [
     "CellCompleted",
+    "ChunkCacheStats",
     "ChunkCompleted",
     "ChunkDispatched",
     "EventSink",
@@ -53,9 +54,7 @@ class RunEvent:
 
     def describe(self) -> str:
         """One observability line: ``kind field=value ...``."""
-        parts = [
-            f"{f.name}={getattr(self, f.name)}" for f in fields(self)
-        ]
+        parts = [f"{f.name}={getattr(self, f.name)}" for f in fields(self)]
         return " ".join([self.kind, *parts]) if parts else self.kind
 
 
@@ -86,6 +85,24 @@ class ChunkDispatched(RunEvent):
 
 
 @dataclass(frozen=True)
+class ChunkCacheStats:
+    """Worker-resident result-cache accounting for one chunk.
+
+    Reported by distributed workers alongside each RESULT frame: how many
+    of the chunk's cells were served from the worker's cross-suite
+    :class:`~repro.runtime.cache.ResultCache` (``hits``), how many were
+    simulated (``misses``), how many defeat value identity and can
+    never be cached (``uncacheable``), and the cache's entry count
+    after the chunk (``entries``).
+    """
+
+    hits: int
+    misses: int
+    uncacheable: int
+    entries: int
+
+
+@dataclass(frozen=True)
 class ChunkCompleted(RunEvent):
     """A dispatched chunk returned its results."""
 
@@ -94,6 +111,9 @@ class ChunkCompleted(RunEvent):
     chunk_id: int
     cells: int
     where: str
+    #: Worker-cache accounting for the chunk, when the executing worker
+    #: runs one (distributed backend only; ``None`` elsewhere).
+    cache: Optional[ChunkCacheStats] = None
 
 
 @dataclass(frozen=True)

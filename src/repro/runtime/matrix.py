@@ -33,7 +33,7 @@ from repro.runtime.artifacts import ArtifactLevel, RunArtifacts, execute_cell
 from repro.runtime.backend import ExecutionBackend, LocalBackend, mp_context
 from repro.runtime.cache import ResultCache
 from repro.runtime.events import CellCompleted, EventSink, emit
-from repro.runtime.worker import GroupedChunk, IndexedCell, call_task
+from repro.runtime.worker import IndexedCell, call_task
 
 
 @dataclass(frozen=True)
@@ -42,19 +42,6 @@ class Cell:
 
     scenario: Scenario
     seed: int
-
-
-def _group_by_scenario(cells: Sequence[Any]) -> List[Tuple[Scenario, List[Tuple[int, int]]]]:
-    """Collapse consecutive same-scenario cells so each scenario object
-    is pickled once per chunk instead of once per repetition."""
-    groups: List[Tuple[Scenario, List[Tuple[int, int]]]] = []
-    last_id: Optional[int] = None
-    for index, scenario, seed in cells:
-        if last_id != id(scenario):
-            groups.append((scenario, []))
-            last_id = id(scenario)
-        groups[-1][1].append((index, seed))
-    return groups
 
 
 def default_workers() -> int:
@@ -113,9 +100,7 @@ class MatrixRunner:
         #: attached (see :meth:`ExecutionBackend.set_event_sink`).
         self.on_event = on_event
         self._owned_backend: Optional[LocalBackend] = None
-        if self.artifact_level is ArtifactLevel.FULL and (
-            workers > 1 or backend is not None
-        ):
+        if self.artifact_level is ArtifactLevel.FULL and (workers > 1 or backend is not None):
             raise ValueError(
                 "artifact level 'full' retains live endpoint objects and "
                 "cannot cross process boundaries; use workers<=1 or a "
@@ -185,22 +170,14 @@ class MatrixRunner:
                     cache.put(keys[i], artifacts)
         return results  # type: ignore[return-value]
 
-    def _run_parallel(
-        self, pending: Sequence[IndexedCell]
-    ) -> List[Tuple[int, RunArtifacts]]:
+    def _run_parallel(self, pending: Sequence[IndexedCell]) -> List[Tuple[int, RunArtifacts]]:
+        # The backend owns chunking: an explicit chunk_size pins fixed
+        # slices everywhere, while chunk_size=None lets throughput-aware
+        # backends (the distributed coordinator) size each worker's
+        # chunks adaptively. Either way results come back index-tagged,
+        # so reassembly is identical.
         backend = self._get_backend()
-        chunk = self.chunk_size
-        if chunk is None:
-            # ~2 chunks per execution slot: cells of one sweep are
-            # similar enough that load balance beats dispatch overhead
-            # only mildly; fewer, larger chunks keep pickling cheap.
-            slots = max(1, backend.parallelism())
-            chunk = max(1, -(-len(pending) // (slots * 2)))
-        chunks: List[GroupedChunk] = [
-            _group_by_scenario(pending[start : start + chunk])
-            for start in range(0, len(pending), chunk)
-        ]
-        return backend.run_chunks(chunks, self.artifact_level.value)
+        return backend.run_cells(pending, self.artifact_level.value, chunk_size=self.chunk_size)
 
     # -- convenience sweeps ---------------------------------------------
 
@@ -209,16 +186,12 @@ class MatrixRunner:
         actual_seed = self.base_seed if seed is None else seed
         return self.run_cells([Cell(scenario, actual_seed)])[0]
 
-    def run_repetitions(
-        self, scenario: Scenario, repetitions: int = 100
-    ) -> List[RunArtifacts]:
+    def run_repetitions(self, scenario: Scenario, repetitions: int = 100) -> List[RunArtifacts]:
         """The paper's repeat-with-distinct-seeds loop (§3), with the
         same ``base_seed + i`` assignment as the serial runner."""
         if repetitions <= 0:
             raise ValueError("repetitions must be positive")
-        cells = [
-            Cell(scenario, self.base_seed + i) for i in range(repetitions)
-        ]
+        cells = [Cell(scenario, self.base_seed + i) for i in range(repetitions)]
         return self.run_cells(cells)
 
     def run_matrix(
@@ -237,10 +210,7 @@ class MatrixRunner:
             for rep in range(repetitions)
         ]
         flat = self.run_cells(cells)
-        return [
-            flat[start : start + repetitions]
-            for start in range(0, len(flat), repetitions)
-        ]
+        return [flat[start : start + repetitions] for start in range(0, len(flat), repetitions)]
 
 
 #: Input shared with pool workers via the initializer mechanism of

@@ -93,8 +93,22 @@ class ArtifactStore:
             )
         index = self._count
         path = os.path.join(self.root, f"cell-{index:06d}.pkl")
-        with open(path, "wb") as handle_file:
-            pickle.dump(artifacts, handle_file, protocol=pickle.HIGHEST_PROTOCOL)
+        # Spill via a same-directory temp file + atomic rename: an
+        # interrupted pickle (process kill, unpicklable attribute, full
+        # disk) must never leave a truncated cell-NNNNNN.pkl that a
+        # later get() happily unpickles into garbage. Either the final
+        # file exists complete, or it does not exist at all.
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp_path, "wb") as handle_file:
+                pickle.dump(artifacts, handle_file, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
         nbytes = os.path.getsize(path)
         self._count += 1
         self.bytes_written += nbytes

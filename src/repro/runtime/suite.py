@@ -175,18 +175,21 @@ class SuiteReport:
         return "\n\n".join(parts)
 
     def to_dict(self) -> Dict[str, Any]:
+        # spill_bytes (and extra) stay off the bundle deliberately:
+        # bundle bytes must not depend on *how* a suite executed, and
+        # spilled pickle sizes differ by a hair between in-process and
+        # wire-shipped artifacts (the worker's scenario strip severs
+        # scenario-subobject sharing inside the pickle graph) even
+        # though the loaded values are identical. Operational
+        # accounting lives on the report object, results in the bundle.
         return {
             "schema_version": BUNDLE_SCHEMA_VERSION,
             "plan": self.plan.to_dict(),
             "executed_cells": self.executed_cells,
             "spilled_cells": self.spilled_cells,
-            "spill_bytes": self.spill_bytes,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
-            "results": {
-                exp_id: result.to_dict()
-                for exp_id, result in self.results.items()
-            },
+            "results": {exp_id: result.to_dict() for exp_id, result in self.results.items()},
         }
 
 
@@ -311,14 +314,10 @@ class SuiteRunner:
                 slots.append(slot)
             if cells:
                 levels.append(spec.artifact_level)
-            planned.append(
-                PlannedExperiment(spec=spec, params=params, cells=cells, slots=slots)
-            )
+            planned.append(PlannedExperiment(spec=spec, params=params, cells=cells, slots=slots))
         unknown = set(overrides) - seen_ids
         if unknown:
-            raise InvalidOverride(
-                f"overrides for unselected experiments: {sorted(unknown)}"
-            )
+            raise InvalidOverride(f"overrides for unselected experiments: {sorted(unknown)}")
         return SuitePlan(
             experiments=planned,
             unique_cells=unique,
@@ -348,11 +347,15 @@ class SuiteRunner:
             ),
         )
         store, owned_store = self._resolve_store(plan)
-        runner, owned_runner = self._resolve_runner(
-            plan.artifact_level, attach_cache=store is None
-        )
+        runner, owned_runner = self._resolve_runner(plan.artifact_level, attach_cache=store is None)
         cache = runner.cache
         hits0, misses0 = (cache.hits, cache.misses) if cache else (0, 0)
+        # Distributed backends accumulate worker-resident cache hits;
+        # snapshot so the run's delta can be reported. Deliberately kept
+        # out of to_dict(): bundle bytes must not depend on how warm the
+        # fleet happens to be.
+        backend = runner.backend
+        wc0 = getattr(getattr(backend, "stats", None), "worker_cache_hits", None)
         # Attach this run's sink to a caller-owned backend for the
         # duration of the run, restoring whatever was attached before
         # (e.g. a Session-lifetime sink observing worker membership
@@ -373,9 +376,7 @@ class SuiteRunner:
             results: Dict[str, Any] = {}
             spilled = sum(1 for e in entries if isinstance(e, ArtifactHandle))
             for planned in plan.experiments:
-                view = CellResults(
-                    [entries[slot] for slot in planned.slots], store=store
-                )
+                view = CellResults([entries[slot] for slot in planned.slots], store=store)
                 result = planned.spec.aggregate(view, planned.params)
                 results[planned.spec.id] = result
                 emit(
@@ -394,6 +395,8 @@ class SuiteRunner:
                 cache_hits=(cache.hits - hits0) if cache else 0,
                 cache_misses=(cache.misses - misses0) if cache else 0,
             )
+            if wc0 is not None:
+                report.extra["worker_cache_hits"] = backend.stats.worker_cache_hits - wc0
             emit(
                 self.on_event,
                 SuiteCompleted(
@@ -436,9 +439,7 @@ class SuiteRunner:
             True,
         )
 
-    def _resolve_store(
-        self, plan: SuitePlan
-    ) -> Tuple[Optional[ArtifactStore], bool]:
+    def _resolve_store(self, plan: SuitePlan) -> Tuple[Optional[ArtifactStore], bool]:
         if not plan.unique_cells or plan.artifact_level is ArtifactLevel.FULL:
             return None, False
         if self.spill == "never":

@@ -12,10 +12,11 @@ results in submission order regardless of completion order.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.interop.runner import Runner, Scenario
 from repro.runtime.artifacts import ArtifactLevel, RunArtifacts, execute_cell
+from repro.runtime.cache import ResultCache
 
 #: One dispatched cell: (position in the caller's cell list, scenario, seed).
 IndexedCell = Tuple[int, Scenario, int]
@@ -26,27 +27,58 @@ IndexedCell = Tuple[int, Scenario, int]
 GroupedChunk = Sequence[Tuple[Scenario, Sequence[Tuple[int, int]]]]
 
 
+def group_cells(cells: Sequence[IndexedCell]) -> List[Tuple[Scenario, List[Tuple[int, int]]]]:
+    """Collapse consecutive same-scenario cells so each scenario object
+    is pickled once per chunk instead of once per repetition."""
+    groups: List[Tuple[Scenario, List[Tuple[int, int]]]] = []
+    last_id: Optional[int] = None
+    for index, scenario, seed in cells:
+        if last_id != id(scenario):
+            groups.append((scenario, []))
+            last_id = id(scenario)
+        groups[-1][1].append((index, seed))
+    return groups
+
+
 def chunk_cell_count(chunk: GroupedChunk) -> int:
     """How many cells a grouped chunk carries (for progress events)."""
     return sum(len(pairs) for _scenario, pairs in chunk)
 
 
 def run_cell_chunk(
-    chunk: GroupedChunk, level_value: str
+    chunk: GroupedChunk, level_value: str, cache: Optional[ResultCache] = None
 ) -> List[Tuple[int, RunArtifacts]]:
     """Execute a chunk of scenario groups and tag each result with its
     original position.
 
     The scenario is dropped from every returned artifact — the parent
     already holds it and reattaches it, halving the response pickle.
+
+    ``cache`` is the worker-resident cross-job memo: cells whose
+    ``(scenario value, seed, level)`` key is already stored are served
+    from it instead of re-simulated, and fresh results are stored for
+    the next chunk (or the next suite — the cache outlives jobs).
+    Simulations are deterministic in that key, so a cached artifact is
+    bit-identical to a recomputation.
     """
     level = ArtifactLevel(level_value)
     runner = Runner()
     out: List[Tuple[int, RunArtifacts]] = []
     for scenario, pairs in chunk:
         for index, seed in pairs:
+            key = None
+            if cache is not None:
+                key = cache.make_key(scenario, seed, level)
+                hit = cache.get(key)
+                if hit is not None:
+                    out.append((index, hit))
+                    continue
             artifacts = execute_cell(scenario, seed, level, runner=runner)
+            # Stripped *before* the cache put, so cached entries carry
+            # no stale scenario object either.
             artifacts.scenario = None
+            if cache is not None:
+                cache.put(key, artifacts)
             out.append((index, artifacts))
     return out
 

@@ -1,0 +1,343 @@
+"""Adaptive chunk sizing, the worker-side cross-suite result cache,
+and the slow-link send-deadline fix.
+
+Three properties carry the PR:
+
+* chunk sizes track per-worker throughput (a 5× speed skew must yield
+  visibly skewed chunks) while results stay index-exact;
+* a worker's result cache outlives jobs, so a second suite against the
+  same live fleet reports nonzero hits and byte-identical results;
+* a slow-but-alive worker receiving a large CHUNK frame is never
+  misclassified as lost mid-transfer (the send deadline is size-aware
+  and independent of ``heartbeat_timeout``).
+"""
+
+import socket
+import threading
+import time
+
+from repro.interop.runner import SIZE_10KB, Runner, Scenario
+from repro.quic.server import ServerMode
+from repro.runtime import MatrixRunner, SocketBackend, SuiteRunner, worker_main
+from repro.runtime.cache import ResultCache
+from repro.runtime.distributed import (
+    MSG_CHUNK,
+    MSG_HEARTBEAT,
+    MSG_HELLO,
+    MSG_RESULT,
+    PROTOCOL_VERSION,
+    send_frame,
+)
+from repro.runtime.events import ChunkCompleted, ChunkDispatched, WorkerJoined
+from repro.runtime.worker import chunk_cell_count, run_cell_chunk
+from repro.sim.loss import IndexedLoss
+from tests.test_distributed import LOSSY_IACK, start_worker_thread
+
+
+def _recv_paced(sock, nbytes, piece, pause):
+    """Read exactly ``nbytes``, at most ``piece`` at a time with
+    ``pause`` between reads — a throttled link in miniature."""
+    buf = bytearray()
+    while len(buf) < nbytes:
+        data = sock.recv(min(piece, nbytes - len(buf)))
+        if not data:
+            raise ConnectionError("closed mid-frame")
+        buf += data
+        time.sleep(pause)
+    return bytes(buf)
+
+
+def _hello(sock, host):
+    send_frame(sock, MSG_HELLO, {"version": PROTOCOL_VERSION, "pid": 0, "host": host})
+
+
+def _heartbeat_forever(sock, lock, stop, interval=0.1):
+    def beat():
+        while not stop.wait(interval):
+            try:
+                send_frame(sock, MSG_HEARTBEAT, None, lock=lock)
+            except OSError:
+                return
+
+    threading.Thread(target=beat, daemon=True).start()
+
+
+# -- slow-link send deadline (regression: distributed.py:72-74) ---------
+
+
+def test_slow_link_worker_survives_chunk_larger_than_heartbeat_window():
+    """A worker on a throttled link that needs longer than
+    ``heartbeat_timeout`` to *receive* its chunk must not be dropped and
+    requeued as if it died: it heartbeats throughout, and the CHUNK send
+    runs under its own size-aware deadline, not the liveness timeout."""
+    import struct
+
+    from repro.runtime.distributed import _HEADER
+
+    # A scenario whose pickled form is a few hundred KB: the loss
+    # pattern's index set dominates the CHUNK frame.
+    big = Scenario(
+        client="quic-go",
+        mode=ServerMode.IACK,
+        http="h1",
+        rtt_ms=9.0,
+        response_size=SIZE_10KB,
+        server_to_client_loss=IndexedLoss(range(1000, 70000)),
+    )
+    backend = SocketBackend(port=0, min_workers=1, heartbeat_timeout=0.8)
+    # Shrink the coordinator's send buffer (inherited by accepted
+    # sockets) so the transfer genuinely trickles instead of vanishing
+    # into kernel buffers.
+    backend._listener.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 8192)
+    stop = threading.Event()
+
+    def throttled_worker():
+        sock = socket.socket()
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 8192)
+        sock.connect((backend.host, backend.port))
+        lock = threading.Lock()
+        try:
+            _hello(sock, "throttled")
+            _heartbeat_forever(sock, lock, stop)
+            while not stop.is_set():
+                header = _recv_paced(sock, _HEADER.size, 8192, 0)
+                _magic, msg_type, length = _HEADER.unpack(header)
+                # ~8 KB per 40 ms: a ~300 KB frame takes >1.5 s, well
+                # past the 0.8 s heartbeat timeout.
+                payload = _recv_paced(sock, length, 8192, 0.04)
+                if msg_type != MSG_CHUNK:
+                    return
+                import pickle
+
+                job_id, chunk_id, grouped, level = pickle.loads(payload)
+                results = run_cell_chunk(grouped, level)
+                send_frame(sock, MSG_RESULT, (job_id, chunk_id, results, None), lock=lock)
+        except (ConnectionError, OSError, struct.error):
+            pass
+        finally:
+            sock.close()
+
+    threading.Thread(target=throttled_worker, daemon=True).start()
+    try:
+        serial = Runner().run_repetitions(big, repetitions=2)
+        with MatrixRunner(backend=backend, chunk_size=2) as runner:
+            distributed = runner.run_repetitions(big, repetitions=2)
+        assert backend.stats.workers_lost == 0
+        assert backend.stats.chunks_requeued == 0
+        assert [r.client_stats for r in distributed] == [r.client_stats for r in serial]
+    finally:
+        stop.set()
+        backend.close()
+
+
+# -- adaptive chunk sizing ----------------------------------------------
+
+
+def _skewed_worker(backend, host, delay_per_cell, stop):
+    """A protocol-speaking worker whose only work is sleeping
+    ``delay_per_cell`` per cell — a deterministic throughput."""
+    sock = socket.create_connection((backend.host, backend.port))
+    lock = threading.Lock()
+    try:
+        _hello(sock, host)
+        _heartbeat_forever(sock, lock, stop)
+        from repro.runtime.distributed import recv_frame
+
+        while not stop.is_set():
+            msg_type, payload = recv_frame(sock)
+            if msg_type != MSG_CHUNK:
+                return
+            job_id, chunk_id, grouped, _level = payload
+            indices = [i for _scenario, pairs in grouped for i, _seed in pairs]
+            time.sleep(len(indices) * delay_per_cell)
+            results = [(i, "r") for i in indices]
+            send_frame(sock, MSG_RESULT, (job_id, chunk_id, results, None), lock=lock)
+    except (ConnectionError, OSError):
+        pass
+    finally:
+        sock.close()
+
+
+def test_adaptive_sizing_converges_under_5x_speed_skew():
+    """With one worker 5× slower than the other, the coordinator must
+    grow the fast worker's chunks past the opening size and shrink the
+    slow worker's below it — instead of throttling the fleet to
+    fleet-average chunks — while still returning every cell exactly
+    once."""
+    backend = SocketBackend(
+        port=0,
+        min_workers=2,
+        target_chunk_seconds=0.25,
+        max_chunk_cells=400,
+    )
+    events = []
+    backend.set_event_sink(events.append)
+    stop = threading.Event()
+    threading.Thread(
+        target=_skewed_worker, args=(backend, "fast", 0.002, stop), daemon=True
+    ).start()
+    threading.Thread(
+        target=_skewed_worker, args=(backend, "slow", 0.010, stop), daemon=True
+    ).start()
+    scenario = Scenario()
+    cells = [(i, scenario, i) for i in range(600)]
+    try:
+        results = backend.run_cells(cells, "stats")
+    finally:
+        stop.set()
+        backend.close()
+    assert sorted(i for i, _r in results) == list(range(600))
+    assert all(r == "r" for _i, r in results)
+    assert backend.stats.workers_lost == 0
+
+    host_of = {
+        f"worker-{e.worker_id}": e.host for e in events if isinstance(e, WorkerJoined)
+    }
+    sizes = {"fast": [], "slow": []}
+    for event in events:
+        if isinstance(event, ChunkDispatched):
+            sizes[host_of[event.where]].append(event.cells)
+    # Opening chunks deal each of the 2 workers a quarter share:
+    # ceil(600 / (2 * 4)) = 75 cells.
+    assert sizes["fast"][0] == 75 and sizes["slow"][0] == 75
+    # The fast worker's chunks grow well past the opening size; the
+    # slow worker's never do (they shrink toward rate × budget ≈ 25).
+    assert max(sizes["fast"]) >= 100, sizes
+    assert max(sizes["slow"]) <= 75, sizes
+    assert min(sizes["slow"][1:]) < 75, sizes
+    # And the fast worker carried the bulk of the pool.
+    assert sum(sizes["fast"]) > 2 * sum(sizes["slow"]), sizes
+
+
+def test_cache_served_chunks_do_not_inflate_throughput_ewma():
+    """A chunk served from the worker's cache finishes in ~a
+    millisecond and says nothing about simulation speed: folding it
+    into the EWMA would hand a slow worker an enormous rate — and then
+    an oversized chunk of cold cells the whole fleet waits out. Only
+    computed cells may move the estimate."""
+    from repro.runtime.distributed import _WorkerConn
+
+    left, right = socket.socketpair()
+    try:
+        conn = _WorkerConn(1, left, None, {})
+        # A genuinely computed chunk seeds the rate: 10 cells / 1 s.
+        conn.dispatched_at, conn.dispatched_cells = 100.0, 10
+        conn.observe_result(101.0, computed_cells=10)
+        assert conn.ewma_rate == 10.0
+        # An all-hit chunk back in a millisecond must not touch it.
+        conn.dispatched_at, conn.dispatched_cells = 101.0, 10
+        conn.observe_result(101.001, computed_cells=0)
+        assert conn.ewma_rate == 10.0
+        # And the round trip is consumed either way (no stale reuse).
+        conn.observe_result(200.0, computed_cells=10)
+        assert conn.ewma_rate == 10.0
+        conn.wsock.close()
+    finally:
+        left.close()
+        right.close()
+
+
+def test_adaptive_distributed_matches_serial_with_real_workers():
+    """End to end on real ``worker_main`` workers (cache enabled,
+    adaptive sizing on — the defaults): stats must be bit-identical to
+    serial execution."""
+    backend = SocketBackend(port=0, min_workers=2)
+    try:
+        for _ in range(2):
+            start_worker_thread(backend)
+        serial = Runner().run_repetitions(LOSSY_IACK, repetitions=8)
+        with MatrixRunner(backend=backend) as runner:
+            distributed = runner.run_repetitions(LOSSY_IACK, repetitions=8)
+        assert [r.client_stats for r in distributed] == [r.client_stats for r in serial]
+        assert [r.seed for r in distributed] == [r.seed for r in serial]
+    finally:
+        backend.close()
+
+
+# -- worker-side cross-suite cache --------------------------------------
+
+
+def test_worker_cache_survives_across_suites_in_one_process():
+    """Two consecutive suite runs against the same live worker: the
+    second is served from the worker-resident cache (nonzero reported
+    hits, surfaced on events, stats, and the report) and its results
+    are identical to the cold run's."""
+    backend = SocketBackend(port=0, min_workers=1)
+    events = []
+    try:
+        start_worker_thread(backend, cache_entries=512)
+        suite = SuiteRunner(backend=backend, on_event=events.append)
+        first = suite.run(["fig6"], smoke=True)
+        second = suite.run(["fig6"], smoke=True)
+    finally:
+        backend.close()
+    # Cold run: the planner already deduped, so nothing can hit.
+    assert first.extra["worker_cache_hits"] == 0
+    # Warm run: every unique cell is a hit, none recomputed.
+    assert second.extra["worker_cache_hits"] == second.executed_cells
+    assert backend.stats.worker_cache_hits == second.executed_cells
+    assert first.to_dict() == second.to_dict()
+    chunk_events = [e for e in events if isinstance(e, ChunkCompleted)]
+    assert chunk_events and all(e.cache is not None for e in chunk_events)
+    assert sum(e.cache.hits for e in chunk_events) == second.executed_cells
+    # The warm chunks report their full cell count as hits.
+    warm = [e for e in chunk_events if e.cache.hits]
+    assert warm and all(e.cache.hits == e.cells for e in warm)
+
+
+def test_worker_cache_disabled_reports_no_stats():
+    """A cacheless worker (``--no-cache`` / cache_entries=0) reports
+    ``None`` cache stats and the suite reports zero hits — while its
+    results stay identical."""
+    backend = SocketBackend(port=0, min_workers=1)
+    events = []
+    try:
+        start_worker_thread(backend, cache_entries=0)
+        suite = SuiteRunner(backend=backend, on_event=events.append)
+        first = suite.run(["fig6"], smoke=True)
+        second = suite.run(["fig6"], smoke=True)
+    finally:
+        backend.close()
+    assert second.extra["worker_cache_hits"] == 0
+    assert backend.stats.worker_cache_hits == 0
+    chunk_events = [e for e in events if isinstance(e, ChunkCompleted)]
+    assert chunk_events and all(e.cache is None for e in chunk_events)
+    assert first.to_dict() == second.to_dict()
+
+
+def test_run_cell_chunk_cache_roundtrip_is_bit_identical():
+    """The worker-side memo in isolation: a repeated chunk is served
+    entirely from the cache and the artifacts compare equal to the
+    recomputation."""
+    chunk = [(LOSSY_IACK, [(0, 0), (1, 1)])]
+    cache = ResultCache(max_entries=16)
+    cold = run_cell_chunk(chunk, "stats", cache=cache)
+    assert cache.stats()["misses"] == 2 and cache.stats()["hits"] == 0
+    warm = run_cell_chunk(chunk, "stats", cache=cache)
+    assert cache.stats()["hits"] == 2
+    assert chunk_cell_count(chunk) == 2
+    for (ci, ca), (wi, wa) in zip(cold, warm):
+        assert ci == wi
+        assert wa is ca  # memoized object, not a recomputation
+        assert wa.client_stats == ca.client_stats
+        assert wa.scenario is None  # stripped before the cache put
+
+
+def test_worker_main_cache_entries_zero_still_serves(tmp_path):
+    """worker_main with the cache disabled speaks protocol v2 (None
+    cache meta) and completes jobs normally."""
+    backend = SocketBackend(port=0, min_workers=1)
+    try:
+        thread = threading.Thread(
+            target=worker_main,
+            args=(backend.host, backend.port),
+            kwargs={"retry_for": 5.0, "cache_entries": 0},
+            daemon=True,
+        )
+        thread.start()
+        serial = Runner().run_repetitions(LOSSY_IACK, repetitions=3)
+        with MatrixRunner(backend=backend) as runner:
+            distributed = runner.run_repetitions(LOSSY_IACK, repetitions=3)
+        assert [r.client_stats for r in distributed] == [r.client_stats for r in serial]
+    finally:
+        backend.close()

@@ -58,6 +58,32 @@ def test_full_level_artifacts_rejected():
             store.put(_artifacts(ArtifactLevel.FULL))
 
 
+def test_interrupted_put_leaves_no_truncated_cell(tmp_path):
+    """A pickle that dies mid-stream (process kill, unpicklable
+    attribute, full disk) must never leave a partial cell-NNNNNN.pkl
+    for a later get() to unpickle as garbage: the write goes to a temp
+    file and only an atomic rename publishes it."""
+    import pickle as pickle_mod
+
+    root = tmp_path / "spill"
+    store = ArtifactStore(str(root))
+    bad = _artifacts()
+    # A few hundred KB of picklable payload followed by an unpicklable
+    # tail: the dump writes real bytes, then dies mid-stream.
+    bad.trace_records = [b"x" * 300_000, lambda: None]
+    with pytest.raises((pickle_mod.PicklingError, AttributeError, TypeError)):
+        store.put(bad)
+    # No cell file, no temp leftover, no phantom accounting.
+    assert list(root.iterdir()) == []
+    assert len(store) == 0 and store.bytes_written == 0
+    # The interrupted index is reused by the next successful put.
+    good = _artifacts(seed=3)
+    handle = store.put(good)
+    assert handle.index == 0
+    assert store.get(handle).client_stats == good.client_stats
+    store.close()
+
+
 def test_closed_store_rejects_io():
     store = ArtifactStore()
     handle = store.put(_artifacts())

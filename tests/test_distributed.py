@@ -491,7 +491,7 @@ def test_result_with_out_of_range_chunk_id_drops_worker_not_job():
             send_frame(sock, MSG_HELLO, {"version": PROTOCOL_VERSION, "pid": 0, "host": "liar"})
             _, payload = recv_frame(sock)
             job_id = payload[0]
-            send_frame(sock, MSG_RESULT, (job_id, 999_999, [(0, "bogus")]))
+            send_frame(sock, MSG_RESULT, (job_id, 999_999, [(0, "bogus")], None))
             recv_frame(sock)  # blocks until the server hangs up on us
         except (ConnectionError, ProtocolError, OSError):
             pass
@@ -576,13 +576,13 @@ def test_stale_frames_from_aborted_job_are_discarded():
                 if msg_type != MSG_CHUNK:
                     return
                 job_b, chunk_b, grouped, level = payload
-                send_frame(sock, MSG_RESULT, (job_a, chunk_b, [(0, "stale-garbage")]))
+                send_frame(sock, MSG_RESULT, (job_a, chunk_b, [(0, "stale-garbage")], None))
                 send_frame(
                     sock,
                     MSG_ERROR,
                     {"job_id": job_a, "chunk_id": chunk_a, "error": "stale boom", "traceback": ""},
                 )
-                send_frame(sock, MSG_RESULT, (job_b, chunk_b, run_cell_chunk(grouped, level)))
+                send_frame(sock, MSG_RESULT, (job_b, chunk_b, run_cell_chunk(grouped, level), None))
         except (ConnectionError, ProtocolError, OSError):
             pass
         finally:
@@ -785,9 +785,34 @@ def test_cli_distributed_bundle_byte_identical_to_local(tmp_path, capsys):
     assert "distributed backend listening on" in out
     assert "(auth on)" in out
     assert "chunk(s) dispatched" in out
+    assert "worker-cache hit(s)" in out
     for name in ("fig6.json", "fig12.json", "suite.json"):
         assert (local_dir / name).read_bytes() == (dist_dir / name).read_bytes()
     payload = json.loads((dist_dir / "suite.json").read_text())
     assert payload["plan"]["shared_cells"] > 0  # dedup survived distribution
     for thread in workers:
+        thread.join(timeout=30)
+    # Third pass with the worker cache disabled: adaptive sizing alone
+    # must still reassemble byte-identical bundles.
+    nocache_dir = tmp_path / "nocache"
+    port = free_port()
+    nocache_workers = [
+        threading.Thread(
+            target=main,
+            args=(["worker", "--connect", f"127.0.0.1:{port}", "--retry", "30",
+                   "--no-cache", "--auth-key-file", str(key_file)],),
+            daemon=True,
+        )
+        for _ in range(2)
+    ]
+    for thread in nocache_workers:
+        thread.start()
+    assert main(
+        ["run", "fig6", "fig12", "--smoke", "--backend", "distributed",
+         "--listen", str(port), "--min-workers", "2",
+         "--auth-key-file", str(key_file), "--out", str(nocache_dir)]
+    ) == 0
+    for name in ("fig6.json", "fig12.json", "suite.json"):
+        assert (local_dir / name).read_bytes() == (nocache_dir / name).read_bytes()
+    for thread in nocache_workers:
         thread.join(timeout=30)

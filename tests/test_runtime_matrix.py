@@ -140,6 +140,36 @@ def test_cache_eviction_respects_max_entries():
     assert len(cache) == 3
 
 
+def test_cache_uncacheable_not_counted_as_miss():
+    """get(None) means "the cache cannot apply", not "the cache
+    missed" — the two are tracked apart so hit-rate reporting stays
+    honest about the cells the memo can actually serve."""
+    cache = ResultCache()
+    assert cache.get(None) is None
+    assert cache.uncacheable == 1 and cache.misses == 0 and cache.hits == 0
+    key = ("k",)
+    assert cache.get(key) is None  # a real miss
+    cache.put(key, "v")
+    assert cache.get(key) == "v"
+    assert cache.stats() == {"hits": 1, "misses": 1, "uncacheable": 1, "entries": 1}
+    cache.clear()
+    assert cache.stats() == {"hits": 0, "misses": 0, "uncacheable": 0, "entries": 0}
+
+
+def test_cache_overwrite_at_capacity_refreshes_fifo_age():
+    """Rewriting a key must renew its eviction age: the refreshed entry
+    outlives an older untouched one instead of being dropped first."""
+    cache = ResultCache(max_entries=2)
+    cache.put(("a",), 1)
+    cache.put(("b",), 2)
+    cache.put(("a",), 3)  # overwrite at capacity: refresh, evict nothing
+    assert len(cache) == 2
+    cache.put(("c",), 4)  # evicts b (now the oldest), not the renewed a
+    assert cache.get(("a",)) == 3
+    assert cache.get(("c",)) == 4
+    assert cache.get(("b",)) is None
+
+
 def test_shared_loss_pattern_not_mutated_across_runs():
     """Regression for the shared-loss-pattern hazard: run_once used to
     reset() the scenario's pattern in place, coupling repetitions."""
