@@ -29,7 +29,13 @@ Errors
     Every predictable failure is a typed exception from
     :mod:`repro.errors`, re-exported here: :class:`UnknownExperiment`,
     :class:`InvalidOverride`, :class:`BackendError`,
-    :class:`WorkerAuthError`, :class:`BundleVersionError`.
+    :class:`WorkerAuthError`, :class:`BundleVersionError`,
+    :class:`CheckpointError`.
+Resilience
+    ``Session(resume=DIR)`` journals completed cells to a crash-safe
+    checkpoint directory and resumes from it after a coordinator
+    crash; ``session.scale_hint()`` summarizes fleet sizing for
+    elastic deployments. See ``RESILIENCE.md``.
 Bundles
     :func:`write_bundle` / :func:`load_result` / :func:`load_suite`
     persist and read ``schema_version``-stamped JSON bundles
@@ -52,6 +58,7 @@ from repro.api.stream import RunStream
 from repro.errors import (
     BackendError,
     BundleVersionError,
+    CheckpointError,
     InvalidOverride,
     ReproError,
     UnknownExperiment,
@@ -63,14 +70,17 @@ from repro.runtime.events import (
     ChunkCacheStats,
     ChunkCompleted,
     ChunkDispatched,
+    ChunkSpeculated,
     EventSink,
     ExperimentCompleted,
     RunEvent,
     SuiteCompleted,
     SuitePlanned,
+    WorkerDrained,
     WorkerJoined,
     WorkerLost,
 )
+from repro.runtime.scheduler import ScaleHint
 from repro.runtime.suite import SuitePlan, SuiteReport
 from repro.schema import BUNDLE_SCHEMA_VERSION
 
@@ -80,9 +90,11 @@ __all__ = [
     "BackendError",
     "BundleVersionError",
     "CellCompleted",
+    "CheckpointError",
     "ChunkCacheStats",
     "ChunkCompleted",
     "ChunkDispatched",
+    "ChunkSpeculated",
     "DistributedConfig",
     "EventSink",
     "ExperimentCompleted",
@@ -93,6 +105,7 @@ __all__ = [
     "RunEvent",
     "RunRequest",
     "RunStream",
+    "ScaleHint",
     "Session",
     "SuiteCompleted",
     "SuitePlan",
@@ -100,6 +113,7 @@ __all__ = [
     "SuiteReport",
     "UnknownExperiment",
     "WorkerAuthError",
+    "WorkerDrained",
     "WorkerJoined",
     "WorkerLost",
     "describe_experiments",

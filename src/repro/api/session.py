@@ -111,6 +111,15 @@ class Session:
         Session-wide :class:`~repro.runtime.events.EventSink`; every
         run's events are also delivered here (per-run callbacks and
         streams receive them too).
+    ``resume``
+        Optional crash-safe checkpoint directory (see
+        :mod:`repro.runtime.checkpoint` and RESILIENCE.md): every run
+        journals completed cells there as they finish, and a run that
+        finds a checkpoint for the same planned suite replays it and
+        executes only the remainder — the resumed bundle is
+        byte-identical to an uninterrupted run. A checkpoint for a
+        *different* suite raises
+        :class:`~repro.errors.CheckpointError`.
 
     Sessions are context managers; :meth:`close` tears down the
     backend (telling distributed workers to exit). One job runs at a
@@ -124,6 +133,7 @@ class Session:
         spill: str = "auto",
         spill_dir: Optional[str] = None,
         on_event: Optional[EventSink] = None,
+        resume: Optional[str] = None,
     ):
         self.config = backend if backend is not None else LocalConfig()
         if not isinstance(self.config, BackendConfig):
@@ -131,6 +141,7 @@ class Session:
         self.spill = spill
         self.spill_dir = spill_dir
         self.on_event = on_event
+        self.resume = resume
         self._backend: Optional[ExecutionBackend] = self.config.create()
         # Attached for the session's whole lifetime, not just during
         # run(): a distributed fleet assembles while the coordinator
@@ -162,6 +173,17 @@ class Session:
         """``host:port`` of the distributed coordinator, or ``None``
         for local execution."""
         return getattr(self._backend, "address", None)
+
+    def scale_hint(self) -> Optional[Any]:
+        """Advisory fleet-sizing summary
+        (:class:`~repro.runtime.scheduler.ScaleHint`) from a
+        distributed backend — connected / busy / draining workers,
+        outstanding cells, and the worker count that would keep the
+        remaining work flowing — or ``None`` for local execution.
+        Elastic deployments poll this to decide whether to add workers
+        (point them at :attr:`address`) or retire them."""
+        hint = getattr(self._backend, "scale_hint", None)
+        return hint() if callable(hint) else None
 
     @property
     def backend_stats(self) -> Optional[Any]:
@@ -296,6 +318,7 @@ class Session:
             spill_dir=self.spill_dir,
             backend=self._backend,
             on_event=self._sink(extra_sink),
+            checkpoint_dir=self.resume,
         )
 
     def _workers(self) -> int:

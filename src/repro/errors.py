@@ -22,6 +22,7 @@ from __future__ import annotations
 __all__ = [
     "BackendError",
     "BundleVersionError",
+    "CheckpointError",
     "InvalidOverride",
     "ReproError",
     "UnknownExperiment",
@@ -81,3 +82,13 @@ class BundleVersionError(ReproError, ValueError):
     not an integer)."""
 
     exit_code = 7
+
+
+class CheckpointError(ReproError, ValueError):
+    """A suite checkpoint could not be used: the directory holds a
+    checkpoint for a *different* planned suite (fingerprint mismatch —
+    resuming it would graft foreign results into this run), its
+    manifest is unreadable, or the requested suite cannot be
+    checkpointed at all."""
+
+    exit_code = 8

@@ -19,6 +19,14 @@ Public surface:
   for larger-than-memory sweeps.
 * :class:`SuiteRunner` — cross-experiment planning: union the cells of
   any set of registered experiments, dedupe, execute once, fan out.
+* :class:`Scheduler` / :class:`ChunkScheduler` — the distributed
+  coordinator's scheduling policy (chunk pool, requeue/poison bounds,
+  adaptive sizing, speculative re-execution, scale hints), separate
+  from the :class:`SocketBackend` transport.
+* :class:`SuiteCheckpoint` / :func:`plan_fingerprint` — crash-safe
+  suite checkpointing behind ``repro run --resume DIR``.
+* :class:`FaultPlan` / :class:`FaultInjector` — structured worker
+  fault injection for chaos tests (``repro worker --fault-plan``).
 * :func:`parallel_map` — coarse-grained task fan-out for the wild
   measurement pipelines.
 
@@ -26,10 +34,12 @@ See ``PERFORMANCE.md`` at the repository root for the complete guide.
 """
 
 from repro.runtime.artifacts import ArtifactLevel, RunArtifacts, execute_cell
-from repro.runtime.backend import ExecutionBackend, LocalBackend
+from repro.runtime.backend import ExecutionBackend, LocalBackend, ResultObserver
 from repro.runtime.cache import ResultCache, loss_pattern_key, scenario_key
+from repro.runtime.checkpoint import SuiteCheckpoint, plan_fingerprint
 from repro.runtime.distributed import SocketBackend, worker_main
 from repro.runtime.events import ChunkCacheStats, EventSink, RunEvent
+from repro.runtime.faults import FaultInjector, FaultPlan, parse_fault_plan
 from repro.runtime.matrix import (
     Cell,
     MatrixRunner,
@@ -37,6 +47,13 @@ from repro.runtime.matrix import (
     get_shared_input,
     parallel_map,
     set_shared_input,
+)
+from repro.runtime.scheduler import (
+    Assignment,
+    ChunkScheduler,
+    ScaleHint,
+    Scheduler,
+    WorkerState,
 )
 from repro.runtime.store import ArtifactHandle, ArtifactStore
 from repro.runtime.suite import (
@@ -51,24 +68,35 @@ __all__ = [
     "ArtifactHandle",
     "ArtifactLevel",
     "ArtifactStore",
+    "Assignment",
     "Cell",
     "ChunkCacheStats",
+    "ChunkScheduler",
     "EventSink",
     "ExecutionBackend",
+    "FaultInjector",
+    "FaultPlan",
     "LocalBackend",
     "MatrixRunner",
     "ResultCache",
+    "ResultObserver",
     "RunArtifacts",
     "RunEvent",
+    "ScaleHint",
+    "Scheduler",
     "SocketBackend",
+    "SuiteCheckpoint",
     "SuitePlan",
     "SuiteReport",
     "SuiteRunner",
+    "WorkerState",
     "default_workers",
     "execute_cell",
     "get_shared_input",
     "loss_pattern_key",
     "parallel_map",
+    "parse_fault_plan",
+    "plan_fingerprint",
     "run_cells_streamed",
     "run_suite",
     "scenario_key",

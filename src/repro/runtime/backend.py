@@ -22,7 +22,7 @@ from __future__ import annotations
 import abc
 import multiprocessing
 from concurrent.futures import Executor, ProcessPoolExecutor, as_completed
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.runtime.artifacts import RunArtifacts
 from repro.runtime.events import ChunkCompleted, ChunkDispatched, EventSink, RunEvent, emit
@@ -33,6 +33,11 @@ from repro.runtime.worker import (
     group_cells,
     run_cell_chunk,
 )
+
+
+#: Durability channel for freshly completed ``(cell index, artifacts)``
+#: pairs — see :meth:`ExecutionBackend.set_result_observer`.
+ResultObserver = Callable[[List[Tuple[int, RunArtifacts]]], None]
 
 
 def mp_context():
@@ -57,6 +62,30 @@ class ExecutionBackend(abc.ABC):
 
     #: Where progress events go; see :meth:`set_event_sink`.
     _event_sink: Optional[EventSink] = None
+
+    #: Where durable result journaling goes; see
+    #: :meth:`set_result_observer`.
+    _result_observer: Optional[ResultObserver] = None
+
+    def set_result_observer(self, observer: Optional["ResultObserver"]) -> None:
+        """Attach (or detach, with ``None``) the incremental result
+        observer.
+
+        Unlike event sinks — advisory observability whose failures are
+        swallowed — the result observer is a *durability* channel: the
+        backend calls it with each batch of freshly computed ``(cell
+        index, RunArtifacts)`` pairs as they complete, and suite
+        checkpointing journals them to disk from it. Observer
+        exceptions therefore propagate (local backend) or abort the
+        job (distributed backend): a run that cannot journal must fail
+        loudly, not quietly lose crash-safety.
+        """
+        self._result_observer = observer
+
+    def observe_results(self, results: Sequence[Tuple[int, RunArtifacts]]) -> None:
+        """Feed freshly completed results to the observer, if any."""
+        if self._result_observer is not None and results:
+            self._result_observer(list(results))
 
     def set_event_sink(self, sink: Optional[EventSink]) -> None:
         """Attach (or detach, with ``None``) the run-event observer.
@@ -163,8 +192,10 @@ class LocalBackend(ExecutionBackend):
         out: List[Tuple[int, RunArtifacts]] = []
         for future in as_completed(futures):
             chunk_id, cells = futures[future]
-            out.extend(future.result())
+            results = future.result()
+            out.extend(results)
             self.emit(ChunkCompleted(chunk_id=chunk_id, cells=cells, where="local-pool"))
+            self.observe_results(results)
         return out
 
     def close(self) -> None:

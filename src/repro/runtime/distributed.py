@@ -8,7 +8,15 @@ carry their original cell indices, so reassembly is deterministic and
 the suite output is bit-identical to local execution regardless of
 worker count, chunk interleaving, or mid-run worker loss.
 
-Wire protocol (version 2)
+This module is the *transport*: framing, authentication, heartbeats,
+per-worker sockets, and thread lifecycle. Every scheduling decision —
+which worker gets which cells, chunk sizing, requeue/poison bounds,
+speculative duplicates for stragglers — lives behind the
+:class:`~repro.runtime.scheduler.Scheduler` interface
+(:class:`~repro.runtime.scheduler.ChunkScheduler` by default), called
+only under the backend's state lock.
+
+Wire protocol (version 3)
 -------------------------
 
 Every frame is ``b"RPRO" | type:u8 | length:u32be | payload`` with a
@@ -20,29 +28,54 @@ that connection (never by crashing the run).
 ========== =============== ==========================================
 type       direction       payload
 ========== =============== ==========================================
-HELLO      worker → server ``{"version", "pid", "host"}``
+HELLO      worker → server ``{"version", "pid", "host", "epoch"}``
 CHUNK      server → worker ``(job_id, chunk_id, GroupedChunk, level)``
 RESULT     worker → server ``(job_id, chunk_id, [(index, artifacts)],
                             cache_meta)``
 HEARTBEAT  worker → server ``None`` (liveness while computing)
 ERROR      worker → server ``{"job_id", "chunk_id", "error", "traceback"}``
 SHUTDOWN   server → worker ``None`` (drain and exit 0)
+DRAIN      either way      ``None`` (graceful departure, see below)
 ========== =============== ==========================================
 
 Version 2 extended RESULT with ``cache_meta``: ``None`` on a worker
 running without a result cache, else a dict of the chunk's worker-cache
 accounting (``hits`` / ``misses`` / ``uncacheable`` / ``entries``) that
 the coordinator surfaces as
-:class:`~repro.runtime.events.ChunkCacheStats`. Versions must match
-exactly (HELLO is rejected otherwise), so mixed fleets fail loudly at
-connect time instead of corrupting frames.
+:class:`~repro.runtime.events.ChunkCacheStats`. Version 3 added the
+DRAIN frame and the ``epoch`` HELLO field (0 on a worker's first
+connection, incremented each time it rejoins after losing the
+coordinator). Versions must match exactly (HELLO is rejected
+otherwise), so mixed fleets fail loudly at connect time instead of
+corrupting frames.
+
+Elastic membership
+------------------
+
+Workers join at any time — before, during, and between jobs — and
+leave gracefully with DRAIN: a worker that wants to depart (SIGTERM on
+``repro worker``) finishes its in-flight chunk, sends DRAIN, and
+closes; the coordinator marks it draining on receipt (no new chunks),
+emits :class:`~repro.runtime.events.WorkerDrained` instead of
+``WorkerLost`` when the socket closes, and requeues nothing. The
+coordinator can also send DRAIN (:meth:`SocketBackend.drain_worker`)
+to retire a worker remotely. :meth:`SocketBackend.scale_hint`
+summarizes the fleet (connected / busy / draining workers, outstanding
+cells, recommended fleet size) for elastic deployments.
+
+A worker that loses the coordinator (crash, restart) does not give up:
+with a rejoin window configured (``--rejoin`` on the CLI) it redials
+with exponential backoff and decorrelated jitter
+(:func:`connect_with_retry`) and sends a fresh HELLO with a bumped
+``epoch`` — a restarting coordinator reuses the checkpoint/resume
+machinery to pick the suite back up with the reassembled fleet.
 
 Adaptive chunk sizing
 ---------------------
 
 :meth:`SocketBackend.run_cells` (the default path — an explicit
 ``chunk_size`` pins fixed slices) does not pre-chunk the sweep.
-The coordinator keeps one EWMA of observed cells/sec per worker —
+The scheduler keeps one EWMA of observed cells/sec per worker —
 measured from CHUNK-send start to RESULT receipt, so a slow *link* is
 priced in exactly like a slow *CPU* — and carves each worker's next
 chunk off the remaining cell pool sized to ``target_chunk_seconds`` of
@@ -52,6 +85,12 @@ chunks, slow workers stop sitting on oversize chunks the fleet has to
 wait out (and stop hitting transfer deadlines), and because every
 result is tagged with its cell index, reassembly — and therefore the
 result bundle — is byte-identical no matter how the pool was carved.
+
+The same EWMA data drives **speculative straggler re-execution**: when
+the pool is drained but a chunk is overdue on a slow worker, an idle
+worker receives a duplicate copy (first completion wins; the twin's
+late result is ignored as any duplicate is). See
+:mod:`repro.runtime.scheduler` for the eligibility and budget policy.
 
 Worker-side result cache
 ------------------------
@@ -74,8 +113,8 @@ match the current job are stale leftovers of an aborted run on a
 reused backend and are discarded instead of corrupting the new job.
 A RESULT whose echoed ``chunk_id`` is not a valid index into the
 current job is a protocol error: it is never recorded (a forged or
-buggy echo must not make ``done()`` true with real chunks missing) and
-the worker is dropped.
+buggy echo must not make the job complete with real chunks missing)
+and the worker is dropped.
 
 Authentication
 --------------
@@ -106,9 +145,11 @@ Failure semantics
 
 * A worker that stops sending frames for ``heartbeat_timeout`` seconds
   (or whose socket dies, or that sends a malformed frame) is dropped
-  and its in-flight chunk is requeued for the remaining workers. A
-  chunk dispatched ``max_chunk_retries`` times without completing
-  aborts the run — a poison chunk must not requeue forever. CHUNK
+  and its in-flight chunk is requeued for the remaining workers —
+  unless a speculative twin still holds a live copy. A chunk
+  dispatched ``max_chunk_retries`` times without completing aborts the
+  run — a poison chunk must not requeue forever (speculative
+  duplicates do not count toward the bound: slow is not poison). CHUNK
   *sends* run on a dedicated per-worker write socket with their own
   size-aware deadline (:func:`chunk_send_timeout`), so a slow link
   that needs longer than ``heartbeat_timeout`` to receive a large
@@ -122,6 +163,13 @@ Failure semantics
 * Late results from a worker presumed lost are accepted if the chunk
   is still outstanding and ignored otherwise (both copies are
   bit-identical, so either is safe).
+* Every coordinator-side worker thread failure — including unexpected
+  exceptions that are bugs — funnels into the one drop-worker path
+  with the reason logged (logger ``repro.distributed``), so no failure
+  mode leaves the coordinator waiting on a chunk that will never
+  complete.
+* Fault injection for all of the above is first-class: see
+  :mod:`repro.runtime.faults` and the worker CLI's ``--fault-plan``.
 """
 
 from __future__ import annotations
@@ -129,14 +177,15 @@ from __future__ import annotations
 import hashlib
 import hmac
 import ipaddress
+import logging
 import os
 import pickle
+import random
 import socket
 import struct
 import threading
 import time
 import traceback
-from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -148,20 +197,33 @@ from repro.runtime.events import (
     ChunkCacheStats,
     ChunkCompleted,
     ChunkDispatched,
+    ChunkSpeculated,
+    WorkerDrained,
     WorkerJoined,
     WorkerLost,
+)
+from repro.runtime.faults import FaultInjector, FaultPlan
+from repro.runtime.scheduler import (  # noqa: F401  (re-exported: historical home)
+    DEFAULT_MAX_CHUNK_CELLS,
+    DEFAULT_MIN_CHUNK_CELLS,
+    DEFAULT_TARGET_CHUNK_SECONDS,
+    EWMA_ALPHA,
+    Assignment,
+    ChunkScheduler,
+    ScaleHint,
+    Scheduler,
 )
 from repro.runtime.worker import (
     GroupedChunk,
     IndexedCell,
-    chunk_cell_count,
-    group_cells,
     run_cell_chunk,
 )
 
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = 3
 MAGIC = b"RPRO"
 _HEADER = struct.Struct(">4sBI")
+
+_log = logging.getLogger("repro.distributed")
 
 #: Frames above this are refused on both send and receive. Trace-level
 #: chunks carry full packet traces, so the default bound is generous.
@@ -169,16 +231,6 @@ DEFAULT_MAX_FRAME_BYTES = 256 * 1024 * 1024
 DEFAULT_HEARTBEAT_INTERVAL = 2.0
 DEFAULT_HEARTBEAT_TIMEOUT = 30.0
 DEFAULT_WORKER_WAIT_TIMEOUT = 120.0
-#: Adaptive chunk sizing: per-worker chunks target this much wall
-#: clock, clamped to the cell bounds below. ~1 s balances dispatch
-#: overhead against load-balance granularity for 10–200 ms cells.
-DEFAULT_TARGET_CHUNK_SECONDS = 1.0
-DEFAULT_MIN_CHUNK_CELLS = 1
-DEFAULT_MAX_CHUNK_CELLS = 1024
-#: EWMA smoothing for the per-worker cells/sec estimate: responsive
-#: enough to track a throttled link, damped enough not to chase one
-#: noisy chunk.
-EWMA_ALPHA = 0.5
 #: CHUNK send deadline = floor + bytes / assumed worst-case link rate,
 #: deliberately decoupled from ``heartbeat_timeout``: a slow-but-alive
 #: worker keeps heartbeating while a large frame trickles in, and must
@@ -195,6 +247,12 @@ DEFAULT_WORKER_CACHE_ENTRIES = 4096
 #: bound the mismatch would stall until the server's timeout with a
 #: generic connection error instead of naming the key asymmetry.
 DEFAULT_AUTH_TIMEOUT = 10.0
+#: Reconnect backoff bounds for :func:`connect_with_retry`:
+#: exponential growth with decorrelated jitter, capped so a whole
+#: fleet redialing a restarting coordinator spreads out instead of
+#: hammering it in lockstep.
+RECONNECT_BASE_DELAY = 0.05
+RECONNECT_MAX_DELAY = 2.0
 
 MSG_HELLO = 1
 MSG_CHUNK = 2
@@ -202,6 +260,7 @@ MSG_RESULT = 3
 MSG_HEARTBEAT = 4
 MSG_SHUTDOWN = 5
 MSG_ERROR = 6
+MSG_DRAIN = 7
 
 
 class ProtocolError(Exception):
@@ -220,6 +279,19 @@ def chunk_send_timeout(nbytes: int) -> float:
     return SEND_TIMEOUT_FLOOR + nbytes / SEND_MIN_RATE_BYTES
 
 
+def make_frame(
+    msg_type: int, payload: Any, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> bytes:
+    """Serialize one frame to wire bytes, enforcing the size bound."""
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(data) > max_frame_bytes:
+        raise ProtocolError(
+            f"outgoing frame of {len(data)} bytes exceeds the "
+            f"{max_frame_bytes}-byte bound; lower the chunk size"
+        )
+    return _HEADER.pack(MAGIC, msg_type, len(data)) + data
+
+
 def send_frame(
     sock: socket.socket,
     msg_type: int,
@@ -235,13 +307,7 @@ def send_frame(
     safe on a socket that is never concurrently read (the coordinator's
     per-worker write socket), since timeouts are per socket object.
     """
-    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-    if len(data) > max_frame_bytes:
-        raise ProtocolError(
-            f"outgoing frame of {len(data)} bytes exceeds the "
-            f"{max_frame_bytes}-byte bound; lower the chunk size"
-        )
-    frame = _HEADER.pack(MAGIC, msg_type, len(data)) + data
+    frame = make_frame(msg_type, payload, max_frame_bytes)
     if lock is None:
         if size_aware_timeout:
             sock.settimeout(chunk_send_timeout(len(frame)))
@@ -379,18 +445,50 @@ def _enable_keepalive(sock: socket.socket) -> None:
 
 
 def connect_with_retry(
-    host: str, port: int, retry_for: float = 0.0, poll: float = 0.2
+    host: str,
+    port: int,
+    retry_for: float = 0.0,
+    base_delay: float = RECONNECT_BASE_DELAY,
+    max_delay: float = RECONNECT_MAX_DELAY,
 ) -> socket.socket:
     """Dial the coordinator, retrying for up to ``retry_for`` seconds —
-    lets workers start before the ``repro run`` process is listening."""
+    lets workers start before the ``repro run`` process is listening,
+    and lets a fleet redial a restarting coordinator.
+
+    Retries back off exponentially with decorrelated jitter (each
+    delay drawn uniformly from ``[base_delay, 3 × previous]``, capped
+    at ``max_delay``): a hundred workers that all lost the coordinator
+    at the same instant spread their reconnects out instead of
+    stampeding the fresh listener in lockstep every fixed interval.
+    """
     deadline = time.monotonic() + retry_for
+    delay = base_delay
     while True:
         try:
             return socket.create_connection((host, port))
         except OSError:
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise
-            time.sleep(poll)
+            delay = min(max_delay, random.uniform(base_delay, delay * 3))
+            time.sleep(min(delay, max(deadline - now, 0.0)))
+
+
+def _send_throttled(
+    sock: socket.socket,
+    frame: bytes,
+    bytes_per_sec: float,
+    lock: threading.Lock,
+    slice_bytes: int = 8192,
+) -> None:
+    """Fault injection: trickle one frame at ``bytes_per_sec`` (holds
+    the send lock throughout, exactly like a thin uplink queueing
+    heartbeats behind a large RESULT)."""
+    with lock:
+        for start in range(0, len(frame), slice_bytes):
+            piece = frame[start : start + slice_bytes]
+            sock.sendall(piece)
+            time.sleep(len(piece) / bytes_per_sec)
 
 
 def worker_main(
@@ -403,6 +501,9 @@ def worker_main(
     auth_key: Optional[bytes] = None,
     cache_entries: Optional[int] = DEFAULT_WORKER_CACHE_ENTRIES,
     log: Optional[Callable[[str], None]] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    rejoin_for: float = 0.0,
+    drain_event: Optional[threading.Event] = None,
 ) -> int:
     """One remote worker: connect, serve chunks until SHUTDOWN.
 
@@ -419,16 +520,77 @@ def worker_main(
     across chunks, jobs, and consecutive suites. ``0``/``None``
     disables it. Per-chunk hit counts are reported on RESULT frames.
 
-    ``fail_after`` is fault injection for the failure-path tests and CI
-    chaos runs: after serving that many chunks the worker hard-exits
-    (``os._exit``) upon receiving its next chunk — indistinguishable
-    from SIGKILL, guaranteeing an unacknowledged in-flight chunk.
+    ``fault_plan`` injects structured faults for failure-path tests
+    and chaos runs (see :mod:`repro.runtime.faults`). ``fail_after``
+    is the deprecated one-fault shorthand for
+    ``FaultPlan(kill_after_chunks=N)``: after serving that many chunks
+    the worker hard-exits (``os._exit``) upon receiving its next chunk
+    — indistinguishable from SIGKILL, guaranteeing an unacknowledged
+    in-flight chunk. Fault counters span the process lifetime, so a
+    rejoining worker does not re-arm an already-fired fault.
 
-    Returns 0 on orderly shutdown, 1 if the coordinator vanished.
+    ``rejoin_for`` > 0 turns coordinator loss into a reconnect window:
+    instead of exiting, the worker redials (backoff with jitter) for up
+    to that many seconds and re-registers with a bumped HELLO ``epoch``
+    — the worker half of coordinator crash/resume.
+
+    ``drain_event`` requests a graceful departure (the CLI sets it on
+    SIGTERM): the worker finishes its in-flight chunk if any, sends
+    DRAIN, and exits 0 without the coordinator counting a loss.
+
+    Returns 0 on orderly shutdown or drain, 1 if the coordinator
+    vanished (and any rejoin window expired).
     """
     say = log or (lambda message: None)
+    if fault_plan is None and fail_after is not None:
+        fault_plan = FaultPlan(kill_after_chunks=fail_after)
+    faults = FaultInjector(fault_plan)
     cache = ResultCache(max_entries=cache_entries) if cache_entries else None
-    sock = connect_with_retry(host, port, retry_for=retry_for)
+    drain = drain_event if drain_event is not None else threading.Event()
+    epoch = 0
+    window = retry_for
+    while True:
+        try:
+            sock = connect_with_retry(host, port, retry_for=window)
+        except OSError as exc:
+            say(f"could not reach coordinator {host}:{port}: {exc!r}")
+            return 1
+        code, coordinator_lost = _worker_session(
+            sock,
+            host,
+            port,
+            epoch,
+            heartbeat_interval,
+            max_frame_bytes,
+            auth_key,
+            cache,
+            faults,
+            drain,
+            say,
+        )
+        if not coordinator_lost or rejoin_for <= 0 or drain.is_set():
+            return code
+        epoch += 1
+        window = rejoin_for
+        say(f"rejoining {host}:{port} as epoch {epoch} (window {rejoin_for:g}s)")
+
+
+def _worker_session(
+    sock: socket.socket,
+    host: str,
+    port: int,
+    epoch: int,
+    heartbeat_interval: float,
+    max_frame_bytes: int,
+    auth_key: Optional[bytes],
+    cache: Optional[ResultCache],
+    faults: FaultInjector,
+    drain: threading.Event,
+    say: Callable[[str], None],
+) -> Tuple[int, bool]:
+    """Serve one connection; returns ``(exit_code, coordinator_lost)``
+    where ``coordinator_lost`` marks an abrupt loss eligible for a
+    rejoin (auth failures and orderly SHUTDOWN/DRAIN exits are not)."""
     sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
     _enable_keepalive(sock)
     if auth_key is not None:
@@ -442,49 +604,99 @@ def worker_main(
                 "an auth key?"
             )
             sock.close()
-            return 1
+            return 1, False
         except (ProtocolError, ConnectionError, OSError) as exc:
             say(f"authentication with {host}:{port} failed: {exc!r}")
             sock.close()
-            return 1
+            return 1, False
         sock.settimeout(None)
     send_lock = threading.Lock()
-    send_frame(
-        sock,
-        MSG_HELLO,
-        {
-            "version": PROTOCOL_VERSION,
-            "pid": os.getpid(),
-            "host": socket.gethostname(),
-        },
-        lock=send_lock,
-        max_frame_bytes=max_frame_bytes,
-    )
-    say(f"connected to {host}:{port} (pid {os.getpid()})")
     stop = threading.Event()
+    computing = threading.Event()
+    drained = threading.Event()
+
+    def goodbye() -> None:
+        # Announce graceful departure exactly once; a send failure just
+        # means the coordinator is already gone.
+        if drained.is_set():
+            return
+        drained.set()
+        try:
+            send_frame(sock, MSG_DRAIN, None, lock=send_lock)
+        except OSError:
+            pass
+
+    heartbeat_budget = faults.heartbeat_budget()
 
     def beat() -> None:
+        beats_sent = 0
         while not stop.wait(heartbeat_interval):
+            if drain.is_set() and not computing.is_set():
+                # Idle drain: the main loop is blocked in recv with no
+                # frame coming; say goodbye and wake it via local EOF.
+                goodbye()
+                try:
+                    sock.shutdown(socket.SHUT_RD)
+                except OSError:
+                    pass
+                return
+            if heartbeat_budget is not None and beats_sent >= heartbeat_budget:
+                continue  # fault injection: liveness thread goes silent
             try:
                 send_frame(sock, MSG_HEARTBEAT, None, lock=send_lock)
-            except OSError:
+                beats_sent += 1
+            except Exception:
+                # A dying liveness thread must not be silent: close the
+                # socket so the main recv loop notices immediately
+                # instead of idling until the coordinator drops us.
+                try:
+                    sock.close()
+                except OSError:
+                    pass
                 return
 
-    threading.Thread(target=beat, daemon=True).start()
     chunks_done = 0
     try:
+        send_frame(
+            sock,
+            MSG_HELLO,
+            {
+                "version": PROTOCOL_VERSION,
+                "pid": os.getpid(),
+                "host": socket.gethostname(),
+                "epoch": epoch,
+            },
+            lock=send_lock,
+            max_frame_bytes=max_frame_bytes,
+        )
+        say(f"connected to {host}:{port} (pid {os.getpid()}, epoch {epoch})")
+        threading.Thread(target=beat, daemon=True).start()
         while True:
+            if drain.is_set():
+                goodbye()
+                say(f"draining after {chunks_done} chunk(s)")
+                return 0, False
             msg_type, payload = recv_frame(sock, max_frame_bytes)
             if msg_type == MSG_SHUTDOWN:
                 say(f"shutdown after {chunks_done} chunk(s)")
-                return 0
+                return 0, False
+            if msg_type == MSG_DRAIN:
+                # Coordinator-initiated retirement: acknowledge and
+                # leave without rejoining.
+                goodbye()
+                say(f"drained by coordinator after {chunks_done} chunk(s)")
+                return 0, False
             if msg_type != MSG_CHUNK:
                 continue
             job_id, chunk_id, grouped, level_value = payload
-            if fail_after is not None and chunks_done >= fail_after:
+            if faults.should_kill_on_chunk():
                 say(f"fault injection: dying with chunk {chunk_id} in flight")
                 os._exit(17)
+            computing.set()
             try:
+                delay = faults.chunk_delay()
+                if delay > 0:
+                    time.sleep(delay)
                 before = cache.stats() if cache is not None else None
                 results = run_cell_chunk(grouped, level_value, cache=cache)
                 cache_meta = None
@@ -496,13 +708,25 @@ def worker_main(
                         "uncacheable": after["uncacheable"] - before["uncacheable"],
                         "entries": after["entries"],
                     }
-                send_frame(
-                    sock,
-                    MSG_RESULT,
-                    (job_id, chunk_id, results, cache_meta),
-                    lock=send_lock,
-                    max_frame_bytes=max_frame_bytes,
-                )
+                if faults.should_corrupt_result():
+                    say(f"fault injection: corrupting RESULT for chunk {chunk_id}")
+                    with send_lock:
+                        sock.sendall(b"BOGUSFRAMEBYTES!")
+                    continue
+                rate = faults.send_rate()
+                if rate is not None:
+                    frame = make_frame(
+                        MSG_RESULT, (job_id, chunk_id, results, cache_meta), max_frame_bytes
+                    )
+                    _send_throttled(sock, frame, rate, send_lock)
+                else:
+                    send_frame(
+                        sock,
+                        MSG_RESULT,
+                        (job_id, chunk_id, results, cache_meta),
+                        lock=send_lock,
+                        max_frame_bytes=max_frame_bytes,
+                    )
             except Exception as exc:
                 # Includes an oversized RESULT pickle: that is as
                 # deterministic as a simulator error, so report it
@@ -520,10 +744,15 @@ def worker_main(
                     max_frame_bytes=max_frame_bytes,
                 )
                 continue
+            finally:
+                computing.clear()
             chunks_done += 1
     except (ConnectionError, ProtocolError, OSError) as exc:
+        if drained.is_set():
+            say(f"drained after {chunks_done} chunk(s)")
+            return 0, False
         say(f"coordinator lost: {exc!r}")
-        return 1
+        return 1, True
     finally:
         stop.set()
         sock.close()
@@ -556,8 +785,13 @@ class BackendStats:
 
     workers_seen: int = 0
     workers_lost: int = 0
+    #: Workers that departed gracefully via DRAIN (not counted lost).
+    workers_drained: int = 0
     chunks_dispatched: int = 0
     chunks_requeued: int = 0
+    #: Speculative duplicate dispatches (included in
+    #: ``chunks_dispatched`` as well).
+    chunks_speculated: int = 0
     protocol_errors: int = 0
     #: Connections that reached the coordinator but failed the mutual
     #: HMAC handshake — the signature of a shared-secret mismatch.
@@ -571,7 +805,9 @@ class BackendStats:
 
 
 class _WorkerConn:
-    """Server-side state of one connected worker.
+    """Server-side *transport* state of one connected worker; all
+    scheduling state lives in the scheduler's
+    :class:`~repro.runtime.scheduler.WorkerState`.
 
     ``wsock`` is a ``dup()`` of the connection used exclusively for
     server → worker sends: socket timeouts are per Python socket
@@ -588,10 +824,8 @@ class _WorkerConn:
         "send_lock",
         "alive",
         "inflight",
+        "draining",
         "info",
-        "ewma_rate",
-        "dispatched_at",
-        "dispatched_cells",
     )
 
     def __init__(self, wid: int, sock: socket.socket, addr: Any, info: Dict[str, Any]):
@@ -603,125 +837,9 @@ class _WorkerConn:
         self.alive = True
         #: ``(job_id, chunk_id)`` of the dispatched-but-unanswered chunk.
         self.inflight: Optional[Tuple[int, int]] = None
+        #: Set on DRAIN (either direction): departure is graceful.
+        self.draining = False
         self.info = info
-        #: EWMA of observed cells/sec (None until the first RESULT).
-        self.ewma_rate: Optional[float] = None
-        self.dispatched_at: Optional[float] = None
-        self.dispatched_cells = 0
-
-    def observe_result(self, now: float, computed_cells: int) -> None:
-        """Fold the finished chunk's round trip into the throughput
-        EWMA (caller holds the backend lock).
-
-        ``computed_cells`` excludes cells the worker served from its
-        result cache: an all-hit chunk finishing in a millisecond says
-        nothing about how fast the worker *simulates*, and folding it
-        in would hand a slow worker an enormous rate — and then an
-        oversized chunk of cold cells the whole fleet has to wait out.
-        A chunk with no computed cells therefore leaves the EWMA
-        untouched.
-        """
-        if self.dispatched_at is None:
-            return
-        elapsed = max(now - self.dispatched_at, 1e-6)
-        self.dispatched_at = None
-        if computed_cells <= 0:
-            return
-        rate = computed_cells / elapsed
-        if self.ewma_rate is None:
-            self.ewma_rate = rate
-        else:
-            self.ewma_rate = EWMA_ALPHA * rate + (1 - EWMA_ALPHA) * self.ewma_rate
-
-
-class _Job:
-    """One coordinator job: pending chunks, attempts, results.
-
-    Two shapes share the bookkeeping:
-
-    * **fixed** (``chunks=...``) — the caller pre-chunked the work
-      (:meth:`SocketBackend.run_chunks`); every chunk id exists up
-      front.
-    * **adaptive** (``pool=...``) — the job holds the un-chunked cell
-      pool and :meth:`checkout` carves each worker's next chunk to the
-      requested size, registering fresh chunk ids as it goes
-      (:meth:`SocketBackend.run_cells`).
-
-    Requeued chunks keep their concrete :data:`GroupedChunk` either
-    way, so the poison-chunk retry bound counts dispatches of the same
-    cells even in adaptive mode.
-    """
-
-    def __init__(
-        self,
-        job_id: int,
-        max_chunk_retries: int,
-        chunks: Sequence[GroupedChunk] = (),
-        pool: Sequence[IndexedCell] = (),
-        initial_chunk_cells: int = 1,
-    ):
-        self.job_id = job_id
-        self.max_chunk_retries = max_chunk_retries
-        self.chunks: List[GroupedChunk] = list(chunks)
-        self.pending: deque = deque(range(len(self.chunks)))
-        self.attempts: List[int] = [0] * len(self.chunks)
-        self._pool: Sequence[IndexedCell] = pool
-        self._pool_pos = 0
-        self.initial_chunk_cells = initial_chunk_cells
-        self.results: Dict[int, List[Tuple[int, RunArtifacts]]] = {}
-        self.failure: Optional[Dict[str, Any]] = None
-
-    def checkout(self, target_cells: int) -> Optional[int]:
-        """Next chunk to dispatch — a requeued chunk first, else one
-        carved from the cell pool at ``target_cells`` — enforcing the
-        retry bound."""
-        if self.pending:
-            chunk_id = self.pending.popleft()
-        elif self._pool_pos < len(self._pool):
-            take = max(1, target_cells)
-            cells = self._pool[self._pool_pos : self._pool_pos + take]
-            self._pool_pos += len(cells)
-            chunk_id = len(self.chunks)
-            self.chunks.append(group_cells(cells))
-            self.attempts.append(0)
-        else:
-            return None
-        self.attempts[chunk_id] += 1
-        if self.attempts[chunk_id] > self.max_chunk_retries:
-            raise BackendError(
-                f"chunk {chunk_id} was dispatched {self.max_chunk_retries} "
-                "times without completing; giving up"
-            )
-        return chunk_id
-
-    def record(self, chunk_id: int, results: List[Tuple[int, RunArtifacts]]) -> None:
-        # First completion wins; a duplicate from a requeued twin is
-        # bit-identical and safely ignored.
-        if chunk_id not in self.results:
-            self.results[chunk_id] = results
-
-    def requeue(self, chunk_id: int) -> None:
-        if chunk_id not in self.results:
-            self.pending.appendleft(chunk_id)
-
-    def outstanding_cells(self) -> int:
-        """Cells not yet recorded: unanswered carved chunks plus the
-        un-carved remainder of an adaptive job's pool."""
-        carved = sum(
-            chunk_cell_count(self.chunks[chunk_id])
-            for chunk_id in range(len(self.chunks))
-            if chunk_id not in self.results
-        )
-        return carved + len(self._pool) - self._pool_pos
-
-    def done(self) -> bool:
-        return self._pool_pos >= len(self._pool) and len(self.results) == len(self.chunks)
-
-    def results_in_order(self) -> List[Tuple[int, RunArtifacts]]:
-        out: List[Tuple[int, RunArtifacts]] = []
-        for chunk_id in range(len(self.chunks)):
-            out.extend(self.results[chunk_id])
-        return out
 
 
 class SocketBackend(ExecutionBackend):
@@ -734,6 +852,11 @@ class SocketBackend(ExecutionBackend):
     are connected before dispatching. One chunk is outstanding per
     worker; finished workers immediately receive the next pending
     chunk, so faster workers naturally take more of the queue.
+
+    Scheduling policy — chunk sizing, requeue/poison bounds,
+    speculation, drain bookkeeping — is delegated to ``scheduler``
+    (a fresh :class:`~repro.runtime.scheduler.ChunkScheduler` by
+    default), always invoked under this backend's state lock.
 
     :meth:`run_cells` (the :class:`MatrixRunner` default path) sizes
     each worker's next chunk adaptively from its observed throughput —
@@ -757,17 +880,10 @@ class SocketBackend(ExecutionBackend):
         min_chunk_cells: int = DEFAULT_MIN_CHUNK_CELLS,
         max_chunk_cells: int = DEFAULT_MAX_CHUNK_CELLS,
         target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS,
+        scheduler: Optional[Scheduler] = None,
     ):
         if min_workers < 1:
             raise ValueError("min_workers must be >= 1")
-        if max_chunk_retries < 1:
-            raise ValueError("max_chunk_retries must be >= 1")
-        if min_chunk_cells < 1:
-            raise ValueError("min_chunk_cells must be >= 1")
-        if max_chunk_cells < min_chunk_cells:
-            raise ValueError("max_chunk_cells must be >= min_chunk_cells")
-        if target_chunk_seconds <= 0:
-            raise ValueError("target_chunk_seconds must be positive")
         if auth_key is not None and not auth_key:
             raise ValueError("auth_key must be non-empty when set")
         if auth_key is None and not _is_loopback(host):
@@ -786,6 +902,14 @@ class SocketBackend(ExecutionBackend):
         self.min_chunk_cells = min_chunk_cells
         self.max_chunk_cells = max_chunk_cells
         self.target_chunk_seconds = target_chunk_seconds
+        # ChunkScheduler validates the chunk-sizing/retry bounds, so a
+        # caller-supplied scheduler applies its own policy instead.
+        self._scheduler: Scheduler = scheduler or ChunkScheduler(
+            max_chunk_retries=max_chunk_retries,
+            min_chunk_cells=min_chunk_cells,
+            max_chunk_cells=max_chunk_cells,
+            target_chunk_seconds=target_chunk_seconds,
+        )
         self.stats = BackendStats()
         self._listener = socket.create_server((host, port), backlog=16)
         self.host, self.port = self._listener.getsockname()[:2]
@@ -794,7 +918,6 @@ class SocketBackend(ExecutionBackend):
         self._workers: Dict[int, _WorkerConn] = {}
         self._next_wid = 0
         self._job_seq = 0
-        self._job: Optional[_Job] = None
         self._closed = False
         self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
         self._accept_thread.start()
@@ -807,6 +930,13 @@ class SocketBackend(ExecutionBackend):
                 sock, addr = self._listener.accept()
             except OSError:  # listener closed
                 return
+            except Exception:  # pragma: no cover - accept() bug/resource edge
+                # An unexpected accept failure must not kill admission
+                # for the rest of the run; log and keep listening.
+                if self._closed:
+                    return
+                _log.exception("accept loop error; continuing")
+                continue
             threading.Thread(target=self._serve_worker, args=(sock, addr), daemon=True).start()
 
     def _serve_worker(self, sock: socket.socket, addr: Any) -> None:
@@ -851,6 +981,7 @@ class SocketBackend(ExecutionBackend):
                 sock.close()
                 return
             self._workers[conn.wid] = conn
+            self._scheduler.add_worker(conn.wid)
             self.stats.workers_seen += 1
             self._cond.notify_all()
         self.emit(
@@ -866,13 +997,21 @@ class SocketBackend(ExecutionBackend):
                 msg_type, payload = recv_frame(sock, self.max_frame_bytes)
                 if msg_type == MSG_HEARTBEAT:
                     continue
-                if msg_type == MSG_RESULT:
+                if msg_type == MSG_DRAIN:
+                    # Graceful departure announced: no new chunks; the
+                    # socket close that follows is not a loss.
+                    with self._cond:
+                        conn.draining = True
+                        self._scheduler.drain_worker(conn.wid)
+                        self._cond.notify_all()
+                elif msg_type == MSG_RESULT:
                     if not (isinstance(payload, tuple) and len(payload) == 4):
                         raise ProtocolError(f"malformed RESULT payload: {payload!r}")
                     job_id, chunk_id, results, cache_meta = payload
                     cache_stats = _decode_cache_meta(cache_meta)
                     recorded = False
                     with self._cond:
+                        state = self._scheduler.worker_state(conn.wid)
                         if conn.inflight == (job_id, chunk_id):
                             conn.inflight = None
                             # Round trip complete: fold dispatch→result
@@ -882,30 +1021,28 @@ class SocketBackend(ExecutionBackend):
                             # hits is an untrusted echo; clamp so a
                             # lying worker cannot push computed_cells
                             # negative.
-                            hits = cache_stats.hits if cache_stats is not None else 0
-                            conn.observe_result(
-                                time.monotonic(),
-                                conn.dispatched_cells - min(max(hits, 0), conn.dispatched_cells),
-                            )
+                            if state is not None:
+                                hits = cache_stats.hits if cache_stats is not None else 0
+                                state.observe_result(
+                                    time.monotonic(),
+                                    state.dispatched_cells
+                                    - min(max(hits, 0), state.dispatched_cells),
+                                )
                         # Frames from an aborted previous job are stale:
                         # recording them would graft old-plan cells into
                         # the new job, so they are discarded.
-                        if self._job is not None and self._job.job_id == job_id:
+                        if self._scheduler.accepts(job_id):
                             # An echoed chunk id that was never part of
                             # the job must not be recorded: it would
-                            # inflate the completion count so done()
-                            # turns true with real chunks missing.
-                            if not (
-                                isinstance(chunk_id, int)
-                                and 0 <= chunk_id < len(self._job.chunks)
-                            ):
+                            # inflate the completion count so the job
+                            # turns "done" with real chunks missing.
+                            if not self._scheduler.valid_chunk(chunk_id):
                                 raise ProtocolError(
                                     f"worker echoed unknown chunk id "
                                     f"{chunk_id!r} (job has "
-                                    f"{len(self._job.chunks)} chunks)"
+                                    f"{self._scheduler.chunk_count()} chunks)"
                                 )
-                            recorded = chunk_id not in self._job.results
-                            self._job.record(chunk_id, results)
+                            recorded = self._scheduler.record(conn.wid, chunk_id, results)
                             if recorded and cache_stats is not None:
                                 self.stats.worker_cache_hits += cache_stats.hits
                         self._cond.notify_all()
@@ -918,6 +1055,7 @@ class SocketBackend(ExecutionBackend):
                                 cache=cache_stats,
                             )
                         )
+                        self._observe_recorded(job_id, chunk_id, results)
                 elif msg_type == MSG_ERROR:
                     if not isinstance(payload, dict):
                         raise ProtocolError(f"malformed ERROR payload: {payload!r}")
@@ -925,39 +1063,98 @@ class SocketBackend(ExecutionBackend):
                     with self._cond:
                         if conn.inflight == (job_id, payload.get("chunk_id")):
                             conn.inflight = None
-                        if self._job is not None and self._job.job_id == job_id:
-                            self._job.failure = payload
+                        if self._scheduler.accepts(job_id):
+                            self._scheduler.release(conn.wid)
+                            self._scheduler.fail(payload)
                         self._cond.notify_all()
         except (ProtocolError, ConnectionError, OSError) as exc:
             reason = exc
+        except Exception as exc:  # pragma: no cover - coordinator bug
+            # Bugfix-sweep guarantee: even an unexpected exception in
+            # this reader thread must funnel into the drop path with a
+            # logged reason — a silently dead reader would leave the
+            # coordinator waiting forever on this worker's chunk.
+            _log.exception("worker-%d reader thread failed unexpectedly", conn.wid)
+            reason = exc
         self._drop_worker(conn, reason)
+
+    def _observe_recorded(
+        self, job_id: Any, chunk_id: Any, results: List[Tuple[int, RunArtifacts]]
+    ) -> None:
+        """Feed a newly recorded chunk to the result observer (suite
+        checkpointing). Runs outside the state lock — observer I/O must
+        not stall result intake — and an observer failure fails the
+        *job* loudly: silently losing checkpoint durability would turn
+        a later crash into data loss."""
+        try:
+            self.observe_results(results)
+        except Exception as exc:
+            _log.exception("result observer failed; aborting job %s", job_id)
+            with self._cond:
+                if self._scheduler.accepts(job_id):
+                    self._scheduler.fail(
+                        {
+                            "job_id": job_id,
+                            "chunk_id": chunk_id,
+                            "error": f"result observer failed: {exc!r}",
+                            "traceback": traceback.format_exc(),
+                        }
+                    )
+                self._cond.notify_all()
 
     def _drop_worker(self, conn: _WorkerConn, reason: Optional[BaseException]) -> None:
         lost = False
-        requeued = 0
+        drained = False
+        requeue_chunk: Optional[int] = None
         with self._cond:
             if not conn.alive:
                 return
             conn.alive = False
             self._workers.pop(conn.wid, None)
+            self._scheduler.remove_worker(conn.wid)
             # Orderly shutdown is not a loss — including the race where
             # a worker acts on SHUTDOWN and closes its socket before
-            # close() reaches its connection.
-            if reason is not None and not self._closed:
-                self.stats.workers_lost += 1
-                lost = True
+            # close() reaches its connection. Neither is a DRAIN-ed
+            # departure.
+            if not self._closed:
+                if conn.draining:
+                    drained = True
+                    self.stats.workers_drained += 1
+                elif reason is not None:
+                    lost = True
+                    self.stats.workers_lost += 1
             if isinstance(reason, ProtocolError):
                 self.stats.protocol_errors += 1
             if conn.inflight is not None:
                 job_id, chunk_id = conn.inflight
-                if self._job is not None and self._job.job_id == job_id:
-                    self._job.requeue(chunk_id)
-                    self.stats.chunks_requeued += 1
-                    requeued = 1
                 conn.inflight = None
+                if self._scheduler.accepts(job_id) and self._scheduler.can_requeue(chunk_id):
+                    # Deferred below the WorkerLost emit: the requeued
+                    # twin's ChunkDispatched must order after it.
+                    requeue_chunk = chunk_id
             self._cond.notify_all()
+        if lost or drained:
+            _log.info(
+                "worker-%d %s (%s)%s",
+                conn.wid,
+                "drained" if drained else "lost",
+                reason if reason is not None else "socket closed",
+                f"; requeueing chunk {requeue_chunk}" if requeue_chunk is not None else "",
+            )
         if lost:
-            self.emit(WorkerLost(worker_id=conn.wid, requeued_chunks=requeued))
+            self.emit(
+                WorkerLost(
+                    worker_id=conn.wid,
+                    requeued_chunks=1 if requeue_chunk is not None else 0,
+                )
+            )
+        elif drained:
+            self.emit(WorkerDrained(worker_id=conn.wid))
+        if requeue_chunk is not None:
+            with self._cond:
+                if self._scheduler.requeue(requeue_chunk):
+                    self.stats.chunks_requeued += 1
+                self._cond.notify_all()
         for sock in (conn.sock, conn.wsock):
             try:
                 sock.close()
@@ -1009,13 +1206,45 @@ class SocketBackend(ExecutionBackend):
         with self._lock:
             return max(self.min_workers, len(self._workers))
 
+    def scale_hint(self) -> ScaleHint:
+        """Advisory fleet-sizing summary from the scheduler: connected
+        / busy / draining workers, outstanding cells, and the worker
+        count that would keep the remaining work flowing at the fleet's
+        observed throughput."""
+        with self._lock:
+            return self._scheduler.scale_hint()
+
+    def drain_worker(self, wid: int) -> bool:
+        """Gracefully retire one worker: no new chunks from now on, and
+        a DRAIN frame asks it to exit once its in-flight chunk (if any)
+        is delivered. Returns ``False`` for an unknown worker id."""
+        with self._cond:
+            conn = self._workers.get(wid)
+            if conn is None:
+                return False
+            conn.draining = True
+            self._scheduler.drain_worker(wid)
+            self._cond.notify_all()
+        try:
+            send_frame(
+                conn.wsock,
+                MSG_DRAIN,
+                None,
+                lock=conn.send_lock,
+                size_aware_timeout=True,
+            )
+        except (ProtocolError, OSError):
+            pass  # already gone; the drop path cleans up
+        return True
+
     def run_chunks(
         self, chunks: Sequence[GroupedChunk], level_value: str
     ) -> List[Tuple[int, RunArtifacts]]:
         """Serve caller-sized chunks (the pinned-``chunk_size`` path)."""
         if not chunks:
             return []
-        return self._run_job(self._register_job(chunks=list(chunks)), level_value)
+        self._register_job(chunks=list(chunks))
+        return self._run_job(level_value)
 
     def run_cells(
         self,
@@ -1045,26 +1274,25 @@ class SocketBackend(ExecutionBackend):
             self.min_chunk_cells,
             min(self.max_chunk_cells, -(-len(cells) // (slots * 4))),
         )
-        job = self._register_job(pool=list(cells), initial_chunk_cells=initial)
-        return self._run_job(job, level_value)
+        self._register_job(pool=list(cells), initial_chunk_cells=initial)
+        return self._run_job(level_value)
 
-    def _register_job(self, **job_kwargs: Any) -> _Job:
+    def _register_job(self, **job_kwargs: Any) -> None:
         if self._closed:
             raise BackendError("backend is closed")
         with self._cond:
-            if self._job is not None:
+            if self._scheduler.job is not None:
                 raise BackendError("backend is already running a job")
             self._job_seq += 1
-            job = _Job(self._job_seq, self.max_chunk_retries, **job_kwargs)
-            self._job = job
-        return job
+            self._scheduler.start_job(self._job_seq, **job_kwargs)
 
-    def _run_job(self, job: _Job, level_value: str) -> List[Tuple[int, RunArtifacts]]:
+    def _run_job(self, level_value: str) -> List[Tuple[int, RunArtifacts]]:
         try:
             self.wait_for_workers(self.min_workers, self.worker_wait_timeout)
             while True:
-                self._dispatch(job, level_value)
+                self._dispatch(level_value)
                 with self._cond:
+                    job = self._scheduler.job
                     if job.failure is not None:
                         raise BackendError(
                             "remote worker failed on chunk "
@@ -1095,60 +1323,53 @@ class SocketBackend(ExecutionBackend):
                     self._cond.wait(timeout=0.25)
         finally:
             with self._cond:
-                self._job = None
+                self._scheduler.finish_job()
 
-    def _target_cells(self, conn: _WorkerConn, job: _Job) -> int:
-        """How many cells this worker's next chunk should carry: its
-        EWMA throughput × the wall-clock budget, clamped to the
-        configured bounds (the job's conservative opening size until a
-        first RESULT seeds the EWMA)."""
-        rate = conn.ewma_rate
-        if rate is None:
-            return job.initial_chunk_cells
-        return max(
-            self.min_chunk_cells,
-            min(self.max_chunk_cells, int(rate * self.target_chunk_seconds)),
-        )
-
-    def _dispatch(self, job: _Job, level_value: str) -> None:
+    def _dispatch(self, level_value: str) -> None:
         """Hand pending chunks to idle workers (sends happen outside
         the state lock so a slow socket never stalls result intake)."""
         while True:
-            assignments: List[Tuple[_WorkerConn, int]] = []
+            batch: List[Tuple[_WorkerConn, Assignment]] = []
+            job_id: Optional[int] = None
             with self._cond:
+                job = self._scheduler.job
+                if job is None:
+                    return
+                job_id = job.job_id
                 try:
                     for conn in list(self._workers.values()):
-                        if not conn.alive or conn.inflight is not None:
+                        if not conn.alive or conn.inflight is not None or conn.draining:
                             continue
-                        chunk_id = job.checkout(self._target_cells(conn, job))
-                        if chunk_id is None:
+                        assignment = self._scheduler.assign(conn.wid, time.monotonic())
+                        if assignment is None:
                             break
-                        conn.inflight = (job.job_id, chunk_id)
-                        conn.dispatched_cells = chunk_cell_count(job.chunks[chunk_id])
+                        conn.inflight = (job_id, assignment.chunk_id)
                         self.stats.chunks_dispatched += 1
-                        assignments.append((conn, chunk_id))
+                        if assignment.speculative:
+                            self.stats.chunks_speculated += 1
+                        batch.append((conn, assignment))
                 except RuntimeError:
                     # Poison-chunk abort mid-batch: nothing in this
                     # batch was sent yet, so un-assign it all — a stuck
                     # inflight would exclude those workers from every
                     # later job on a reused backend.
-                    self._unassign_locked(assignments)
+                    self._unassign_locked(batch)
                     raise
-            if not assignments:
+            if not batch:
                 return
-            for sent, (conn, chunk_id) in enumerate(assignments):
+            for sent, (conn, assignment) in enumerate(batch):
                 # The round trip is timed per worker from just before
                 # its own send — pickling and transfer included, so a
                 # slow link lowers the observed rate like a slow CPU —
                 # not from batch-assignment time, which would charge
                 # every later worker for earlier workers' serial sends.
                 with self._cond:
-                    conn.dispatched_at = time.monotonic()
+                    self._scheduler.mark_send(conn.wid, time.monotonic())
                 try:
                     send_frame(
                         conn.wsock,
                         MSG_CHUNK,
-                        (job.job_id, chunk_id, job.chunks[chunk_id], level_value),
+                        (job_id, assignment.chunk_id, assignment.chunk, level_value),
                         lock=conn.send_lock,
                         max_frame_bytes=self.max_frame_bytes,
                         size_aware_timeout=True,
@@ -1161,26 +1382,38 @@ class SocketBackend(ExecutionBackend):
                     # the batch's still-unsent tail are un-assigned so
                     # their workers stay usable after the abort.
                     with self._cond:
-                        self._unassign_locked(assignments[sent:])
-                    raise BackendError(f"chunk {chunk_id} cannot be dispatched: {exc}") from exc
+                        self._unassign_locked(batch[sent:])
+                    raise BackendError(
+                        f"chunk {assignment.chunk_id} cannot be dispatched: {exc}"
+                    ) from exc
                 except OSError as exc:
                     self._drop_worker(conn, exc)
                     continue
+                if assignment.speculative:
+                    self.emit(
+                        ChunkSpeculated(
+                            chunk_id=assignment.chunk_id,
+                            cells=assignment.cells,
+                            where=f"worker-{conn.wid}",
+                        )
+                    )
                 self.emit(
                     ChunkDispatched(
-                        chunk_id=chunk_id,
-                        cells=chunk_cell_count(job.chunks[chunk_id]),
+                        chunk_id=assignment.chunk_id,
+                        cells=assignment.cells,
                         where=f"worker-{conn.wid}",
                     )
                 )
 
-    def _unassign_locked(self, assignments: Sequence[Tuple[_WorkerConn, int]]) -> None:
+    def _unassign_locked(self, batch: Sequence[Tuple[_WorkerConn, Assignment]]) -> None:
         """Roll back assignments whose CHUNK frame was never sent
         (caller holds the lock; no RESULT/ERROR will ever clear them)."""
-        for conn, _chunk_id in assignments:
+        for conn, assignment in batch:
             conn.inflight = None
-            conn.dispatched_at = None
+            self._scheduler.unassign(conn.wid, assignment)
             self.stats.chunks_dispatched -= 1
+            if assignment.speculative:
+                self.stats.chunks_speculated -= 1
 
     def close(self) -> None:
         """Shut down: stop accepting, tell workers to exit, drop state."""

@@ -15,7 +15,16 @@ done". Every component of the runtime now reports progress as typed
 * execution backends emit :class:`ChunkDispatched` /
   :class:`ChunkCompleted`, and the distributed
   :class:`~repro.runtime.distributed.SocketBackend` additionally emits
-  :class:`WorkerJoined` / :class:`WorkerLost`.
+  :class:`WorkerJoined` / :class:`WorkerLost` / :class:`WorkerDrained`
+  for fleet membership and :class:`ChunkSpeculated` when a straggler
+  chunk gets a duplicate copy.
+
+Failure-path ordering guarantees (asserted by the event-ordering
+tests): a :class:`WorkerLost` event carries the number of chunks its
+loss requeued and is emitted *before* the requeued twin's
+:class:`ChunkDispatched`; duplicate RESULT frames (a requeued or
+speculative twin finishing second, or a presumed-lost worker's late
+echo) never emit a second :class:`ChunkCompleted` for the same chunk.
 
 Sinks run on whatever thread produced the event (including backend
 reader threads), so they must be quick and thread-safe; exceptions a
@@ -34,11 +43,13 @@ __all__ = [
     "ChunkCacheStats",
     "ChunkCompleted",
     "ChunkDispatched",
+    "ChunkSpeculated",
     "EventSink",
     "ExperimentCompleted",
     "RunEvent",
     "SuiteCompleted",
     "SuitePlanned",
+    "WorkerDrained",
     "WorkerJoined",
     "WorkerLost",
     "emit",
@@ -138,14 +149,43 @@ class WorkerJoined(RunEvent):
 
 
 @dataclass(frozen=True)
+class ChunkSpeculated(RunEvent):
+    """A duplicate copy of an overdue in-flight chunk was dispatched
+    to an idle worker (emitted just before the copy's
+    :class:`ChunkDispatched`); whichever copy finishes first is
+    recorded, the other is ignored."""
+
+    kind = "chunk_speculated"
+
+    chunk_id: int
+    cells: int
+    #: The slot the *duplicate* went to.
+    where: str
+
+
+@dataclass(frozen=True)
 class WorkerLost(RunEvent):
     """A remote worker was dropped (socket death, heartbeat timeout,
-    or protocol violation); its in-flight chunk was requeued."""
+    or protocol violation). ``requeued_chunks`` counts the in-flight
+    chunks its loss sent back to the queue — 0 when it held none, or
+    when a speculative twin still holds a live copy; always emitted
+    before the requeued twin's :class:`ChunkDispatched`."""
 
     kind = "worker_lost"
 
     worker_id: int
     requeued_chunks: int
+
+
+@dataclass(frozen=True)
+class WorkerDrained(RunEvent):
+    """A remote worker departed gracefully via the DRAIN handshake
+    (nothing was lost and nothing requeued — its in-flight chunk, if
+    any, was delivered before it left)."""
+
+    kind = "worker_drained"
+
+    worker_id: int
 
 
 @dataclass(frozen=True)

@@ -30,7 +30,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.interop.runner import Scenario
 from repro.runtime.artifacts import ArtifactLevel, RunArtifacts, execute_cell
-from repro.runtime.backend import ExecutionBackend, LocalBackend, mp_context
+from repro.runtime.backend import ExecutionBackend, LocalBackend, ResultObserver, mp_context
 from repro.runtime.cache import ResultCache
 from repro.runtime.events import CellCompleted, EventSink, emit
 from repro.runtime.worker import IndexedCell, call_task
@@ -99,6 +99,13 @@ class MatrixRunner:
         #: caller-supplied ``backend`` keeps whatever sink its owner
         #: attached (see :meth:`ExecutionBackend.set_event_sink`).
         self.on_event = on_event
+        #: Optional durable result observer (suite checkpoint
+        #: journaling): called with batches of freshly *computed*
+        #: ``(index, artifacts)`` pairs as they complete — cache hits
+        #: never pass through it. Attached to the backend for the
+        #: duration of each :meth:`run_cells` call; see
+        #: :meth:`~repro.runtime.backend.ExecutionBackend.set_result_observer`.
+        self.result_observer: Optional[ResultObserver] = None
         self._owned_backend: Optional[LocalBackend] = None
         if self.artifact_level is ArtifactLevel.FULL and (workers > 1 or backend is not None):
             raise ValueError(
@@ -157,13 +164,27 @@ class MatrixRunner:
                     artifacts.scenario = cells[i].scenario
             else:
                 computed = []
+                observer = self.result_observer
+                journal: List[Tuple[int, RunArtifacts]] = []
                 for done, (i, scenario, seed) in enumerate(pending, start=1):
-                    computed.append((i, execute_cell(scenario, seed, level)))
+                    artifacts = execute_cell(scenario, seed, level)
+                    computed.append((i, artifacts))
                     if self.on_event is not None:
                         emit(
                             self.on_event,
                             CellCompleted(completed=done, total=len(pending)),
                         )
+                    if observer is not None:
+                        # Journal in small batches: one disk write per
+                        # cell would dominate sub-millisecond cells,
+                        # while a single end-of-run write would lose
+                        # everything to a crash.
+                        journal.append((i, artifacts))
+                        if len(journal) >= 32:
+                            observer(journal)
+                            journal = []
+                if observer is not None and journal:
+                    observer(journal)
             for i, artifacts in computed:
                 results[i] = artifacts
                 if cache is not None:
@@ -177,7 +198,17 @@ class MatrixRunner:
         # chunks adaptively. Either way results come back index-tagged,
         # so reassembly is identical.
         backend = self._get_backend()
-        return backend.run_cells(pending, self.artifact_level.value, chunk_size=self.chunk_size)
+        if self.result_observer is None:
+            return backend.run_cells(pending, self.artifact_level.value, chunk_size=self.chunk_size)
+        # Attach the durable observer for this call only, preserving
+        # whatever the backend's owner had attached (a caller-owned
+        # backend outlives this runner).
+        previous = backend._result_observer
+        backend.set_result_observer(self.result_observer)
+        try:
+            return backend.run_cells(pending, self.artifact_level.value, chunk_size=self.chunk_size)
+        finally:
+            backend.set_result_observer(previous)
 
     # -- convenience sweeps ---------------------------------------------
 

@@ -1,0 +1,655 @@
+"""Chunk-scheduling policy for the distributed coordinator.
+
+:class:`~repro.runtime.distributed.SocketBackend` historically mixed
+two concerns: the *transport* (framing, authentication, heartbeats,
+per-worker sockets) and the *policy* (which worker gets which cells
+next, how large a chunk should be, when a lost worker's chunk is
+requeued, when a run must give up). This module owns the policy side
+behind the :class:`Scheduler` interface:
+
+* the **chunk pool** — fixed pre-sized chunks
+  (:meth:`SocketBackend.run_chunks`) or an un-chunked cell pool carved
+  adaptively per worker (:meth:`SocketBackend.run_cells`);
+* **throughput-aware sizing** — one EWMA of observed cells/sec per
+  worker (:data:`EWMA_ALPHA`), each next chunk sized to
+  ``target_chunk_seconds`` of that worker's rate, clamped to
+  ``[min_chunk_cells, max_chunk_cells]``;
+* **requeue and poison bounds** — a lost worker's chunk goes back to
+  the front of the queue; a chunk dispatched ``max_chunk_retries``
+  times without completing aborts the run with a typed
+  :class:`~repro.errors.BackendError` carrying the poison cells;
+* **speculative straggler re-execution** — when the pool is empty but
+  chunks are still in flight, an idle worker may receive a duplicate
+  copy of the most overdue chunk (first completion wins, the twin's
+  late result is ignored). Duplication is budgeted
+  (:data:`DEFAULT_SPECULATION_BUDGET_FRACTION` of completed chunks, at
+  least one) and gated on a chunk being genuinely overdue — older than
+  ``speculation_factor`` × its expected duration and older than
+  ``speculation_min_seconds`` — so a healthy fleet never duplicates
+  work. Speculative dispatches do not count toward the poison bound:
+  a merely *slow* chunk must never abort a healthy run;
+* **elastic membership bookkeeping** — workers join and leave
+  mid-job; a draining worker finishes its in-flight chunk but is never
+  assigned another, and :meth:`scale_hint` summarizes the fleet for
+  callers deciding whether to add or retire workers.
+
+The scheduler is deliberately **not** thread-safe: every call must be
+made under the owning backend's state lock. It performs no I/O and
+knows nothing about sockets, which is what makes its decisions unit
+testable without a fleet.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import BackendError
+from repro.runtime.artifacts import RunArtifacts
+from repro.runtime.worker import (
+    GroupedChunk,
+    IndexedCell,
+    chunk_cell_count,
+    group_cells,
+)
+
+__all__ = [
+    "Assignment",
+    "ChunkScheduler",
+    "ScaleHint",
+    "Scheduler",
+    "WorkerState",
+    "DEFAULT_TARGET_CHUNK_SECONDS",
+    "DEFAULT_MIN_CHUNK_CELLS",
+    "DEFAULT_MAX_CHUNK_CELLS",
+    "DEFAULT_SPECULATION_FACTOR",
+    "DEFAULT_SPECULATION_MIN_SECONDS",
+    "DEFAULT_SPECULATION_BUDGET_FRACTION",
+    "EWMA_ALPHA",
+]
+
+#: Adaptive chunk sizing: per-worker chunks target this much wall
+#: clock, clamped to the cell bounds below. ~1 s balances dispatch
+#: overhead against load-balance granularity for 10–200 ms cells.
+DEFAULT_TARGET_CHUNK_SECONDS = 1.0
+DEFAULT_MIN_CHUNK_CELLS = 1
+DEFAULT_MAX_CHUNK_CELLS = 1024
+#: EWMA smoothing for the per-worker cells/sec estimate: responsive
+#: enough to track a throttled link, damped enough not to chase one
+#: noisy chunk.
+EWMA_ALPHA = 0.5
+#: A chunk becomes a speculation candidate only once it is this many
+#: times older than its expected duration ...
+DEFAULT_SPECULATION_FACTOR = 3.0
+#: ... and at least this old in absolute terms: sub-second chunks are
+#: rescheduled by the normal requeue machinery faster than duplicating
+#: them could ever pay off.
+DEFAULT_SPECULATION_MIN_SECONDS = 5.0
+#: Speculative dispatches allowed per completed chunk (minimum one):
+#: bounds duplicated work on a fleet where everything looks slow.
+DEFAULT_SPECULATION_BUDGET_FRACTION = 0.25
+
+
+class WorkerState:
+    """Scheduler-side view of one execution slot.
+
+    Lives for the worker's whole connection (across jobs), so the
+    throughput EWMA survives job boundaries; the per-job fields
+    (:attr:`chunk_id`) are cleared by :meth:`ChunkScheduler.finish_job`.
+    """
+
+    __slots__ = (
+        "wid",
+        "ewma_rate",
+        "dispatched_at",
+        "dispatched_cells",
+        "chunk_id",
+        "draining",
+    )
+
+    def __init__(self, wid: int):
+        self.wid = wid
+        #: EWMA of observed cells/sec (None until the first RESULT).
+        self.ewma_rate: Optional[float] = None
+        self.dispatched_at: Optional[float] = None
+        self.dispatched_cells = 0
+        #: Chunk of the *current* job this worker is computing, if any.
+        self.chunk_id: Optional[int] = None
+        #: A draining worker finishes its chunk but gets no new work.
+        self.draining = False
+
+    def observe_result(self, now: float, computed_cells: int) -> None:
+        """Fold the finished chunk's round trip into the throughput
+        EWMA (caller holds the backend lock).
+
+        ``computed_cells`` excludes cells the worker served from its
+        result cache: an all-hit chunk finishing in a millisecond says
+        nothing about how fast the worker *simulates*, and folding it
+        in would hand a slow worker an enormous rate — and then an
+        oversized chunk of cold cells the whole fleet has to wait out.
+        A chunk with no computed cells therefore leaves the EWMA
+        untouched.
+        """
+        if self.dispatched_at is None:
+            return
+        elapsed = max(now - self.dispatched_at, 1e-6)
+        self.dispatched_at = None
+        if computed_cells <= 0:
+            return
+        rate = computed_cells / elapsed
+        if self.ewma_rate is None:
+            self.ewma_rate = rate
+        else:
+            self.ewma_rate = EWMA_ALPHA * rate + (1 - EWMA_ALPHA) * self.ewma_rate
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One scheduling decision: which chunk a worker should run next."""
+
+    chunk_id: int
+    chunk: GroupedChunk
+    cells: int
+    #: True when this is a duplicate copy of an in-flight chunk
+    #: dispatched to outrun a straggler.
+    speculative: bool = False
+
+
+@dataclass(frozen=True)
+class ScaleHint:
+    """Advisory fleet-sizing summary (see :meth:`Scheduler.scale_hint`).
+
+    ``recommended_workers`` estimates how many workers could be kept
+    busy by the outstanding work at the fleet's observed median
+    throughput — more connected workers than that will partially idle,
+    fewer will stretch the run.
+    """
+
+    connected: int
+    busy: int
+    draining: int
+    outstanding_cells: int
+    recommended_workers: int
+
+
+class _JobState:
+    """One job's chunk pool, attempts, and recorded results.
+
+    Two shapes share the bookkeeping:
+
+    * **fixed** (``chunks=...``) — the caller pre-chunked the work;
+      every chunk id exists up front.
+    * **adaptive** (``pool=...``) — the job holds the un-chunked cell
+      pool and checkout carves each worker's next chunk to the
+      requested size, registering fresh chunk ids as it goes.
+
+    Requeued chunks keep their concrete :data:`GroupedChunk` either
+    way, so the poison-chunk retry bound counts dispatches of the same
+    cells even in adaptive mode.
+    """
+
+    def __init__(
+        self,
+        job_id: int,
+        max_chunk_retries: int,
+        chunks: Sequence[GroupedChunk] = (),
+        pool: Sequence[IndexedCell] = (),
+        initial_chunk_cells: int = 1,
+    ):
+        self.job_id = job_id
+        self.max_chunk_retries = max_chunk_retries
+        self.chunks: List[GroupedChunk] = list(chunks)
+        self.pending: deque = deque(range(len(self.chunks)))
+        self.attempts: List[int] = [0] * len(self.chunks)
+        self._pool: Sequence[IndexedCell] = pool
+        self._pool_pos = 0
+        self.initial_chunk_cells = initial_chunk_cells
+        self.results: Dict[int, List[Tuple[int, RunArtifacts]]] = {}
+        self.failure: Optional[Dict[str, Any]] = None
+        #: Speculative dispatches made so far (budget accounting).
+        self.spec_dispatches = 0
+
+    def checkout(self, target_cells: int) -> Optional[int]:
+        """Next chunk to dispatch — a requeued chunk first, else one
+        carved from the cell pool at ``target_cells`` — enforcing the
+        retry bound."""
+        if self.pending:
+            chunk_id = self.pending.popleft()
+        elif self._pool_pos < len(self._pool):
+            take = max(1, target_cells)
+            cells = self._pool[self._pool_pos : self._pool_pos + take]
+            self._pool_pos += len(cells)
+            chunk_id = len(self.chunks)
+            self.chunks.append(group_cells(cells))
+            self.attempts.append(0)
+        else:
+            return None
+        self.attempts[chunk_id] += 1
+        if self.attempts[chunk_id] > self.max_chunk_retries:
+            exc = BackendError(
+                f"chunk {chunk_id} was dispatched {self.max_chunk_retries} "
+                "times without completing; giving up"
+            )
+            # The poison cells themselves, so callers that know the
+            # suite plan (SuiteRunner) can name the experiments they
+            # belong to instead of an opaque chunk id.
+            exc.poison_cells = tuple(
+                (scenario, seed)
+                for scenario, pairs in self.chunks[chunk_id]
+                for _index, seed in pairs
+            )
+            raise exc
+        return chunk_id
+
+    def record(self, chunk_id: int, results: List[Tuple[int, RunArtifacts]]) -> bool:
+        """First completion wins; a duplicate from a requeued or
+        speculative twin is bit-identical and safely ignored."""
+        if chunk_id in self.results:
+            return False
+        self.results[chunk_id] = results
+        return True
+
+    def requeue(self, chunk_id: int) -> None:
+        if chunk_id not in self.results:
+            self.pending.appendleft(chunk_id)
+
+    def outstanding_cells(self) -> int:
+        """Cells not yet recorded: unanswered carved chunks plus the
+        un-carved remainder of an adaptive job's pool."""
+        carved = sum(
+            chunk_cell_count(self.chunks[chunk_id])
+            for chunk_id in range(len(self.chunks))
+            if chunk_id not in self.results
+        )
+        return carved + len(self._pool) - self._pool_pos
+
+    def done(self) -> bool:
+        return self._pool_pos >= len(self._pool) and len(self.results) == len(self.chunks)
+
+    def results_in_order(self) -> List[Tuple[int, RunArtifacts]]:
+        out: List[Tuple[int, RunArtifacts]] = []
+        for chunk_id in range(len(self.chunks)):
+            out.extend(self.results[chunk_id])
+        return out
+
+
+class Scheduler(ABC):
+    """Scheduling policy contract the transport layer programs against.
+
+    All calls must be serialized by the caller (the backend holds its
+    state lock); implementations do no I/O and keep no threads.
+    """
+
+    # -- membership -----------------------------------------------------
+
+    @abstractmethod
+    def add_worker(self, wid: int) -> WorkerState:
+        """Register an execution slot; returns its persistent state."""
+
+    @abstractmethod
+    def remove_worker(self, wid: int) -> Optional[int]:
+        """Deregister a slot, returning the current-job chunk id it
+        held (not yet requeued — see :meth:`requeue`), if any."""
+
+    @abstractmethod
+    def drain_worker(self, wid: int) -> None:
+        """Mark a slot as departing: it finishes its in-flight chunk
+        but is never assigned another."""
+
+    @abstractmethod
+    def worker_state(self, wid: int) -> Optional[WorkerState]:
+        """The slot's persistent state, or ``None`` if unknown."""
+
+    # -- job lifecycle --------------------------------------------------
+
+    @abstractmethod
+    def start_job(
+        self,
+        job_id: int,
+        chunks: Sequence[GroupedChunk] = (),
+        pool: Sequence[IndexedCell] = (),
+        initial_chunk_cells: int = 1,
+    ) -> None:
+        """Begin a job (exactly one may be active at a time)."""
+
+    @abstractmethod
+    def finish_job(self) -> None:
+        """End the active job, clearing per-job worker assignments."""
+
+    @abstractmethod
+    def accepts(self, job_id: Any) -> bool:
+        """Whether frames echoing ``job_id`` belong to the active job
+        (stale frames from aborted jobs must be discarded)."""
+
+    # -- scheduling decisions -------------------------------------------
+
+    @abstractmethod
+    def assign(self, wid: int, now: float) -> Optional[Assignment]:
+        """Pick the next chunk for an idle worker: pending work first,
+        else a speculative duplicate of an overdue straggler chunk.
+        Raises :class:`~repro.errors.BackendError` on the poison-chunk
+        retry bound."""
+
+    @abstractmethod
+    def unassign(self, wid: int, assignment: Assignment) -> None:
+        """Roll back an assignment whose dispatch never happened."""
+
+    @abstractmethod
+    def mark_send(self, wid: int, now: float) -> None:
+        """Stamp the dispatch time (EWMA round trips start at the
+        worker's own send, not at batch-assignment time)."""
+
+    @abstractmethod
+    def record(
+        self, wid: int, chunk_id: int, results: List[Tuple[int, RunArtifacts]]
+    ) -> bool:
+        """Accept a completed chunk; returns ``True`` when this is the
+        first completion (duplicates are ignored)."""
+
+    @abstractmethod
+    def release(self, wid: int) -> None:
+        """Clear the slot's current assignment without recording
+        (the worker reported an ERROR for it)."""
+
+    @abstractmethod
+    def can_requeue(self, chunk_id: int) -> bool:
+        """Read-only twin of :meth:`requeue`: would a requeue happen
+        now? Lets the transport announce a loss (``WorkerLost`` with
+        its requeued-chunk count) *before* the requeue makes the chunk
+        dispatchable, guaranteeing the loss event orders ahead of the
+        requeued twin's ``ChunkDispatched``."""
+
+    @abstractmethod
+    def requeue(self, chunk_id: int) -> bool:
+        """Return a lost chunk to the front of the queue unless it was
+        already recorded or another live worker still holds a copy."""
+
+    @abstractmethod
+    def fail(self, payload: Dict[str, Any]) -> None:
+        """Abort the active job with a remote failure description."""
+
+    # -- introspection --------------------------------------------------
+
+    @abstractmethod
+    def scale_hint(self) -> ScaleHint:
+        """Advisory fleet-sizing summary for elastic deployments."""
+
+
+class ChunkScheduler(Scheduler):
+    """The production policy: EWMA-sized chunks, front-requeue with a
+    poison bound, budgeted speculation, drain-aware assignment.
+
+    One instance lives for the whole backend so per-worker throughput
+    estimates persist across jobs.
+    """
+
+    def __init__(
+        self,
+        max_chunk_retries: int = 3,
+        min_chunk_cells: int = DEFAULT_MIN_CHUNK_CELLS,
+        max_chunk_cells: int = DEFAULT_MAX_CHUNK_CELLS,
+        target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS,
+        speculation_factor: float = DEFAULT_SPECULATION_FACTOR,
+        speculation_min_seconds: float = DEFAULT_SPECULATION_MIN_SECONDS,
+        speculation_budget_fraction: float = DEFAULT_SPECULATION_BUDGET_FRACTION,
+    ):
+        if max_chunk_retries < 1:
+            raise ValueError("max_chunk_retries must be >= 1")
+        if min_chunk_cells < 1:
+            raise ValueError("min_chunk_cells must be >= 1")
+        if max_chunk_cells < min_chunk_cells:
+            raise ValueError("max_chunk_cells must be >= min_chunk_cells")
+        if target_chunk_seconds <= 0:
+            raise ValueError("target_chunk_seconds must be positive")
+        if speculation_factor < 1.0:
+            raise ValueError("speculation_factor must be >= 1.0")
+        if speculation_budget_fraction < 0:
+            raise ValueError("speculation_budget_fraction must be >= 0")
+        self.max_chunk_retries = max_chunk_retries
+        self.min_chunk_cells = min_chunk_cells
+        self.max_chunk_cells = max_chunk_cells
+        self.target_chunk_seconds = target_chunk_seconds
+        self.speculation_factor = speculation_factor
+        self.speculation_min_seconds = speculation_min_seconds
+        self.speculation_budget_fraction = speculation_budget_fraction
+        self._workers: Dict[int, WorkerState] = {}
+        self._job: Optional[_JobState] = None
+
+    # -- membership -----------------------------------------------------
+
+    def add_worker(self, wid: int) -> WorkerState:
+        state = WorkerState(wid)
+        self._workers[wid] = state
+        return state
+
+    def remove_worker(self, wid: int) -> Optional[int]:
+        state = self._workers.pop(wid, None)
+        if state is None:
+            return None
+        held = state.chunk_id
+        state.chunk_id = None
+        return held
+
+    def drain_worker(self, wid: int) -> None:
+        state = self._workers.get(wid)
+        if state is not None:
+            state.draining = True
+
+    def worker_state(self, wid: int) -> Optional[WorkerState]:
+        return self._workers.get(wid)
+
+    # -- job lifecycle --------------------------------------------------
+
+    def start_job(
+        self,
+        job_id: int,
+        chunks: Sequence[GroupedChunk] = (),
+        pool: Sequence[IndexedCell] = (),
+        initial_chunk_cells: int = 1,
+    ) -> None:
+        if self._job is not None:
+            raise BackendError("scheduler is already running a job")
+        self._job = _JobState(
+            job_id,
+            self.max_chunk_retries,
+            chunks=chunks,
+            pool=pool,
+            initial_chunk_cells=initial_chunk_cells,
+        )
+
+    def finish_job(self) -> None:
+        self._job = None
+        # A worker still computing an aborted job's chunk stays busy at
+        # the transport level (its socket-side inflight marker), but
+        # the policy-level assignment belongs to the dead job.
+        for state in self._workers.values():
+            state.chunk_id = None
+
+    def accepts(self, job_id: Any) -> bool:
+        return self._job is not None and self._job.job_id == job_id
+
+    @property
+    def job(self) -> Optional[_JobState]:
+        """The active job's bookkeeping (transport reads results and
+        failure state through this)."""
+        return self._job
+
+    def chunk_count(self) -> int:
+        return len(self._job.chunks) if self._job is not None else 0
+
+    def valid_chunk(self, chunk_id: Any) -> bool:
+        return (
+            self._job is not None
+            and isinstance(chunk_id, int)
+            and 0 <= chunk_id < len(self._job.chunks)
+        )
+
+    # -- scheduling decisions -------------------------------------------
+
+    def _target_cells(self, state: WorkerState, job: _JobState) -> int:
+        """How many cells this worker's next chunk should carry: its
+        EWMA throughput × the wall-clock budget, clamped to the
+        configured bounds (the job's conservative opening size until a
+        first RESULT seeds the EWMA)."""
+        rate = state.ewma_rate
+        if rate is None:
+            return job.initial_chunk_cells
+        return max(
+            self.min_chunk_cells,
+            min(self.max_chunk_cells, int(rate * self.target_chunk_seconds)),
+        )
+
+    def _holders(self, chunk_id: int) -> int:
+        return sum(1 for state in self._workers.values() if state.chunk_id == chunk_id)
+
+    def _speculation_candidate(self, now: float) -> Optional[int]:
+        """The most overdue single-holder in-flight chunk, if any chunk
+        is overdue at all and the duplication budget allows another
+        copy."""
+        job = self._job
+        if job is None or self.speculation_budget_fraction <= 0:
+            return None
+        budget = max(1, math.ceil(self.speculation_budget_fraction * len(job.results)))
+        if job.spec_dispatches >= budget:
+            return None
+        rates = [s.ewma_rate for s in self._workers.values() if s.ewma_rate]
+        if not rates:
+            # No throughput signal yet — "overdue" is undefined.
+            return None
+        fleet_rate = statistics.median(rates)
+        best: Optional[Tuple[float, int]] = None
+        for state in self._workers.values():
+            chunk_id = state.chunk_id
+            if chunk_id is None or chunk_id in job.results:
+                continue
+            if state.dispatched_at is None:
+                continue
+            if self._holders(chunk_id) >= 2:
+                continue
+            rate = state.ewma_rate or fleet_rate
+            expected = state.dispatched_cells / max(rate, 1e-9)
+            threshold = max(self.speculation_min_seconds, self.speculation_factor * expected)
+            elapsed = now - state.dispatched_at
+            if elapsed <= threshold:
+                continue
+            overdue = elapsed / threshold
+            if best is None or overdue > best[0]:
+                best = (overdue, chunk_id)
+        return best[1] if best is not None else None
+
+    def assign(self, wid: int, now: float) -> Optional[Assignment]:
+        job = self._job
+        state = self._workers.get(wid)
+        if job is None or state is None or state.draining or state.chunk_id is not None:
+            return None
+        chunk_id = job.checkout(self._target_cells(state, job))
+        speculative = False
+        if chunk_id is None:
+            chunk_id = self._speculation_candidate(now)
+            if chunk_id is None:
+                return None
+            speculative = True
+            job.spec_dispatches += 1
+        state.chunk_id = chunk_id
+        state.dispatched_cells = chunk_cell_count(job.chunks[chunk_id])
+        return Assignment(
+            chunk_id=chunk_id,
+            chunk=job.chunks[chunk_id],
+            cells=state.dispatched_cells,
+            speculative=speculative,
+        )
+
+    def unassign(self, wid: int, assignment: Assignment) -> None:
+        state = self._workers.get(wid)
+        if state is not None and state.chunk_id == assignment.chunk_id:
+            state.chunk_id = None
+            state.dispatched_at = None
+        job = self._job
+        if job is None:
+            return
+        if assignment.speculative:
+            # The original holder still computes it; just refund budget.
+            job.spec_dispatches -= 1
+            return
+        # A dispatch that never left must not burn a poison-bound
+        # attempt, and the chunk goes back to the front of the queue.
+        job.attempts[assignment.chunk_id] -= 1
+        if assignment.chunk_id not in job.results:
+            job.pending.appendleft(assignment.chunk_id)
+
+    def mark_send(self, wid: int, now: float) -> None:
+        state = self._workers.get(wid)
+        if state is not None:
+            state.dispatched_at = now
+
+    def record(
+        self, wid: int, chunk_id: int, results: List[Tuple[int, RunArtifacts]]
+    ) -> bool:
+        state = self._workers.get(wid)
+        if state is not None and state.chunk_id == chunk_id:
+            state.chunk_id = None
+        if self._job is None:
+            return False
+        return self._job.record(chunk_id, results)
+
+    def release(self, wid: int) -> None:
+        state = self._workers.get(wid)
+        if state is not None:
+            state.chunk_id = None
+
+    def can_requeue(self, chunk_id: int) -> bool:
+        job = self._job
+        return (
+            job is not None
+            and chunk_id not in job.results
+            and self._holders(chunk_id) == 0
+        )
+
+    def requeue(self, chunk_id: int) -> bool:
+        job = self._job
+        if job is None or chunk_id in job.results:
+            return False
+        if self._holders(chunk_id) > 0:
+            # A speculative (or racing) twin still computes this chunk;
+            # its completion will record it, so a requeue would only
+            # duplicate work a third time.
+            return False
+        job.requeue(chunk_id)
+        return True
+
+    def fail(self, payload: Dict[str, Any]) -> None:
+        if self._job is not None:
+            self._job.failure = payload
+
+    # -- introspection --------------------------------------------------
+
+    def outstanding_cells(self) -> int:
+        return self._job.outstanding_cells() if self._job is not None else 0
+
+    def scale_hint(self) -> ScaleHint:
+        connected = len(self._workers)
+        busy = sum(1 for s in self._workers.values() if s.chunk_id is not None)
+        draining = sum(1 for s in self._workers.values() if s.draining)
+        outstanding = self.outstanding_cells()
+        if outstanding <= 0:
+            recommended = 0
+        else:
+            rates = [s.ewma_rate for s in self._workers.values() if s.ewma_rate]
+            if rates:
+                per_worker = max(statistics.median(rates) * self.target_chunk_seconds, 1.0)
+            elif self._job is not None:
+                per_worker = max(float(self._job.initial_chunk_cells), 1.0)
+            else:
+                per_worker = 1.0
+            recommended = min(outstanding, max(1, math.ceil(outstanding / per_worker)))
+        return ScaleHint(
+            connected=connected,
+            busy=busy,
+            draining=draining,
+            outstanding_cells=outstanding,
+            recommended_workers=recommended,
+        )

@@ -29,10 +29,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.errors import InvalidOverride
+from repro.errors import BackendError, CheckpointError, InvalidOverride
 from repro.runtime.artifacts import ArtifactLevel
 from repro.runtime.backend import ExecutionBackend
 from repro.runtime.cache import ResultCache, scenario_key
+from repro.runtime.checkpoint import SuiteCheckpoint, plan_fingerprint
 from repro.runtime.events import (
     EventSink,
     ExperimentCompleted,
@@ -231,6 +232,18 @@ class SuiteRunner:
         distributed backend, :class:`ExperimentCompleted`,
         :class:`SuiteCompleted`). On a caller-owned ``backend`` the
         sink is attached for the duration of each :meth:`run`.
+    ``checkpoint_dir``
+        Optional crash-safe checkpoint directory (see
+        :mod:`repro.runtime.checkpoint`): completed cells are
+        journaled there as they finish, and a run that finds a
+        checkpoint for the *same* planned suite replays the journaled
+        cells and executes only the remainder — the resumed bundle is
+        byte-identical to an uninterrupted run. A checkpoint for a
+        different suite raises
+        :class:`~repro.errors.CheckpointError`. ``full``-level plans
+        cannot checkpoint (live endpoints are unpicklable), and cells
+        served from an in-memory result cache are simply recomputed on
+        resume.
     """
 
     def __init__(
@@ -242,6 +255,7 @@ class SuiteRunner:
         spill_dir: Optional[str] = None,
         backend: Optional[ExecutionBackend] = None,
         on_event: Optional[EventSink] = None,
+        checkpoint_dir: Optional[str] = None,
     ):
         if spill not in ("auto", "always", "never"):
             raise ValueError("spill must be 'auto', 'always', or 'never'")
@@ -255,6 +269,12 @@ class SuiteRunner:
                 "pass backend only when the suite creates its own runner; "
                 "a shared runner already owns its execution backend"
             )
+        if runner is not None and checkpoint_dir is not None:
+            raise ValueError(
+                "pass checkpoint_dir only when the suite creates its own "
+                "runner; checkpoint journaling owns the runner's result "
+                "observer"
+            )
         self.runner = runner
         self.workers = workers
         self.cache = cache
@@ -262,6 +282,7 @@ class SuiteRunner:
         self.spill_dir = spill_dir
         self.backend = backend
         self.on_event = on_event
+        self.checkpoint_dir = checkpoint_dir
 
     # -- planning -------------------------------------------------------
 
@@ -346,6 +367,7 @@ class SuiteRunner:
                 artifact_level=plan.artifact_level.value,
             ),
         )
+        checkpoint, completed = self._resolve_checkpoint(plan)
         store, owned_store = self._resolve_store(plan)
         runner, owned_runner = self._resolve_runner(plan.artifact_level, attach_cache=store is None)
         cache = runner.cache
@@ -366,13 +388,13 @@ class SuiteRunner:
             self.backend.set_event_sink(self.on_event)
         try:
             entries: Sequence[Any]
-            if plan.unique_cells:
-                if store is not None:
-                    entries = run_cells_streamed(runner, plan.unique_cells, store)
-                else:
-                    entries = runner.run_cells(plan.unique_cells)
-            else:
-                entries = []
+            try:
+                entries = self._execute_cells(runner, plan, store, checkpoint, completed)
+            except BackendError as exc:
+                named = self._name_poison(exc, plan)
+                if named is not None:
+                    raise named from exc
+                raise
             results: Dict[str, Any] = {}
             spilled = sum(1 for e in entries if isinstance(e, ArtifactHandle))
             for planned in plan.experiments:
@@ -413,6 +435,113 @@ class SuiteRunner:
                 runner.close()
             if self.on_event is not None and self.backend is not None:
                 self.backend.set_event_sink(prev_sink)
+
+    def _resolve_checkpoint(
+        self, plan: SuitePlan
+    ) -> Tuple[Optional[SuiteCheckpoint], Dict[int, Any]]:
+        """Open (or initialize) the checkpoint for this plan and load
+        whatever a previous run already completed."""
+        if self.checkpoint_dir is None or not plan.unique_cells:
+            return None, {}
+        if plan.artifact_level is ArtifactLevel.FULL:
+            raise CheckpointError(
+                "artifact level 'full' retains live endpoint objects and "
+                "cannot be checkpointed; use a slimmer level or drop "
+                "checkpoint_dir"
+            )
+        checkpoint = SuiteCheckpoint(self.checkpoint_dir)
+        completed = checkpoint.load_or_init(
+            plan_fingerprint(plan),
+            meta={
+                "experiments": [p.spec.id for p in plan.experiments],
+                "unique_cells": len(plan.unique_cells),
+                "artifact_level": plan.artifact_level.value,
+            },
+        )
+        # Indices outside the plan cannot appear under a matching
+        # fingerprint; drop them defensively rather than crash below.
+        completed = {
+            index: artifacts
+            for index, artifacts in completed.items()
+            if 0 <= index < len(plan.unique_cells)
+        }
+        return checkpoint, completed
+
+    def _execute_cells(
+        self,
+        runner: MatrixRunner,
+        plan: SuitePlan,
+        store: Optional[ArtifactStore],
+        checkpoint: Optional[SuiteCheckpoint],
+        completed: Dict[int, Any],
+    ) -> List[Any]:
+        """Execute the plan's unique cells — replaying journaled
+        results first on a resume, journaling fresh ones as they
+        complete — and return one entry per plan cell, in plan order
+        (artifacts, or :class:`ArtifactHandle` when spilling)."""
+        cells = plan.unique_cells
+        entries_by_slot: Dict[int, Any] = {}
+        for slot, artifacts in completed.items():
+            # Journaled artifacts crossed the wire with their scenario
+            # stripped; restore it from the authoritative plan, then
+            # spill replayed cells immediately so a resumed trace-level
+            # suite keeps the same peak-memory bound as a fresh one.
+            artifacts.scenario = cells[slot].scenario
+            entries_by_slot[slot] = store.put(artifacts) if store is not None else artifacts
+        positions = [slot for slot in range(len(cells)) if slot not in entries_by_slot]
+        pending = [cells[slot] for slot in positions]
+        if pending:
+            batch_size = STREAM_BATCH_CELLS if store is not None else len(pending)
+            base = 0
+            if checkpoint is not None:
+
+                def journal(batch):
+                    # Indices from the runner are batch-local; shift
+                    # them to plan-global positions before they hit
+                    # the journal.
+                    checkpoint.record(
+                        [(positions[base + index], artifacts) for index, artifacts in batch]
+                    )
+
+                runner.result_observer = journal
+            try:
+                for start in range(0, len(pending), batch_size):
+                    base = start
+                    batch = runner.run_cells(pending[start : start + batch_size])
+                    for offset, artifacts in enumerate(batch):
+                        slot = positions[start + offset]
+                        entries_by_slot[slot] = (
+                            store.put(artifacts) if store is not None else artifacts
+                        )
+            finally:
+                if checkpoint is not None:
+                    runner.result_observer = None
+        return [entries_by_slot[slot] for slot in range(len(cells))]
+
+    def _name_poison(self, exc: BackendError, plan: SuitePlan) -> Optional[BackendError]:
+        """Enrich a poison-chunk abort with the experiment ids whose
+        cells it carried (``None`` when the failure carries no cells or
+        none map back to the plan)."""
+        poison = getattr(exc, "poison_cells", None)
+        if not poison:
+            return None
+        slot_of = {
+            (id(cell.scenario), cell.seed): slot
+            for slot, cell in enumerate(plan.unique_cells)
+        }
+        slots = set()
+        for scenario, seed in poison:
+            slot = slot_of.get((id(scenario), seed))
+            if slot is not None:
+                slots.add(slot)
+        experiment_ids = sorted(
+            p.spec.id for p in plan.experiments if slots & set(p.slots)
+        )
+        if not experiment_ids:
+            return None
+        named = BackendError(f"{exc} (experiments affected: {', '.join(experiment_ids)})")
+        named.poison_cells = poison
+        return named
 
     def _resolve_runner(
         self, level: ArtifactLevel, attach_cache: bool = True

@@ -215,26 +215,20 @@ def test_cache_served_chunks_do_not_inflate_throughput_ewma():
     into the EWMA would hand a slow worker an enormous rate — and then
     an oversized chunk of cold cells the whole fleet waits out. Only
     computed cells may move the estimate."""
-    from repro.runtime.distributed import _WorkerConn
+    from repro.runtime.scheduler import WorkerState
 
-    left, right = socket.socketpair()
-    try:
-        conn = _WorkerConn(1, left, None, {})
-        # A genuinely computed chunk seeds the rate: 10 cells / 1 s.
-        conn.dispatched_at, conn.dispatched_cells = 100.0, 10
-        conn.observe_result(101.0, computed_cells=10)
-        assert conn.ewma_rate == 10.0
-        # An all-hit chunk back in a millisecond must not touch it.
-        conn.dispatched_at, conn.dispatched_cells = 101.0, 10
-        conn.observe_result(101.001, computed_cells=0)
-        assert conn.ewma_rate == 10.0
-        # And the round trip is consumed either way (no stale reuse).
-        conn.observe_result(200.0, computed_cells=10)
-        assert conn.ewma_rate == 10.0
-        conn.wsock.close()
-    finally:
-        left.close()
-        right.close()
+    state = WorkerState(1)
+    # A genuinely computed chunk seeds the rate: 10 cells / 1 s.
+    state.dispatched_at, state.dispatched_cells = 100.0, 10
+    state.observe_result(101.0, computed_cells=10)
+    assert state.ewma_rate == 10.0
+    # An all-hit chunk back in a millisecond must not touch it.
+    state.dispatched_at, state.dispatched_cells = 101.0, 10
+    state.observe_result(101.001, computed_cells=0)
+    assert state.ewma_rate == 10.0
+    # And the round trip is consumed either way (no stale reuse).
+    state.observe_result(200.0, computed_cells=10)
+    assert state.ewma_rate == 10.0
 
 
 def test_adaptive_distributed_matches_serial_with_real_workers():

@@ -1,0 +1,183 @@
+"""Crash-safe suite checkpointing: journal format, fingerprint
+binding, resume semantics, and the load-bearing guarantee — a
+coordinator SIGKILLed mid-suite resumes to a bundle byte-identical to
+an uninterrupted run."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import CheckpointError, LocalConfig, RunRequest, Session
+from repro.runtime.checkpoint import (
+    MANIFEST_NAME,
+    SuiteCheckpoint,
+    plan_fingerprint,
+)
+from repro.runtime.suite import SuiteRunner
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# -- SuiteCheckpoint unit behavior --------------------------------------
+
+
+def test_fresh_directory_initializes_and_journals(tmp_path):
+    ckpt = SuiteCheckpoint(str(tmp_path / "ckpt"))
+    assert ckpt.load_or_init("fp-1", meta={"experiments": ["fig6"]}) == {}
+    ckpt.record([(0, "artifact-0"), (3, "artifact-3")])
+    ckpt.record([(1, "artifact-1")])
+    segments = sorted(p.name for p in Path(ckpt.directory).glob("cells-*.pkl"))
+    assert segments == ["cells-000001.pkl", "cells-000002.pkl"]
+    # a fresh handle on the same directory replays the journal ...
+    again = SuiteCheckpoint(ckpt.directory)
+    assert again.load_or_init("fp-1") == {
+        0: "artifact-0",
+        1: "artifact-1",
+        3: "artifact-3",
+    }
+    # ... and continues the segment numbering instead of clobbering
+    again.record([(2, "artifact-2")])
+    assert (Path(ckpt.directory) / "cells-000003.pkl").exists()
+
+
+def test_fingerprint_mismatch_and_bad_manifest_raise(tmp_path):
+    directory = tmp_path / "ckpt"
+    ckpt = SuiteCheckpoint(str(directory))
+    ckpt.load_or_init("fp-1")
+    with pytest.raises(CheckpointError, match="different"):
+        SuiteCheckpoint(str(directory)).load_or_init("fp-2")
+    (directory / MANIFEST_NAME).write_text("{not json")
+    with pytest.raises(CheckpointError, match="unreadable"):
+        SuiteCheckpoint(str(directory)).load_or_init("fp-1")
+    (directory / MANIFEST_NAME).write_text('{"schema": 999, "fingerprint": "fp-1"}')
+    with pytest.raises(CheckpointError, match="schema"):
+        SuiteCheckpoint(str(directory)).load_or_init("fp-1")
+
+
+def test_tmp_leftovers_from_a_crashed_write_are_ignored(tmp_path):
+    ckpt = SuiteCheckpoint(str(tmp_path))
+    ckpt.load_or_init("fp-1")
+    ckpt.record([(0, "artifact-0")])
+    (tmp_path / "cells-000002.pkl.tmp").write_bytes(b"torn write")
+    assert SuiteCheckpoint(str(tmp_path)).load_or_init("fp-1") == {0: "artifact-0"}
+
+
+def test_plan_fingerprint_tracks_suite_identity():
+    runner = SuiteRunner()
+    base = plan_fingerprint(runner.plan(["fig6"], smoke=True))
+    assert base == plan_fingerprint(runner.plan(["fig6"], smoke=True))
+    assert base != plan_fingerprint(runner.plan(["fig6", "fig12"], smoke=True))
+    assert base != plan_fingerprint(runner.plan(["fig6"], smoke=False))
+    assert base != plan_fingerprint(
+        runner.plan(["fig6"], overrides={"fig6": {"repetitions": 3}}, smoke=True)
+    )
+
+
+# -- SuiteRunner / Session integration ----------------------------------
+
+
+def test_resumed_session_replays_checkpoint_without_recompute(tmp_path):
+    ckpt_dir = str(tmp_path / "ckpt")
+    request = RunRequest(("fig6",), smoke=True)
+    with Session(LocalConfig(workers=0), resume=ckpt_dir) as session:
+        first = session.run(request)
+    segments = list(Path(ckpt_dir).glob("cells-*.pkl"))
+    assert segments  # the run journaled its cells
+    mtimes = {p: p.stat().st_mtime_ns for p in segments}
+    with Session(LocalConfig(workers=0), resume=ckpt_dir) as session:
+        second = session.run(request)
+    # full replay: nothing recomputed, so nothing new was journaled
+    assert {p: p.stat().st_mtime_ns for p in Path(ckpt_dir).glob("cells-*.pkl")} == mtimes
+    assert second.to_dict() == first.to_dict()
+    # the same directory refuses a different planned suite
+    with Session(LocalConfig(workers=0), resume=ckpt_dir) as session:
+        with pytest.raises(CheckpointError, match="different"):
+            session.run(RunRequest(("fig12",), smoke=True))
+
+
+def test_full_level_suites_refuse_checkpointing(tmp_path):
+    """``full`` retention keeps live endpoint objects, which cannot be
+    journaled; no registered experiment demands it, so probe the guard
+    with a synthetic plan."""
+    from repro.runtime.artifacts import ArtifactLevel
+    from repro.runtime.matrix import Cell
+    from repro.runtime.suite import SuitePlan
+
+    runner = SuiteRunner(checkpoint_dir=str(tmp_path / "ckpt"))
+    plan = SuitePlan(
+        experiments=[],
+        unique_cells=[Cell(scenario=object(), seed=0)],
+        artifact_level=ArtifactLevel.FULL,
+    )
+    with pytest.raises(CheckpointError, match="full"):
+        runner._resolve_checkpoint(plan)
+
+
+def test_checkpoint_dir_with_shared_runner_rejected():
+    from repro.runtime.matrix import MatrixRunner
+
+    with pytest.raises(ValueError, match="checkpoint_dir"):
+        SuiteRunner(runner=MatrixRunner(workers=0), checkpoint_dir="ckpt")
+
+
+# -- the acceptance criterion: SIGKILL the coordinator, resume ----------
+
+
+def run_cli(args, cwd, wait=True):
+    env = dict(os.environ)
+    env.pop("REPRO_AUTH_KEY", None)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        env=env,
+        cwd=cwd,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    if wait:
+        assert proc.wait(timeout=300) == 0
+    return proc
+
+
+def test_coordinator_sigkill_then_resume_bundle_byte_identical(tmp_path):
+    """Kill -9 the coordinator mid-suite, rerun with --resume, and the
+    final bundle must be byte-identical to an uninterrupted local run."""
+    # enough repetitions that the suite runs for seconds, with multiple
+    # journal segments landing along the way
+    selection = ["fig6", "--smoke", "--param", "fig6.repetitions=80", "--workers", "2"]
+    ref_dir = tmp_path / "reference"
+    run_cli(["run", *selection, "--out", str(ref_dir)], cwd=tmp_path)
+
+    ckpt_dir = tmp_path / "ckpt"
+    out_dir = tmp_path / "resumed"
+    victim = run_cli(
+        ["run", *selection, "--resume", str(ckpt_dir), "--out", str(out_dir)],
+        cwd=tmp_path,
+        wait=False,
+    )
+    # SIGKILL as soon as the first journal segment lands (mid-suite)
+    deadline = time.monotonic() + 120
+    while not list(ckpt_dir.glob("cells-*.pkl")) and victim.poll() is None:
+        if time.monotonic() > deadline:
+            pytest.fail("no checkpoint segment appeared within 120s")
+        time.sleep(0.001)
+    victim.kill()
+    victim.wait(timeout=60)
+    assert victim.returncode == -signal.SIGKILL
+    assert not (out_dir / "suite.json").exists()  # it really died mid-run
+    journaled = list(ckpt_dir.glob("cells-*.pkl"))
+    assert journaled  # partial progress survived the kill
+
+    run_cli(
+        ["run", *selection, "--resume", str(ckpt_dir), "--out", str(out_dir)],
+        cwd=tmp_path,
+    )
+    for name in ("fig6.json", "suite.json"):
+        assert (out_dir / name).read_bytes() == (ref_dir / name).read_bytes()

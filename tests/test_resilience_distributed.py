@@ -1,0 +1,387 @@
+"""Distributed-runtime robustness: speculative straggler re-execution,
+graceful drain, worker rejoin, failure-path event ordering, and poison
+aborts that name the affected experiments.
+
+Everything here drives a real SocketBackend fleet on loopback; the
+invariant underneath each scenario is the usual one — the reassembled
+results stay byte-identical to serial execution no matter what fails.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import BackendError
+from repro.interop.runner import SIZE_10KB, Runner, Scenario
+from repro.interop.scenarios import first_server_flight_tail_loss
+from repro.quic.server import ServerMode
+from repro.runtime import MatrixRunner, SocketBackend, worker_main
+from repro.runtime.distributed import (
+    MSG_CHUNK,
+    MSG_HEARTBEAT,
+    MSG_HELLO,
+    MSG_RESULT,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
+from repro.runtime.events import (
+    ChunkCompleted,
+    ChunkDispatched,
+    ChunkSpeculated,
+    WorkerDrained,
+    WorkerJoined,
+    WorkerLost,
+)
+from repro.runtime.scheduler import ChunkScheduler
+from repro.runtime.suite import SuiteRunner
+from repro.runtime.worker import run_cell_chunk
+
+LOSSY_IACK = Scenario(
+    client="quic-go",
+    mode=ServerMode.IACK,
+    http="h1",
+    rtt_ms=9.0,
+    response_size=SIZE_10KB,
+    server_to_client_loss=first_server_flight_tail_loss(ServerMode.IACK),
+)
+
+
+def start_worker_thread(backend: SocketBackend, **kwargs) -> threading.Thread:
+    thread = threading.Thread(
+        target=worker_main,
+        args=(backend.host, backend.port),
+        kwargs={"retry_for": 5.0, **kwargs},
+        daemon=True,
+    )
+    thread.start()
+    return thread
+
+
+def hello(sock: socket.socket, host: str) -> None:
+    send_frame(sock, MSG_HELLO, {"version": PROTOCOL_VERSION, "pid": 0, "host": host})
+
+
+class EventLog:
+    """Thread-safe event sink with convenience selectors."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._events = []
+
+    def __call__(self, event):
+        with self._lock:
+            self._events.append(event)
+
+    def of(self, kind):
+        with self._lock:
+            return [e for e in self._events if isinstance(e, kind)]
+
+    def index(self, predicate):
+        with self._lock:
+            for i, event in enumerate(self._events):
+                if predicate(event):
+                    return i
+        return None
+
+    def snapshot(self):
+        with self._lock:
+            return list(self._events)
+
+
+# -- speculative straggler re-execution ---------------------------------
+
+
+def test_straggler_chunk_completes_via_speculative_twin():
+    """A worker that wedges holding a chunk (socket alive, heartbeats
+    flowing, no result — a 'slow' straggler taken to the limit) must
+    not stall the run: once the pool drains, an idle worker receives a
+    speculative duplicate, its completion wins, and nothing is
+    double-counted."""
+    events = EventLog()
+    backend = SocketBackend(
+        port=0,
+        min_workers=2,
+        scheduler=ChunkScheduler(
+            speculation_factor=1.0,
+            speculation_min_seconds=0.3,
+            speculation_budget_fraction=1.0,
+        ),
+    )
+    backend.set_event_sink(events)
+    release = threading.Event()
+
+    def straggler():
+        sock = socket.create_connection((backend.host, backend.port))
+        try:
+            hello(sock, "straggler")
+            recv_frame(sock)  # take a chunk and wedge, heartbeating
+            while not release.wait(0.2):
+                send_frame(sock, MSG_HEARTBEAT, None)
+        except (ConnectionError, ProtocolError, OSError):
+            pass
+        finally:
+            sock.close()
+
+    threading.Thread(target=straggler, daemon=True).start()
+    try:
+        deadline = time.monotonic() + 10
+        while backend.worker_count() < 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        start_worker_thread(backend)
+        serial = Runner().run_repetitions(LOSSY_IACK, repetitions=4)
+        with MatrixRunner(backend=backend, chunk_size=1) as runner:
+            distributed = runner.run_repetitions(LOSSY_IACK, repetitions=4)
+        assert backend.stats.chunks_speculated >= 1
+        assert backend.stats.workers_lost == 0  # nobody was dropped
+        speculated = events.of(ChunkSpeculated)
+        assert speculated  # the duplicate dispatch was announced
+        # first completion wins exactly once per chunk
+        completions = events.of(ChunkCompleted)
+        completed_ids = [e.chunk_id for e in completions]
+        assert sorted(completed_ids) == sorted(set(completed_ids))
+        assert len(distributed) == 4  # no double-counted cells
+        assert [r.client_stats for r in distributed] == [
+            r.client_stats for r in serial
+        ]
+    finally:
+        release.set()
+        backend.close()
+
+
+# -- graceful drain -----------------------------------------------------
+
+
+def test_worker_drain_leaves_fleet_without_loss_or_requeue():
+    """A worker asked to drain (SIGTERM → drain_event) says goodbye via
+    the DRAIN frame: WorkerDrained is emitted, nothing is counted lost
+    or requeued, and the survivor still serves byte-identical runs."""
+    events = EventLog()
+    backend = SocketBackend(port=0, min_workers=2)
+    backend.set_event_sink(events)
+    drain = threading.Event()
+    try:
+        draining = start_worker_thread(backend, drain_event=drain)
+        start_worker_thread(backend)
+        backend.wait_for_workers(2, timeout=10)
+        drain.set()
+        draining.join(timeout=10)
+        assert not draining.is_alive()
+        deadline = time.monotonic() + 10
+        while backend.worker_count() > 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert backend.worker_count() == 1
+        assert backend.stats.workers_drained == 1
+        assert backend.stats.workers_lost == 0
+        drained = events.of(WorkerDrained)
+        assert [e.worker_id for e in drained] == [
+            e.worker_id
+            for e in events.of(WorkerJoined)
+            if e.worker_id in {d.worker_id for d in drained}
+        ]
+        assert not events.of(WorkerLost)
+        # the remaining worker carries a run on its own
+        backend.min_workers = 1
+        serial = Runner().run_repetitions(LOSSY_IACK, repetitions=2)
+        with MatrixRunner(backend=backend) as runner:
+            distributed = runner.run_repetitions(LOSSY_IACK, repetitions=2)
+        assert [r.client_stats for r in distributed] == [
+            r.client_stats for r in serial
+        ]
+    finally:
+        backend.close()
+
+
+def test_scale_hint_reflects_fleet_and_outstanding_work():
+    backend = SocketBackend(port=0, min_workers=1)
+    try:
+        start_worker_thread(backend)
+        backend.wait_for_workers(1, timeout=10)
+        hint = backend.scale_hint()
+        assert hint.connected == 1
+        assert hint.outstanding_cells == 0
+        assert hint.recommended_workers == 0
+    finally:
+        backend.close()
+
+
+# -- worker rejoin ------------------------------------------------------
+
+
+def test_worker_rejoins_after_abrupt_connection_loss():
+    """An abrupt coordinator-side connection loss (no SHUTDOWN, no
+    DRAIN) must send the worker into its reconnect loop: it rejoins
+    with a bumped epoch and the fleet keeps serving."""
+    backend = SocketBackend(port=0, min_workers=1)
+    exit_codes = []
+    worker = threading.Thread(
+        target=lambda: exit_codes.append(
+            worker_main(backend.host, backend.port, retry_for=5.0, rejoin_for=20.0)
+        ),
+        daemon=True,
+    )
+    worker.start()
+    try:
+        backend.wait_for_workers(1, timeout=10)
+        with backend._lock:
+            conn = next(iter(backend._workers.values()))
+            assert conn.info.get("epoch") == 0
+            victim_sock = conn.sock
+        victim_sock.close()  # abrupt: the worker sees a bare EOF
+        deadline = time.monotonic() + 15
+        rejoined = None
+        while time.monotonic() < deadline:
+            with backend._lock:
+                for conn in backend._workers.values():
+                    if conn.info.get("epoch") == 1:
+                        rejoined = conn.wid
+            if rejoined is not None:
+                break
+            time.sleep(0.02)
+        assert rejoined is not None, "worker never rejoined after abrupt loss"
+        assert backend.stats.workers_lost >= 1
+        serial = Runner().run_repetitions(LOSSY_IACK, repetitions=2)
+        with MatrixRunner(backend=backend) as runner:
+            distributed = runner.run_repetitions(LOSSY_IACK, repetitions=2)
+        assert [r.client_stats for r in distributed] == [
+            r.client_stats for r in serial
+        ]
+    finally:
+        backend.close()
+    worker.join(timeout=15)
+    assert exit_codes == [0]  # the SHUTDOWN from close() ends it cleanly
+
+
+# -- failure-path event ordering ----------------------------------------
+
+
+def test_worker_lost_event_orders_before_requeued_chunk_dispatch():
+    """The WorkerLost event (carrying its requeued-chunk count) must be
+    observable before the requeued twin's ChunkDispatched — operators
+    watching the stream see cause before effect."""
+    events = EventLog()
+    backend = SocketBackend(port=0, min_workers=2)
+    backend.set_event_sink(events)
+
+    def doomed():
+        sock = socket.create_connection((backend.host, backend.port))
+        try:
+            hello(sock, "doomed")
+            recv_frame(sock)  # take the first chunk ...
+        except (ConnectionError, ProtocolError, OSError):
+            pass
+        finally:
+            sock.close()  # ... and die holding it
+
+    threading.Thread(target=doomed, daemon=True).start()
+    try:
+        deadline = time.monotonic() + 10
+        while backend.worker_count() < 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        start_worker_thread(backend)
+        serial = Runner().run_repetitions(LOSSY_IACK, repetitions=4)
+        with MatrixRunner(backend=backend, chunk_size=1) as runner:
+            distributed = runner.run_repetitions(LOSSY_IACK, repetitions=4)
+        lost = events.of(WorkerLost)
+        assert len(lost) == 1 and lost[0].requeued_chunks == 1
+        lost_at = events.index(lambda e: isinstance(e, WorkerLost))
+        doomed_id = lost[0].worker_id
+        log = events.snapshot()
+        doomed_chunks = [
+            e.chunk_id
+            for e in log
+            if isinstance(e, ChunkDispatched) and e.where == f"worker-{doomed_id}"
+        ]
+        assert len(doomed_chunks) == 1
+        redispatches = [
+            i
+            for i, e in enumerate(log)
+            if isinstance(e, ChunkDispatched)
+            and e.chunk_id == doomed_chunks[0]
+            and e.where != f"worker-{doomed_id}"
+        ]
+        assert redispatches and all(i > lost_at for i in redispatches)
+        assert [r.client_stats for r in distributed] == [
+            r.client_stats for r in serial
+        ]
+    finally:
+        backend.close()
+
+
+def test_duplicate_result_frames_emit_chunk_completed_once():
+    """A worker echoing the same RESULT twice (retransmit-happy or
+    buggy) must not double-emit ChunkCompleted or double-record."""
+    events = EventLog()
+    backend = SocketBackend(port=0, min_workers=1)
+    backend.set_event_sink(events)
+
+    def echoing_worker():
+        sock = socket.create_connection((backend.host, backend.port))
+        try:
+            hello(sock, "echo")
+            while True:
+                msg_type, payload = recv_frame(sock)
+                if msg_type != MSG_CHUNK:
+                    return
+                job_id, chunk_id, grouped, level = payload
+                frame = (job_id, chunk_id, run_cell_chunk(grouped, level), None)
+                send_frame(sock, MSG_RESULT, frame)
+                send_frame(sock, MSG_RESULT, frame)  # duplicate echo
+        except (ConnectionError, ProtocolError, OSError):
+            pass
+        finally:
+            sock.close()
+
+    threading.Thread(target=echoing_worker, daemon=True).start()
+    try:
+        serial = Runner().run_repetitions(LOSSY_IACK, repetitions=4)
+        with MatrixRunner(backend=backend, chunk_size=2) as runner:
+            distributed = runner.run_repetitions(LOSSY_IACK, repetitions=4)
+        completed_ids = [e.chunk_id for e in events.of(ChunkCompleted)]
+        assert sorted(completed_ids) == [0, 1]  # one completion per chunk
+        assert len(distributed) == 4
+        assert [r.client_stats for r in distributed] == [
+            r.client_stats for r in serial
+        ]
+    finally:
+        backend.close()
+
+
+# -- poison aborts name their experiments -------------------------------
+
+
+def test_poison_abort_names_the_affected_experiments():
+    """When a chunk exhausts its retry bound, the BackendError that
+    surfaces through SuiteRunner must name the experiment ids whose
+    cells it carried, not just an opaque chunk id."""
+    backend = SocketBackend(
+        port=0, min_workers=1, max_chunk_retries=2, worker_wait_timeout=10.0
+    )
+    stop = threading.Event()
+
+    def doomed_worker():
+        sock = socket.create_connection((backend.host, backend.port))
+        try:
+            hello(sock, "doom")
+            recv_frame(sock)
+        except (ConnectionError, ProtocolError, OSError):
+            pass
+        finally:
+            sock.close()
+
+    def keep_spawning():
+        while not stop.is_set():
+            doomed_worker()
+
+    threading.Thread(target=keep_spawning, daemon=True).start()
+    try:
+        runner = SuiteRunner(backend=backend)
+        with pytest.raises(BackendError, match="giving up") as excinfo:
+            runner.run(["fig6"], smoke=True)
+        assert "experiments affected: fig6" in str(excinfo.value)
+    finally:
+        stop.set()
+        backend.close()

@@ -1,0 +1,269 @@
+"""Scheduling policy unit tests: the distributed coordinator's chunk
+pool, requeue/poison bounds, EWMA sizing, speculation, and elastic
+membership — exercised without any sockets, which is the point of the
+:class:`~repro.runtime.scheduler.Scheduler` split.
+"""
+
+import pytest
+
+from repro.errors import BackendError
+from repro.runtime.scheduler import (
+    DEFAULT_SPECULATION_MIN_SECONDS,
+    ChunkScheduler,
+    WorkerState,
+)
+from repro.runtime.worker import group_cells
+
+
+def cells(start, count, scenario="scenario"):
+    """IndexedCell triples with distinct indices/seeds."""
+    return [(start + i, scenario, start + i) for i in range(count)]
+
+
+def fixed_chunks(count, cells_per_chunk=2):
+    return [
+        group_cells(cells(i * cells_per_chunk, cells_per_chunk))
+        for i in range(count)
+    ]
+
+
+def result_for(chunk):
+    return [(index, f"artifact-{index}") for _, pairs in chunk for index, _seed in pairs]
+
+
+# -- pool shapes --------------------------------------------------------
+
+
+def test_fixed_chunks_dispatch_and_reassemble_in_order():
+    sched = ChunkScheduler()
+    sched.add_worker(1)
+    chunks = fixed_chunks(3)
+    sched.start_job("job-a", chunks=chunks)
+    seen = []
+    while True:
+        assignment = sched.assign(1, now=0.0)
+        if assignment is None:
+            break
+        seen.append(assignment.chunk_id)
+        assert not assignment.speculative
+        sched.mark_send(1, now=0.0)
+        assert sched.record(1, assignment.chunk_id, result_for(assignment.chunk))
+    assert seen == [0, 1, 2]
+    assert sched.job.done()
+    ordered = sched.job.results_in_order()
+    assert [index for index, _ in ordered] == list(range(6))
+
+
+def test_adaptive_pool_carves_by_ewma_rate():
+    sched = ChunkScheduler(target_chunk_seconds=1.0, max_chunk_cells=50)
+    state = sched.add_worker(1)
+    sched.start_job("job-a", pool=cells(0, 100), initial_chunk_cells=4)
+    first = sched.assign(1, now=0.0)
+    assert first.cells == 4  # no EWMA yet: the conservative opener
+    sched.mark_send(1, now=0.0)
+    sched.record(1, first.chunk_id, result_for(first.chunk))
+    # 4 cells in 0.2s → 20 cells/s → next chunk targets ~20 cells
+    state.observe_result(0.2, 4)
+    assert state.ewma_rate == pytest.approx(20.0)
+    second = sched.assign(1, now=0.3)
+    assert second.cells == 20
+
+
+def test_busy_and_draining_workers_get_no_assignment():
+    sched = ChunkScheduler()
+    sched.add_worker(1)
+    sched.add_worker(2)
+    sched.start_job("job-a", chunks=fixed_chunks(4))
+    held = sched.assign(1, now=0.0)
+    assert held is not None
+    assert sched.assign(1, now=0.0) is None  # already holds a chunk
+    sched.drain_worker(2)
+    assert sched.assign(2, now=0.0) is None  # draining: no new work
+    hint = sched.scale_hint()
+    assert (hint.connected, hint.busy, hint.draining) == (2, 1, 1)
+
+
+# -- requeue and the poison bound ---------------------------------------
+
+
+def test_lost_chunk_requeues_to_front_and_poison_bound_names_cells():
+    sched = ChunkScheduler(max_chunk_retries=2)
+    sched.add_worker(1)
+    sched.start_job("job-a", chunks=fixed_chunks(2))
+    for _ in range(2):
+        assignment = sched.assign(1, now=0.0)
+        assert assignment.chunk_id == 0  # front requeue: same chunk again
+        held = sched.remove_worker(1)
+        assert held == 0
+        assert sched.can_requeue(0)
+        assert sched.requeue(0)
+        sched.add_worker(1)
+    with pytest.raises(BackendError, match="giving up") as excinfo:
+        sched.assign(1, now=0.0)
+    # the poison cells are attached so SuiteRunner can name experiments
+    assert excinfo.value.poison_cells == (("scenario", 0), ("scenario", 1))
+
+
+def test_can_requeue_false_for_recorded_or_still_held_chunks():
+    sched = ChunkScheduler()
+    sched.add_worker(1)
+    sched.add_worker(2)
+    sched.start_job("job-a", chunks=fixed_chunks(2))
+    a = sched.assign(1, now=0.0)
+    b = sched.assign(2, now=0.0)
+    sched.record(1, a.chunk_id, result_for(a.chunk))
+    assert not sched.can_requeue(a.chunk_id)  # already recorded
+    assert not sched.requeue(a.chunk_id)
+    assert not sched.can_requeue(b.chunk_id)  # worker 2 still holds it
+    sched.remove_worker(2)
+    assert sched.can_requeue(b.chunk_id)
+    assert sched.requeue(b.chunk_id)
+
+
+def test_duplicate_record_is_ignored():
+    sched = ChunkScheduler()
+    sched.add_worker(1)
+    sched.start_job("job-a", chunks=fixed_chunks(1))
+    assignment = sched.assign(1, now=0.0)
+    assert sched.record(1, assignment.chunk_id, result_for(assignment.chunk))
+    assert not sched.record(1, assignment.chunk_id, result_for(assignment.chunk))
+    assert len(sched.job.results) == 1
+
+
+def test_unassign_rolls_back_a_failed_dispatch():
+    sched = ChunkScheduler()
+    sched.add_worker(1)
+    sched.start_job("job-a", chunks=fixed_chunks(1))
+    assignment = sched.assign(1, now=0.0)
+    sched.unassign(1, assignment)
+    assert sched.worker_state(1).chunk_id is None
+    again = sched.assign(1, now=0.0)
+    assert again.chunk_id == assignment.chunk_id
+
+
+# -- speculation --------------------------------------------------------
+
+
+def speculating_scheduler(**overrides):
+    kwargs = dict(
+        speculation_factor=1.0,
+        speculation_min_seconds=0.1,
+        speculation_budget_fraction=1.0,
+    )
+    kwargs.update(overrides)
+    return ChunkScheduler(**kwargs)
+
+
+def seed_rate(state: WorkerState, rate: float) -> None:
+    state.ewma_rate = rate
+
+
+def test_overdue_straggler_chunk_is_speculatively_duplicated():
+    sched = speculating_scheduler()
+    straggler = sched.add_worker(1)
+    fast = sched.add_worker(2)
+    seed_rate(straggler, 100.0)
+    seed_rate(fast, 100.0)
+    sched.start_job("job-a", chunks=fixed_chunks(2))
+    held = sched.assign(1, now=0.0)
+    sched.mark_send(1, now=0.0)
+    other = sched.assign(2, now=0.0)
+    sched.mark_send(2, now=0.0)
+    sched.record(2, other.chunk_id, result_for(other.chunk))
+    # pool is empty; at now=0.05 the straggler is not yet overdue
+    assert sched.assign(2, now=0.05) is None
+    twin = sched.assign(2, now=5.0)
+    assert twin is not None and twin.speculative
+    assert twin.chunk_id == held.chunk_id
+    # first completion wins; the twin's duplicate is ignored
+    assert sched.record(2, twin.chunk_id, result_for(twin.chunk))
+    assert not sched.record(1, held.chunk_id, result_for(held.chunk))
+    assert sched.job.done()
+
+
+def test_speculation_requires_throughput_signal_and_budget():
+    # no EWMA rates anywhere → "overdue" is undefined → no speculation
+    sched = speculating_scheduler()
+    sched.add_worker(1)
+    sched.add_worker(2)
+    sched.start_job("job-a", chunks=fixed_chunks(1))
+    sched.assign(1, now=0.0)
+    sched.mark_send(1, now=0.0)
+    assert sched.assign(2, now=100.0) is None
+    sched.finish_job()
+    # zero budget → never speculate even when overdue
+    strict = speculating_scheduler(speculation_budget_fraction=0.0)
+    seed_rate(strict.add_worker(1), 100.0)
+    seed_rate(strict.add_worker(2), 100.0)
+    strict.start_job("job-a", chunks=fixed_chunks(1))
+    strict.assign(1, now=0.0)
+    strict.mark_send(1, now=0.0)
+    assert strict.assign(2, now=100.0) is None
+
+
+def test_speculative_twin_blocks_requeue_and_does_not_burn_retries():
+    """A chunk whose holder dies while a speculative twin still
+    computes it must not requeue (the twin will deliver), and the
+    duplicate dispatch must not count toward the poison bound."""
+    sched = speculating_scheduler(max_chunk_retries=1)
+    seed_rate(sched.add_worker(1), 100.0)
+    seed_rate(sched.add_worker(2), 100.0)
+    sched.start_job("job-a", chunks=fixed_chunks(1))
+    held = sched.assign(1, now=0.0)
+    sched.mark_send(1, now=0.0)
+    twin = sched.assign(2, now=50.0)
+    assert twin is not None and twin.speculative  # retries=1 not exceeded
+    sched.remove_worker(1)
+    assert not sched.can_requeue(held.chunk_id)  # the twin still holds it
+    assert not sched.requeue(held.chunk_id)
+    assert sched.record(2, twin.chunk_id, result_for(twin.chunk))
+    assert sched.job.done()
+
+
+def test_default_speculation_floor_protects_subsecond_chunks():
+    """With defaults, a chunk must be at least the absolute floor old
+    before duplication — fast suites never speculate."""
+    sched = ChunkScheduler()
+    seed_rate(sched.add_worker(1), 1000.0)
+    seed_rate(sched.add_worker(2), 1000.0)
+    sched.start_job("job-a", chunks=fixed_chunks(1))
+    sched.assign(1, now=0.0)
+    sched.mark_send(1, now=0.0)
+    just_under = DEFAULT_SPECULATION_MIN_SECONDS * 0.99
+    assert sched.assign(2, now=just_under) is None
+
+
+# -- scale hints --------------------------------------------------------
+
+
+def test_scale_hint_recommends_fleet_for_outstanding_work():
+    sched = ChunkScheduler(target_chunk_seconds=1.0)
+    seed_rate(sched.add_worker(1), 10.0)
+    sched.start_job("job-a", pool=cells(0, 100), initial_chunk_cells=4)
+    hint = sched.scale_hint()
+    assert hint.outstanding_cells == 100
+    # 100 cells at 10 cells/s per worker-second → 10 workers keep busy
+    assert hint.recommended_workers == 10
+    sched.finish_job()
+    idle = sched.scale_hint()
+    assert idle.outstanding_cells == 0
+    assert idle.recommended_workers == 0
+
+
+def test_stale_job_frames_are_rejected():
+    sched = ChunkScheduler()
+    sched.add_worker(1)
+    sched.start_job("job-b", chunks=fixed_chunks(1))
+    assert sched.accepts("job-b")
+    assert not sched.accepts("job-a")
+    assert not sched.valid_chunk(999)
+    assert not sched.valid_chunk("0")
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        ChunkScheduler(max_chunk_retries=0)
+    with pytest.raises(ValueError):
+        ChunkScheduler(speculation_factor=0.5)
+    with pytest.raises(ValueError):
+        ChunkScheduler(speculation_budget_fraction=-1)
