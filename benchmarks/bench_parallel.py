@@ -31,6 +31,14 @@ Legs:
   live fleet — the second pass is served from the workers' resident
   result caches, measuring the cross-suite memo win end to end.
 
+* **fig12_batch**: the vectorized batch cell engine
+  (``engine="batch"``) vs the scalar simulator on identical cells,
+  both in-process and serial — the affine-replay win itself.
+
+* **suite_distributed_v4**: protocol v4 wire volume — the suite's
+  RESULT byte counters with negotiated compression on vs off; the
+  gated number is a byte ratio, not a timing.
+
 Every entry emits ``speedup_<leg>_vs_<baseline>`` ratio keys that are
 computed identically in ``--quick`` and full runs (both legs measured
 in the same process on the same machine). Each entry also declares a
@@ -73,6 +81,10 @@ from repro.runtime.distributed import SocketBackend  # noqa: E402
 
 FIG6_REPETITIONS = 25
 SWEEP_REPETITIONS = 10
+#: The batch-engine entry needs enough repetitions per scenario that
+#: the skeleton probes amortize; below ~10 seeds per scenario the
+#: entry measures probe overhead, not the engine.
+BATCH_REPETITIONS = 100
 TABLE1_LIST_SIZE = 50_000
 TABLE1_DAYS = 2
 #: The cached-suite benchmark runs this workload in BOTH --quick and
@@ -181,6 +193,51 @@ def bench_fig6(repetitions: int, rounds: int) -> dict:
         **legs,
         # Both legs serial → the artifact-slimming win is machine-stable.
         "stable_ratios": ["speedup_stats_vs_serial"],
+    }
+
+
+def bench_fig12_batch(repetitions: int, rounds: int) -> dict:
+    """Vectorized batch cell engine vs the scalar simulator on the
+    fig12 sweep restricted to its 9 ms and 100 ms columns.
+
+    Both legs run in-process at workers=0 on identical cells, so the
+    ratio isolates the cell engine (affine skeleton fitting + numpy
+    lockstep evaluation vs one discrete-event simulation per cell).
+    fig12's IACK×loss cells are statically gated to the scalar path in
+    both legs, so the ratio also absorbs the gate's honesty — batching
+    only where the affine structure holds.
+    """
+    rtts = (9.0, 100.0)
+
+    def leg(engine: str) -> None:
+        with MatrixRunner(workers=0, engine=engine) as runner:
+            fig12.run(
+                http="h1", repetitions=repetitions, rtts_ms=rtts, runner=runner
+            )
+
+    legs: dict = {}
+    legs["serial_scalar_s"] = _best_of(lambda: leg("scalar"), rounds)
+    legs["serial_batch_s"] = _best_of(lambda: leg("batch"), rounds)
+    legs["speedup_batch_vs_scalar"] = round(
+        legs["serial_scalar_s"] / legs["serial_batch_s"], 2
+    )
+    return {
+        "workload": {
+            "experiment": "fig12 (9 and 100 ms columns)",
+            "http": "h1",
+            "repetitions": repetitions,
+            "rtts_ms": list(rtts),
+        },
+        "serial_leg": "workers=0, engine=scalar (one simulation per cell)",
+        "parallel_leg": (
+            "workers=0, engine=batch (skeleton probes + numpy affine "
+            "replay; IACK×loss cells fall back to scalar by the static "
+            "gate)"
+        ),
+        **legs,
+        # Both legs serial in-process → the cell-engine win is
+        # machine-stable.
+        "stable_ratios": ["speedup_batch_vs_scalar"],
     }
 
 
@@ -364,6 +421,93 @@ def bench_distributed(repetitions: int, rounds: int) -> dict:
     }
 
 
+def bench_distributed_v4(repetitions: int, rounds: int) -> dict:
+    """Protocol v4 wire volume: the fig12+fig6 suite against a fresh
+    2-worker fleet with negotiated compression on vs forced off.
+
+    The gated number is a *byte counter ratio*, not a timing: RESULT
+    frames carry the suite's real volume, and
+    ``result_bytes_raw / result_bytes_wire`` measures how many
+    uncompressed payload bytes each shipped wire byte replaced. It is
+    deterministic for a fixed workload — a broken negotiation or a
+    silently-raw codec drags it to ~1 on any machine. Wall-clock for
+    both legs is reported for humans but not gated (localhost loopback
+    does not reward compression the way a real link does).
+    """
+    overrides = {
+        "fig12": {"repetitions": repetitions},
+        "fig6": {"repetitions": repetitions},
+    }
+
+    def run_fleet(compression: str) -> dict:
+        backend = SocketBackend(
+            port=0, min_workers=2, compression=compression
+        )
+        # Cacheless workers: each rounds' re-run must re-ship every
+        # RESULT, or warm caches would zero the measured volume.
+        workers = [_spawn_local_worker(backend, "--no-cache") for _ in range(2)]
+        try:
+            backend.wait_for_workers(2, timeout=60)
+            elapsed = _best_of(
+                lambda: SuiteRunner(backend=backend).run(
+                    ["fig12", "fig6"], overrides=overrides
+                ),
+                rounds,
+            )
+            stats = backend.stats
+            return {
+                "elapsed_s": elapsed,
+                "result_bytes_raw": stats.result_bytes_raw,
+                "result_bytes_wire": stats.result_bytes_wire,
+                "chunk_bytes_raw": stats.chunk_bytes_raw,
+                "chunk_bytes_wire": stats.chunk_bytes_wire,
+            }
+        finally:
+            backend.close()
+            for proc in workers:
+                try:
+                    proc.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+
+    compressed = run_fleet("auto")
+    raw = run_fleet("off")
+    legs: dict = {
+        "compressed_2w_s": compressed["elapsed_s"],
+        "raw_2w_s": raw["elapsed_s"],
+        "result_bytes_raw": compressed["result_bytes_raw"],
+        "result_bytes_wire": compressed["result_bytes_wire"],
+        "result_bytes_wire_uncompressed": raw["result_bytes_wire"],
+        "chunk_bytes_raw": compressed["chunk_bytes_raw"],
+        "chunk_bytes_wire": compressed["chunk_bytes_wire"],
+    }
+    legs["result_bytes_raw_vs_wire"] = round(
+        compressed["result_bytes_raw"] / compressed["result_bytes_wire"], 2
+    )
+    legs["result_wire_saved_vs_raw_fleet"] = round(
+        1.0 - compressed["result_bytes_wire"] / raw["result_bytes_wire"], 3
+    )
+    return {
+        "workload": {
+            "experiments": ["fig12", "fig6"],
+            "http": "h1",
+            "repetitions": repetitions,
+            "workers": 2,
+        },
+        "compressed_leg": (
+            "SocketBackend compression=auto (negotiated at "
+            "HELLO/WELCOME, threshold-gated per frame)"
+        ),
+        "raw_leg": "SocketBackend compression=off (v4 framing, raw bodies)",
+        **legs,
+        # Byte counters, not timings: identical workload → identical
+        # raw volume on any machine, and the compression quotient only
+        # moves if the codec path breaks.
+        "stable_ratios": ["result_bytes_raw_vs_wire"],
+    }
+
+
 def bench_distributed_cached(repetitions: int, rounds: int) -> dict:
     """The cross-suite worker cache: the fig12+fig6 suite twice against
     one live 2-worker fleet.
@@ -533,6 +677,10 @@ def main(argv=None) -> int:
     print(f"fig6 standalone: {repetitions} reps ...", flush=True)
     report["benchmarks"]["fig6_standalone"] = bench_fig6(repetitions, rounds)
     print(json.dumps(report["benchmarks"]["fig6_standalone"], indent=2), flush=True)
+    batch_reps = 30 if args.quick else BATCH_REPETITIONS
+    print(f"fig12 batch engine: {batch_reps} reps ...", flush=True)
+    report["benchmarks"]["fig12_batch"] = bench_fig12_batch(batch_reps, rounds)
+    print(json.dumps(report["benchmarks"]["fig12_batch"], indent=2), flush=True)
     print(f"table1: {list_size} domains x {days} days ...", flush=True)
     report["benchmarks"]["table1"] = bench_table1(list_size, days, rounds)
     print(json.dumps(report["benchmarks"]["table1"], indent=2), flush=True)
@@ -545,6 +693,15 @@ def main(argv=None) -> int:
         sweep_reps, rounds
     )
     print(json.dumps(report["benchmarks"]["suite_distributed"], indent=2),
+          flush=True)
+    print(
+        f"distributed v4 wire volume (compression on/off): {sweep_reps} reps ...",
+        flush=True,
+    )
+    report["benchmarks"]["suite_distributed_v4"] = bench_distributed_v4(
+        sweep_reps, rounds
+    )
+    print(json.dumps(report["benchmarks"]["suite_distributed_v4"], indent=2),
           flush=True)
     print(
         "distributed cached re-run (warm worker caches): "

@@ -40,10 +40,12 @@ def test_committed_baseline_gates_only_same_parallelism_ratios():
     tracked = tracked_ratios(baseline)
     assert set(tracked) == {
         "fig6_standalone.speedup_stats_vs_serial",
+        "fig12_batch.speedup_batch_vs_scalar",
         "table1.speedup_batch_vs_serial",
         "suite_fig12_fig6.speedup_suite_vs_standalone",
         "suite_distributed.speedup_distributed_2w_vs_local_2w",
         "suite_distributed_cached.speedup_cached_vs_cold",
+        "suite_distributed_v4.result_bytes_raw_vs_wire",
     }
     # hardware-dependent worker-scaling ratios must never be gated
     assert not any(key.endswith("w_vs_serial") for key in tracked)

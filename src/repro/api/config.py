@@ -33,6 +33,7 @@ from repro.runtime.distributed import (
     DEFAULT_WORKER_WAIT_TIMEOUT,
     SocketBackend,
 )
+from repro.runtime.wire import DEFAULT_COMPRESS_THRESHOLD
 
 __all__ = ["BackendConfig", "DistributedConfig", "LocalConfig"]
 
@@ -99,6 +100,14 @@ class DistributedConfig(BackendConfig):
     ``min_chunk_cells == max_chunk_cells`` to pin a fixed size, or
     ``adaptive_chunks=False`` for the historical ~2-chunks-per-worker
     slicing. Result bundles are byte-identical either way.
+
+    ``compression`` picks the protocol-v4 data-frame codec per
+    connection: ``"auto"`` (default — the best codec the worker
+    advertised at HELLO, zlib in a stock install), ``"off"``, or a
+    specific codec name (``"zlib"`` / ``"zstd"``), falling back to raw
+    when the peer cannot decode it. Frames smaller than
+    ``compress_threshold`` bytes always ship raw. Compression changes
+    wire bytes only — result bundles stay byte-identical.
     """
 
     name = "distributed"
@@ -115,6 +124,8 @@ class DistributedConfig(BackendConfig):
     min_chunk_cells: int = DEFAULT_MIN_CHUNK_CELLS
     max_chunk_cells: int = DEFAULT_MAX_CHUNK_CELLS
     target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS
+    compression: str = "auto"
+    compress_threshold: int = DEFAULT_COMPRESS_THRESHOLD
 
     def key_bytes(self) -> Optional[bytes]:
         if self.auth_key is None:
@@ -137,6 +148,8 @@ class DistributedConfig(BackendConfig):
                 min_chunk_cells=self.min_chunk_cells,
                 max_chunk_cells=self.max_chunk_cells,
                 target_chunk_seconds=self.target_chunk_seconds,
+                compression=self.compression,
+                compress_threshold=self.compress_threshold,
             )
         except (ValueError, OSError) as exc:
             raise BackendError(f"cannot start distributed backend: {exc}") from exc

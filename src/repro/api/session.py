@@ -83,15 +83,25 @@ class RunRequest:
     ``smoke``
         Run at each spec's smoke-sized parameters (explicit overrides
         still win) — the CI configuration.
+    ``engine``
+        Per-cell execution engine: ``"scalar"`` (default, the
+        reference simulator) or ``"batch"`` (the vectorized affine
+        replay of :mod:`repro.runtime.batch_engine`, which falls back
+        to scalar cell-by-cell wherever its structure does not hold
+        — and entirely when numpy is absent).
     """
 
     experiments: Union[str, Tuple[str, ...]]
     overrides: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
     smoke: bool = False
+    engine: str = "scalar"
 
     def __post_init__(self) -> None:
         if not isinstance(self.experiments, str):
             object.__setattr__(self, "experiments", tuple(self.experiments))
+        from repro.runtime.batch_engine import coerce_engine
+
+        object.__setattr__(self, "engine", coerce_engine(self.engine))
 
 
 class Session:
@@ -203,7 +213,9 @@ class Session:
         """The deduplicated execution plan for a request (no cells
         run)."""
         ids, overrides = self._validate(request)
-        return self._suite_runner(None).plan(ids, overrides=overrides, smoke=request.smoke)
+        return self._suite_runner(None, engine=request.engine).plan(
+            ids, overrides=overrides, smoke=request.smoke
+        )
 
     def run(self, request: RunRequest, *, on_event: Optional[EventSink] = None) -> SuiteReport:
         """Execute a request: plan, run unique cells once, fan results
@@ -212,7 +224,7 @@ class Session:
         ids, overrides = self._validate(request)
         if self._closed:
             raise BackendError("session is closed")
-        runner = self._suite_runner(on_event)
+        runner = self._suite_runner(on_event, engine=request.engine)
         return runner.run(ids, overrides=overrides, smoke=request.smoke)
 
     def stream(self, request: RunRequest) -> RunStream:
@@ -272,10 +284,12 @@ class Session:
         repetitions: int,
         base_seed: int = 0,
         artifact_level: Union[str, Any] = "stats",
+        engine: Optional[str] = None,
     ) -> List[Any]:
         """The paper's repeat-with-distinct-seeds loop for one
         scenario (seeds ``base_seed + i``), through the session's
-        backend."""
+        backend. ``engine="batch"`` selects the vectorized batch
+        engine (see :class:`RunRequest`)."""
         if self._closed:
             raise BackendError("session is closed")
         workers = self._workers()
@@ -289,6 +303,7 @@ class Session:
             base_seed=base_seed,
             backend=self._backend,
             on_event=self._sink(None),
+            engine=engine,
         ) as runner:
             return runner.run_repetitions(scenario, repetitions=repetitions)
 
@@ -310,7 +325,9 @@ class Session:
                 )
         return ids, overrides
 
-    def _suite_runner(self, extra_sink: Optional[EventSink]) -> SuiteRunner:
+    def _suite_runner(
+        self, extra_sink: Optional[EventSink], engine: Optional[str] = None
+    ) -> SuiteRunner:
         workers = self._workers()
         return SuiteRunner(
             workers=workers,
@@ -319,6 +336,7 @@ class Session:
             backend=self._backend,
             on_event=self._sink(extra_sink),
             checkpoint_dir=self.resume,
+            engine=engine,
         )
 
     def _workers(self) -> int:

@@ -12,7 +12,7 @@ from __future__ import annotations
 import copy
 import random
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.http import semantics_for
 from repro.http.base import RequestSpec
@@ -23,6 +23,7 @@ from repro.quic.certs import Certificate, SMALL_CERTIFICATE
 from repro.quic.client import ClientConnection
 from repro.quic.connection import ConnectionStats
 from repro.quic.server import ServerConfig, ServerConnection, ServerMode
+from repro.sim.draws import BehaviorDraws
 from repro.sim.engine import EventLoop
 from repro.sim.link import DEFAULT_BANDWIDTH_BPS
 from repro.sim.loss import LossPattern
@@ -116,6 +117,7 @@ class Runner:
         *,
         capture_trace: bool = True,
         record_qlog: bool = True,
+        draws: Optional[Tuple[BehaviorDraws, BehaviorDraws]] = None,
     ) -> RunResult:
         """Run a single connection and return its artifacts.
 
@@ -124,6 +126,10 @@ class Runner:
         connection behavior (and therefore the stats) is bit-identical
         either way, since the qlog writers keep consuming their
         exposure-policy rng draws without storing events.
+
+        ``draws`` overrides the ``(client, server)`` behavior-draw
+        sources — the batch engine's skeleton runs pin them to probe
+        values via :class:`~repro.sim.draws.ForcedDraws`.
         """
         seed = self.base_seed if seed is None else seed
         loop = EventLoop()
@@ -151,8 +157,16 @@ class Runner:
         )
         # String seeds are hashed (SHA-512) by random.Random, giving
         # well-mixed first draws even for sequential repetition seeds.
+        # The shared per-role rng feeds only the qlog exposure draws;
+        # behavior draws come from purpose-derived streams so their
+        # values are pure functions of (role, seed, purpose).
         rng_client = random.Random(f"client:{seed}")
         rng_server = random.Random(f"server:{seed}")
+        if draws is not None:
+            draws_client, draws_server = draws
+        else:
+            draws_client = BehaviorDraws("client", seed)
+            draws_server = BehaviorDraws("server", seed)
         request = RequestSpec(response_size=scenario.response_size)
         client = ClientConnection(
             loop,
@@ -165,6 +179,7 @@ class Runner:
                 record_events=record_qlog,
             ),
             name="client",
+            draws=draws_client,
         )
         server_config = ServerConfig(
             mode=scenario.mode,
@@ -183,6 +198,7 @@ class Runner:
                 record_events=record_qlog,
             ),
             name="server",
+            draws=draws_server,
         )
         server.set_request_spec(request)
         client.attach_transport(

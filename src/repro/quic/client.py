@@ -41,8 +41,9 @@ class ClientConnection(Endpoint):
         rng: Optional[random.Random] = None,
         qlog: Optional[QlogWriter] = None,
         name: str = "client",
+        draws=None,
     ):
-        super().__init__(loop, profile, rng=rng, qlog=qlog, name=name)
+        super().__init__(loop, profile, rng=rng, qlog=qlog, name=name, draws=draws)
         if not profile.supports_http3 and http.name == "http/3":
             raise ValueError(f"{profile.name} does not implement HTTP/3")
         self.http = http
@@ -97,7 +98,7 @@ class ClientConnection(Endpoint):
 
     def _second_flight_datagram_count(self) -> int:
         if self.profile.second_flight_variants:
-            roll = self.rng.random()
+            roll = self.draws.second_flight_roll()
             cumulative = 0.0
             for variant in self.profile.second_flight_variants:
                 cumulative += variant.probability

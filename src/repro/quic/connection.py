@@ -36,6 +36,7 @@ from repro.quic.packet import INITIAL_MIN_DATAGRAM, Packet, PacketType, Space
 from repro.quic.recovery import Recovery, RecoveryConfig, SentPacket
 from repro.quic.streams import StreamSet
 from repro.quic.tls import CryptoReceiveBuffer, CryptoSendBuffer
+from repro.sim.draws import BehaviorDraws, RngDraws
 from repro.sim.engine import EventLoop, Timer
 
 _SPACE_TO_TYPE = {
@@ -179,10 +180,14 @@ class Endpoint:
         rng: Optional[random.Random] = None,
         qlog: Optional[QlogWriter] = None,
         name: str = "endpoint",
+        draws: Optional[BehaviorDraws] = None,
     ):
         self.loop = loop
         self.profile = profile
         self.rng = rng if rng is not None else random.Random(0)
+        #: Behavior randomness. Without an explicit ``draws`` the legacy
+        #: shared-stream semantics apply (draws interleave on ``rng``).
+        self.draws = draws if draws is not None else RngDraws(self.rng)
         self.name = name
         self.qlog = qlog if qlog is not None else QlogWriter(
             name, profile.exposure_policy(), self.rng
@@ -202,7 +207,7 @@ class Endpoint:
                 misinit_srtt_probability=profile.misinit_srtt_probability,
                 misinit_srtt_ms=profile.misinit_srtt_ms,
             ),
-            rng=self.rng,
+            rng=self.draws.misinit_rng(),
             is_client=self.is_client,
         )
         self.cc = NewRenoController()
@@ -292,9 +297,7 @@ class Endpoint:
             and not self._crypto_penalty_paid
         ):
             self._crypto_penalty_paid = True
-            jitter = self.rng.uniform(
-                -self.profile.penalty_jitter_ms, self.profile.penalty_jitter_ms
-            )
+            jitter = self.draws.penalty_jitter(self.profile.penalty_jitter_ms)
             return max(0.01, self.profile.coalesced_processing_penalty_ms + jitter)
         return self.profile.base_processing_ms
 

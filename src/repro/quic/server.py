@@ -88,8 +88,9 @@ class ServerConnection(Endpoint):
         rng: Optional[random.Random] = None,
         qlog: Optional[QlogWriter] = None,
         name: str = "server",
+        draws=None,
     ):
-        super().__init__(loop, profile, rng=rng, qlog=qlog, name=name)
+        super().__init__(loop, profile, rng=rng, qlog=qlog, name=name, draws=draws)
         self.http = http
         self.config = config if config is not None else ServerConfig()
         self.amplification = AmplificationLimiter()
@@ -193,7 +194,7 @@ class ServerConnection(Endpoint):
     def _crypto_processing_sample(self) -> float:
         """Time to compile ServerHello, certificate, and signature —
         dominated by the signing function (§4.1)."""
-        jitter = self.rng.uniform(0.0, self.profile.crypto_processing_jitter_ms)
+        jitter = self.draws.crypto_jitter(self.profile.crypto_processing_jitter_ms)
         return self.profile.crypto_processing_ms + jitter
 
     def _send_iack(self) -> None:

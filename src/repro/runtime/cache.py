@@ -95,10 +95,22 @@ class ResultCache:
             "entries": len(self._store),
         }
 
-    def make_key(self, scenario: Scenario, seed: int, level: Any) -> Optional[Tuple[Any, ...]]:
+    def make_key(
+        self,
+        scenario: Scenario,
+        seed: int,
+        level: Any,
+        engine: str = "scalar",
+    ) -> Optional[Tuple[Any, ...]]:
         skey = scenario_key(scenario)
         if skey is None:
             return None
+        if engine != "scalar":
+            # Engine-qualified keys: the batch engine is stats-identical
+            # only within a documented tolerance, so its artifacts never
+            # masquerade as scalar results (or vice versa). Scalar keys
+            # keep their historical 3-tuple shape.
+            return (skey, seed, getattr(level, "value", level), engine)
         return (skey, seed, getattr(level, "value", level))
 
     def get(self, key: Optional[Tuple[Any, ...]]) -> Optional[Any]:

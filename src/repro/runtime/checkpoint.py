@@ -56,6 +56,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import CheckpointError
 from repro.runtime.artifacts import RunArtifacts
+from repro.runtime.wire import compress_blob, decompress_blob
 from repro.schema import BUNDLE_SCHEMA_VERSION
 
 __all__ = [
@@ -81,13 +82,16 @@ def _atomic_write(path: str, data: bytes) -> None:
     os.replace(tmp, path)
 
 
-def plan_fingerprint(plan: Any) -> str:
+def plan_fingerprint(plan: Any, engine: str = "scalar") -> str:
     """Content-address one planned suite (see the module docs).
 
     Everything that determines the meaning of a cell index is
     covered: experiment ids and resolved params, artifact level,
-    bundle schema version, and each unique cell's value identity in
-    plan order.
+    bundle schema version, each unique cell's value identity in plan
+    order — and the execution engine, when it is not the scalar
+    reference (a batch-engine journal must not be grafted into a
+    scalar resume or vice versa; scalar fingerprints keep their
+    historical value so pre-engine checkpoints stay resumable).
     """
     from repro.runtime.suite import cell_key
 
@@ -103,6 +107,8 @@ def plan_fingerprint(plan: Any) -> str:
         ],
         "cells": cells,
     }
+    if engine != "scalar":
+        doc["engine"] = engine
     payload = json.dumps(doc, sort_keys=True, default=repr).encode("utf-8")
     return hashlib.sha256(payload).hexdigest()
 
@@ -186,7 +192,11 @@ class SuiteCheckpoint:
             path = os.path.join(self.directory, name)
             try:
                 with open(path, "rb") as fh:
-                    entries = pickle.load(fh)
+                    # Segments written by this version are codec-framed
+                    # (compressed); pre-v4 segments are bare pickles and
+                    # pass through decompress_blob unchanged, so old
+                    # checkpoints stay resumable.
+                    entries = pickle.loads(decompress_blob(fh.read()))
             except Exception as exc:
                 # Atomic segment writes make this unreachable for a
                 # crash; a genuinely corrupt file means the directory
@@ -209,5 +219,7 @@ class SuiteCheckpoint:
             path = os.path.join(self.directory, f"cells-{self._seq:06d}.pkl")
             _atomic_write(
                 path,
-                pickle.dumps(list(entries), protocol=pickle.HIGHEST_PROTOCOL),
+                compress_blob(
+                    pickle.dumps(list(entries), protocol=pickle.HIGHEST_PROTOCOL)
+                ),
             )

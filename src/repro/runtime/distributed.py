@@ -16,20 +16,30 @@ speculative duplicates for stragglers — lives behind the
 (:class:`~repro.runtime.scheduler.ChunkScheduler` by default), called
 only under the backend's state lock.
 
-Wire protocol (version 3)
+Wire protocol (version 4)
 -------------------------
 
-Every frame is ``b"RPRO" | type:u8 | length:u32be | payload`` with a
-pickled payload. Frames whose magic is wrong, whose length exceeds the
-configured bound, or whose payload does not unpickle raise
+Every frame is ``b"RPRO" | type:u8 | length:u32be | body``. *Control*
+frames (HELLO / WELCOME / HEARTBEAT / SHUTDOWN / DRAIN) carry a plain
+pickled body. *Data* frames (CHUNK / RESULT / ERROR — the ones with
+real volume) carry a :mod:`repro.runtime.wire` body instead:
+``u8 codec | payload`` where the payload is a pickle-protocol-5 stream
+with its :class:`pickle.PickleBuffer` buffers shipped out-of-band (the
+receiver hands ``pickle.loads`` zero-copy memoryview slices of the
+frame), optionally compressed as one stream when it clears the
+negotiated size threshold. Frames whose magic is wrong, whose length
+exceeds the configured bound, or whose body does not decode raise
 :class:`ProtocolError`; the server answers any of those by dropping
 that connection (never by crashing the run).
 
 ========== =============== ==========================================
 type       direction       payload
 ========== =============== ==========================================
-HELLO      worker → server ``{"version", "pid", "host", "epoch"}``
-CHUNK      server → worker ``(job_id, chunk_id, GroupedChunk, level)``
+HELLO      worker → server ``{"version", "pid", "host", "epoch",
+                            "codecs"}``
+WELCOME    server → worker ``{"version", "codec", "threshold"}``
+CHUNK      server → worker ``(job_id, chunk_id, GroupedChunk, level,
+                            engine)``
 RESULT     worker → server ``(job_id, chunk_id, [(index, artifacts)],
                             cache_meta)``
 HEARTBEAT  worker → server ``None`` (liveness while computing)
@@ -45,9 +55,16 @@ the coordinator surfaces as
 :class:`~repro.runtime.events.ChunkCacheStats`. Version 3 added the
 DRAIN frame and the ``epoch`` HELLO field (0 on a worker's first
 connection, incremented each time it rejoins after losing the
-coordinator). Versions must match exactly (HELLO is rejected
-otherwise), so mixed fleets fail loudly at connect time instead of
-corrupting frames.
+coordinator). Version 4 moved the data frames to out-of-band pickles
+with per-connection compression — the worker advertises the codecs it
+can decode in HELLO (``"codecs"``), the coordinator answers with a
+WELCOME naming its pick and the compression threshold before any CHUNK
+is sent, and every data-frame body is self-describing (the codec byte)
+so either side can decode anything it supports regardless of the
+negotiation. CHUNK also gained the execution ``engine`` field so
+``--engine batch`` reaches remote workers. Versions must match exactly
+(HELLO is rejected otherwise), so mixed fleets fail loudly at connect
+time instead of corrupting frames.
 
 Elastic membership
 ------------------
@@ -213,13 +230,20 @@ from repro.runtime.scheduler import (  # noqa: F401  (re-exported: historical ho
     ScaleHint,
     Scheduler,
 )
+from repro.runtime.wire import (
+    DEFAULT_COMPRESS_THRESHOLD,
+    available_codecs,
+    choose_codec,
+    decode_payload,
+    encode_payload,
+)
 from repro.runtime.worker import (
     GroupedChunk,
     IndexedCell,
     run_cell_chunk,
 )
 
-PROTOCOL_VERSION = 3
+PROTOCOL_VERSION = 4
 MAGIC = b"RPRO"
 _HEADER = struct.Struct(">4sBI")
 
@@ -261,6 +285,12 @@ MSG_HEARTBEAT = 4
 MSG_SHUTDOWN = 5
 MSG_ERROR = 6
 MSG_DRAIN = 7
+MSG_WELCOME = 8
+
+#: Frame types whose body is a :mod:`repro.runtime.wire` data payload
+#: (out-of-band pickle + optional compression) rather than a plain
+#: pickle. These are the frames that carry real volume.
+DATA_FRAMES = frozenset({MSG_CHUNK, MSG_RESULT, MSG_ERROR})
 
 
 class ProtocolError(Exception):
@@ -319,6 +349,56 @@ def send_frame(
             sock.sendall(frame)
 
 
+def make_data_frame(
+    msg_type: int,
+    payload: Any,
+    codec: str = "raw",
+    threshold: int = DEFAULT_COMPRESS_THRESHOLD,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> Tuple[bytes, int]:
+    """Serialize one *data* frame (CHUNK / RESULT / ERROR) to wire
+    bytes. Returns ``(frame, raw_len)`` where ``raw_len`` is the
+    uncompressed body size — the byte counters report both so the
+    compression win is a measured number."""
+    body, raw_len = encode_payload(payload, codec=codec, threshold=threshold)
+    if len(body) > max_frame_bytes:
+        raise ProtocolError(
+            f"outgoing frame of {len(body)} bytes exceeds the "
+            f"{max_frame_bytes}-byte bound; lower the chunk size"
+        )
+    return _HEADER.pack(MAGIC, msg_type, len(body)) + body, raw_len
+
+
+def send_data_frame(
+    sock: socket.socket,
+    msg_type: int,
+    payload: Any,
+    codec: str = "raw",
+    threshold: int = DEFAULT_COMPRESS_THRESHOLD,
+    lock: Optional[threading.Lock] = None,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    size_aware_timeout: bool = False,
+) -> Tuple[int, int]:
+    """Serialize and send one data frame with the connection's
+    negotiated codec. Returns ``(wire_len, raw_len)`` of the frame for
+    the transfer byte counters; locking and timeout semantics match
+    :func:`send_frame`."""
+    frame, raw_len = make_data_frame(
+        msg_type, payload, codec=codec, threshold=threshold,
+        max_frame_bytes=max_frame_bytes,
+    )
+    if lock is None:
+        if size_aware_timeout:
+            sock.settimeout(chunk_send_timeout(len(frame)))
+        sock.sendall(frame)
+    else:
+        with lock:
+            if size_aware_timeout:
+                sock.settimeout(chunk_send_timeout(len(frame)))
+            sock.sendall(frame)
+    return len(frame), raw_len
+
+
 def _recv_exact(sock: socket.socket, nbytes: int) -> bytes:
     buf = bytearray()
     while len(buf) < nbytes:
@@ -329,11 +409,20 @@ def _recv_exact(sock: socket.socket, nbytes: int) -> bytes:
     return bytes(buf)
 
 
-def recv_frame(
+def recv_frame_ex(
     sock: socket.socket, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
-) -> Tuple[int, Any]:
+) -> Tuple[int, Any, int, int]:
     """Read one frame, validating magic and length before the payload
-    is ever buffered."""
+    is ever buffered.
+
+    Returns ``(msg_type, payload, wire_len, raw_len)`` where
+    ``wire_len`` is the frame's on-the-wire size (header included) and
+    ``raw_len`` the uncompressed body size — equal for control frames,
+    smaller on the wire for compressed data frames. Data frames
+    (CHUNK / RESULT / ERROR) are decoded through the self-describing
+    :mod:`repro.runtime.wire` body; control frames stay plain pickles
+    so a v3 peer is rejected at HELLO before any v4 body is parsed.
+    """
     magic, msg_type, length = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
     if magic == AUTH_MAGIC:
         raise ProtocolError(
@@ -349,9 +438,25 @@ def recv_frame(
         )
     payload = _recv_exact(sock, length)
     try:
-        return msg_type, pickle.loads(payload)
+        if msg_type in DATA_FRAMES and not payload.startswith(b"\x80"):
+            obj, raw_len = decode_payload(payload)
+        else:
+            # Control frames are always plain pickles; a *data* frame
+            # whose first byte is the pickle opcode 0x80 (never a valid
+            # codec id) is one too — the v3-style body a hand-rolled
+            # test peer or debugging script produces with send_frame.
+            obj, raw_len = pickle.loads(payload), length
+        return msg_type, obj, _HEADER.size + length, raw_len
     except Exception as exc:
         raise ProtocolError(f"undecodable frame payload: {exc!r}") from exc
+
+
+def recv_frame(
+    sock: socket.socket, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> Tuple[int, Any]:
+    """:func:`recv_frame_ex` without the byte accounting."""
+    msg_type, payload, _, _ = recv_frame_ex(sock, max_frame_bytes)
+    return msg_type, payload
 
 
 # -- authentication -----------------------------------------------------
@@ -546,6 +651,12 @@ def worker_main(
         fault_plan = FaultPlan(kill_after_chunks=fail_after)
     faults = FaultInjector(fault_plan)
     cache = ResultCache(max_entries=cache_entries) if cache_entries else None
+    # Worker-lifetime batch engine: its skeleton-fit cache is a pure
+    # function of (scenario, combo), so it survives rejoins and lets a
+    # scenario split across many chunks pay for its probes once.
+    from repro.runtime.batch_engine import BatchEngine
+
+    batch_engine = BatchEngine()
     drain = drain_event if drain_event is not None else threading.Event()
     epoch = 0
     window = retry_for
@@ -564,6 +675,7 @@ def worker_main(
             max_frame_bytes,
             auth_key,
             cache,
+            batch_engine,
             faults,
             drain,
             say,
@@ -584,6 +696,7 @@ def _worker_session(
     max_frame_bytes: int,
     auth_key: Optional[bytes],
     cache: Optional[ResultCache],
+    batch_engine: object,
     faults: FaultInjector,
     drain: threading.Event,
     say: Callable[[str], None],
@@ -656,6 +769,8 @@ def _worker_session(
                 return
 
     chunks_done = 0
+    codec = "raw"
+    threshold = DEFAULT_COMPRESS_THRESHOLD
     try:
         send_frame(
             sock,
@@ -665,11 +780,31 @@ def _worker_session(
                 "pid": os.getpid(),
                 "host": socket.gethostname(),
                 "epoch": epoch,
+                "codecs": available_codecs(),
             },
             lock=send_lock,
             max_frame_bytes=max_frame_bytes,
         )
-        say(f"connected to {host}:{port} (pid {os.getpid()}, epoch {epoch})")
+        # The coordinator answers HELLO with WELCOME before any CHUNK,
+        # naming the codec this worker's data frames should use (always
+        # one we advertised) and the compression threshold. A v3
+        # coordinator rejects the HELLO instead, which lands here as a
+        # closed connection — loud, not corrupted frames.
+        msg_type, payload = recv_frame(sock, max_frame_bytes)
+        if msg_type != MSG_WELCOME or not isinstance(payload, dict):
+            raise ProtocolError(
+                f"expected WELCOME after HELLO, got message type {msg_type}"
+            )
+        if payload.get("version") != PROTOCOL_VERSION:
+            raise ProtocolError(f"protocol version mismatch: {payload!r}")
+        codec = str(payload.get("codec", "raw"))
+        if codec not in available_codecs():
+            raise ProtocolError(f"coordinator chose unsupported codec {codec!r}")
+        threshold = int(payload.get("threshold", DEFAULT_COMPRESS_THRESHOLD))
+        say(
+            f"connected to {host}:{port} (pid {os.getpid()}, epoch {epoch}, "
+            f"codec {codec})"
+        )
         threading.Thread(target=beat, daemon=True).start()
         while True:
             if drain.is_set():
@@ -688,7 +823,7 @@ def _worker_session(
                 return 0, False
             if msg_type != MSG_CHUNK:
                 continue
-            job_id, chunk_id, grouped, level_value = payload
+            job_id, chunk_id, grouped, level_value, engine = payload
             if faults.should_kill_on_chunk():
                 say(f"fault injection: dying with chunk {chunk_id} in flight")
                 os._exit(17)
@@ -698,7 +833,13 @@ def _worker_session(
                 if delay > 0:
                     time.sleep(delay)
                 before = cache.stats() if cache is not None else None
-                results = run_cell_chunk(grouped, level_value, cache=cache)
+                results = run_cell_chunk(
+                    grouped,
+                    level_value,
+                    cache=cache,
+                    engine=engine,
+                    batch_engine=batch_engine,
+                )
                 cache_meta = None
                 if cache is not None:
                     after = cache.stats()
@@ -715,15 +856,21 @@ def _worker_session(
                     continue
                 rate = faults.send_rate()
                 if rate is not None:
-                    frame = make_frame(
-                        MSG_RESULT, (job_id, chunk_id, results, cache_meta), max_frame_bytes
+                    frame, _ = make_data_frame(
+                        MSG_RESULT,
+                        (job_id, chunk_id, results, cache_meta),
+                        codec=codec,
+                        threshold=threshold,
+                        max_frame_bytes=max_frame_bytes,
                     )
                     _send_throttled(sock, frame, rate, send_lock)
                 else:
-                    send_frame(
+                    send_data_frame(
                         sock,
                         MSG_RESULT,
                         (job_id, chunk_id, results, cache_meta),
+                        codec=codec,
+                        threshold=threshold,
                         lock=send_lock,
                         max_frame_bytes=max_frame_bytes,
                     )
@@ -731,7 +878,7 @@ def _worker_session(
                 # Includes an oversized RESULT pickle: that is as
                 # deterministic as a simulator error, so report it
                 # instead of dying and letting the chunk requeue.
-                send_frame(
+                send_data_frame(
                     sock,
                     MSG_ERROR,
                     {
@@ -740,6 +887,8 @@ def _worker_session(
                         "error": repr(exc),
                         "traceback": traceback.format_exc(),
                     },
+                    codec=codec,
+                    threshold=threshold,
                     lock=send_lock,
                     max_frame_bytes=max_frame_bytes,
                 )
@@ -799,6 +948,14 @@ class BackendStats:
     #: Cells served from worker-resident result caches instead of
     #: simulated, summed over every recorded RESULT frame.
     worker_cache_hits: int = 0
+    #: Transfer accounting for the v4 data frames: ``*_raw`` is the
+    #: uncompressed body size, ``*_wire`` what actually crossed the
+    #: socket (header included) — the compression win is
+    #: ``raw - wire``, a measured number rather than a claim.
+    chunk_bytes_raw: int = 0
+    chunk_bytes_wire: int = 0
+    result_bytes_raw: int = 0
+    result_bytes_wire: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return dict(vars(self))
@@ -881,9 +1038,18 @@ class SocketBackend(ExecutionBackend):
         max_chunk_cells: int = DEFAULT_MAX_CHUNK_CELLS,
         target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS,
         scheduler: Optional[Scheduler] = None,
+        compression: str = "auto",
+        compress_threshold: int = DEFAULT_COMPRESS_THRESHOLD,
     ):
         if min_workers < 1:
             raise ValueError("min_workers must be >= 1")
+        if compression not in ("auto", "off", "raw", "zlib", "zstd"):
+            raise ValueError(
+                f"unknown compression setting {compression!r} "
+                "(expected auto/off/zlib/zstd)"
+            )
+        if compress_threshold < 0:
+            raise ValueError("compress_threshold must be >= 0")
         if auth_key is not None and not auth_key:
             raise ValueError("auth_key must be non-empty when set")
         if auth_key is None and not _is_loopback(host):
@@ -902,6 +1068,8 @@ class SocketBackend(ExecutionBackend):
         self.min_chunk_cells = min_chunk_cells
         self.max_chunk_cells = max_chunk_cells
         self.target_chunk_seconds = target_chunk_seconds
+        self.compression = compression
+        self.compress_threshold = compress_threshold
         # ChunkScheduler validates the chunk-sizing/retry bounds, so a
         # caller-supplied scheduler applies its own policy instead.
         self._scheduler: Scheduler = scheduler or ChunkScheduler(
@@ -918,6 +1086,7 @@ class SocketBackend(ExecutionBackend):
         self._workers: Dict[int, _WorkerConn] = {}
         self._next_wid = 0
         self._job_seq = 0
+        self._job_engine = "scalar"
         self._closed = False
         self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
         self._accept_thread.start()
@@ -965,6 +1134,22 @@ class SocketBackend(ExecutionBackend):
                 raise ProtocolError(f"expected HELLO, got message type {msg_type}")
             if not isinstance(payload, dict) or payload.get("version") != PROTOCOL_VERSION:
                 raise ProtocolError(f"protocol version mismatch: {payload!r}")
+            # Negotiate this connection's data-frame codec and answer
+            # with WELCOME *before* the worker is registered — no CHUNK
+            # can be dispatched to it yet, so WELCOME is guaranteed to
+            # be the first frame the worker reads after its HELLO.
+            codec = choose_codec(payload.get("codecs"), self.compression)
+            payload = dict(payload)
+            payload["codec"] = codec
+            send_frame(
+                sock,
+                MSG_WELCOME,
+                {
+                    "version": PROTOCOL_VERSION,
+                    "codec": codec,
+                    "threshold": self.compress_threshold,
+                },
+            )
         except (ProtocolError, ConnectionError, OSError):
             with self._cond:
                 self.stats.protocol_errors += 1
@@ -994,7 +1179,9 @@ class SocketBackend(ExecutionBackend):
         reason: Optional[BaseException] = None
         try:
             while True:
-                msg_type, payload = recv_frame(sock, self.max_frame_bytes)
+                msg_type, payload, wire_len, raw_len = recv_frame_ex(
+                    sock, self.max_frame_bytes
+                )
                 if msg_type == MSG_HEARTBEAT:
                     continue
                 if msg_type == MSG_DRAIN:
@@ -1011,6 +1198,8 @@ class SocketBackend(ExecutionBackend):
                     cache_stats = _decode_cache_meta(cache_meta)
                     recorded = False
                     with self._cond:
+                        self.stats.result_bytes_wire += wire_len
+                        self.stats.result_bytes_raw += raw_len
                         state = self._scheduler.worker_state(conn.wid)
                         if conn.inflight == (job_id, chunk_id):
                             conn.inflight = None
@@ -1238,12 +1427,15 @@ class SocketBackend(ExecutionBackend):
         return True
 
     def run_chunks(
-        self, chunks: Sequence[GroupedChunk], level_value: str
+        self,
+        chunks: Sequence[GroupedChunk],
+        level_value: str,
+        engine: str = "scalar",
     ) -> List[Tuple[int, RunArtifacts]]:
         """Serve caller-sized chunks (the pinned-``chunk_size`` path)."""
         if not chunks:
             return []
-        self._register_job(chunks=list(chunks))
+        self._register_job(engine=engine, chunks=list(chunks))
         return self._run_job(level_value)
 
     def run_cells(
@@ -1251,6 +1443,7 @@ class SocketBackend(ExecutionBackend):
         cells: Sequence[IndexedCell],
         level_value: str,
         chunk_size: Optional[int] = None,
+        engine: str = "scalar",
     ) -> List[Tuple[int, RunArtifacts]]:
         """Serve cells with adaptively sized per-worker chunks.
 
@@ -1261,7 +1454,7 @@ class SocketBackend(ExecutionBackend):
         its EWMA throughput, clamped to the configured cell bounds.
         """
         if chunk_size is not None or not self.adaptive_chunks:
-            return super().run_cells(cells, level_value, chunk_size)
+            return super().run_cells(cells, level_value, chunk_size, engine=engine)
         if not cells:
             return []
         # The first chunks predate any throughput signal: deal each
@@ -1274,16 +1467,19 @@ class SocketBackend(ExecutionBackend):
             self.min_chunk_cells,
             min(self.max_chunk_cells, -(-len(cells) // (slots * 4))),
         )
-        self._register_job(pool=list(cells), initial_chunk_cells=initial)
+        self._register_job(
+            engine=engine, pool=list(cells), initial_chunk_cells=initial
+        )
         return self._run_job(level_value)
 
-    def _register_job(self, **job_kwargs: Any) -> None:
+    def _register_job(self, engine: str = "scalar", **job_kwargs: Any) -> None:
         if self._closed:
             raise BackendError("backend is closed")
         with self._cond:
             if self._scheduler.job is not None:
                 raise BackendError("backend is already running a job")
             self._job_seq += 1
+            self._job_engine = engine
             self._scheduler.start_job(self._job_seq, **job_kwargs)
 
     def _run_job(self, level_value: str) -> List[Tuple[int, RunArtifacts]]:
@@ -1366,29 +1562,60 @@ class SocketBackend(ExecutionBackend):
                 with self._cond:
                     self._scheduler.mark_send(conn.wid, time.monotonic())
                 try:
-                    send_frame(
+                    wire_len, raw_len = send_data_frame(
                         conn.wsock,
                         MSG_CHUNK,
-                        (job_id, assignment.chunk_id, assignment.chunk, level_value),
+                        (
+                            job_id,
+                            assignment.chunk_id,
+                            assignment.chunk,
+                            level_value,
+                            self._job_engine,
+                        ),
+                        codec=conn.info.get("codec", "raw"),
+                        threshold=self.compress_threshold,
                         lock=conn.send_lock,
                         max_frame_bytes=self.max_frame_bytes,
                         size_aware_timeout=True,
                     )
                 except ProtocolError as exc:
                     # An oversized outgoing chunk is deterministic — it
-                    # would fail on every worker, so abort with the
-                    # actionable message instead of tearing the fleet
-                    # down one requeue at a time. The failed chunk and
-                    # the batch's still-unsent tail are un-assigned so
-                    # their workers stay usable after the abort.
+                    # would fail on every worker, so requeueing it whole
+                    # would tear the fleet down one requeue at a time.
+                    # The scheduler splits it in half instead (also
+                    # halving this worker's EWMA-derived sizing) and
+                    # dispatch continues; only a chunk already down to
+                    # one cell aborts, with the cell spelled out so the
+                    # suite layer can name the experiment it belongs to.
                     with self._cond:
-                        self._unassign_locked(batch[sent:])
-                    raise BackendError(
-                        f"chunk {assignment.chunk_id} cannot be dispatched: {exc}"
-                    ) from exc
+                        conn.inflight = None
+                        self.stats.chunks_dispatched -= 1
+                        if assignment.speculative:
+                            self.stats.chunks_speculated -= 1
+                        handled = self._scheduler.split_oversized(conn.wid, assignment)
+                        if handled:
+                            self.stats.chunks_requeued += 1
+                        self._unassign_locked(batch[sent + 1 :])
+                        self._cond.notify_all()
+                    if not handled:
+                        error = BackendError(
+                            f"chunk {assignment.chunk_id} "
+                            f"({assignment.cells} cell(s)) cannot be "
+                            f"dispatched even at minimum size: {exc}"
+                        )
+                        error.poison_cells = tuple(
+                            (scenario, seed)
+                            for scenario, pairs in assignment.chunk
+                            for _index, seed in pairs
+                        )
+                        raise error from exc
+                    break
                 except OSError as exc:
                     self._drop_worker(conn, exc)
                     continue
+                with self._cond:
+                    self.stats.chunk_bytes_wire += wire_len
+                    self.stats.chunk_bytes_raw += raw_len
                 if assignment.speculative:
                     self.emit(
                         ChunkSpeculated(

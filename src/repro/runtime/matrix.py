@@ -31,6 +31,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 from repro.interop.runner import Scenario
 from repro.runtime.artifacts import ArtifactLevel, RunArtifacts, execute_cell
 from repro.runtime.backend import ExecutionBackend, LocalBackend, ResultObserver, mp_context
+from repro.runtime.batch_engine import ENGINE_SCALAR, BatchEngine, coerce_engine, execute_cells
 from repro.runtime.cache import ResultCache
 from repro.runtime.events import CellCompleted, EventSink, emit
 from repro.runtime.worker import IndexedCell, call_task
@@ -42,6 +43,21 @@ class Cell:
 
     scenario: Scenario
     seed: int
+
+
+def _group_pending(
+    pending: Sequence[IndexedCell],
+) -> List[Tuple[Scenario, List[IndexedCell]]]:
+    """Consecutive same-scenario runs of the pending list (identity
+    grouping, mirroring :func:`repro.runtime.worker.group_cells`)."""
+    groups: List[Tuple[Scenario, List[IndexedCell]]] = []
+    last_id: Optional[int] = None
+    for item in pending:
+        if last_id != id(item[1]):
+            groups.append((item[1], []))
+            last_id = id(item[1])
+        groups[-1][1].append(item)
+    return groups
 
 
 def default_workers() -> int:
@@ -81,6 +97,7 @@ class MatrixRunner:
         chunk_size: Optional[int] = None,
         backend: Optional[ExecutionBackend] = None,
         on_event: Optional[EventSink] = None,
+        engine: Optional[str] = None,
     ):
         if workers is None:
             workers = default_workers()
@@ -94,6 +111,10 @@ class MatrixRunner:
         self.cache = cache
         self.chunk_size = chunk_size
         self.backend = backend
+        #: Per-cell execution engine: ``"scalar"`` (the reference
+        #: simulator) or ``"batch"`` (vectorized affine replay with
+        #: scalar fallback — see :mod:`repro.runtime.batch_engine`).
+        self.engine = coerce_engine(engine)
         #: Optional run-event observer: per-cell progress on the serial
         #: path, per-chunk progress via the owned pool backend. A
         #: caller-supplied ``backend`` keeps whatever sink its owner
@@ -148,7 +169,7 @@ class MatrixRunner:
         cache = self.cache
         for i, cell in enumerate(cells):
             if cache is not None:
-                key = cache.make_key(cell.scenario, cell.seed, level)
+                key = cache.make_key(cell.scenario, cell.seed, level, engine=self.engine)
                 keys[i] = key
                 hit = cache.get(key)
                 if hit is not None:
@@ -166,8 +187,11 @@ class MatrixRunner:
                 computed = []
                 observer = self.result_observer
                 journal: List[Tuple[int, RunArtifacts]] = []
-                for done, (i, scenario, seed) in enumerate(pending, start=1):
-                    artifacts = execute_cell(scenario, seed, level)
+                done = 0
+
+                def finish(i: int, artifacts: RunArtifacts) -> None:
+                    nonlocal done, journal
+                    done += 1
                     computed.append((i, artifacts))
                     if self.on_event is not None:
                         emit(
@@ -183,6 +207,22 @@ class MatrixRunner:
                         if len(journal) >= 32:
                             observer(journal)
                             journal = []
+
+                if self.engine != ENGINE_SCALAR:
+                    # Cell expansion is scenario-major, so consecutive
+                    # pending cells of one scenario form the engine's
+                    # lockstep groups; one BatchEngine reuses skeleton
+                    # probes across groups of the same call.
+                    batch = BatchEngine()
+                    for scenario, group in _group_pending(pending):
+                        pairs = [(i, seed) for i, _scenario, seed in group]
+                        for i, artifacts in execute_cells(
+                            scenario, pairs, level, engine=self.engine, batch_engine=batch
+                        ):
+                            finish(i, artifacts)
+                else:
+                    for i, scenario, seed in pending:
+                        finish(i, execute_cell(scenario, seed, level))
                 if observer is not None and journal:
                     observer(journal)
             for i, artifacts in computed:
@@ -198,15 +238,20 @@ class MatrixRunner:
         # chunks adaptively. Either way results come back index-tagged,
         # so reassembly is identical.
         backend = self._get_backend()
+        kwargs: dict = {"chunk_size": self.chunk_size}
+        if self.engine != ENGINE_SCALAR:
+            # Scalar runs keep the historical call shape so pre-engine
+            # backend subclasses stay source-compatible.
+            kwargs["engine"] = self.engine
         if self.result_observer is None:
-            return backend.run_cells(pending, self.artifact_level.value, chunk_size=self.chunk_size)
+            return backend.run_cells(pending, self.artifact_level.value, **kwargs)
         # Attach the durable observer for this call only, preserving
         # whatever the backend's owner had attached (a caller-owned
         # backend outlives this runner).
         previous = backend._result_observer
         backend.set_result_observer(self.result_observer)
         try:
-            return backend.run_cells(pending, self.artifact_level.value, chunk_size=self.chunk_size)
+            return backend.run_cells(pending, self.artifact_level.value, **kwargs)
         finally:
             backend.set_result_observer(previous)
 

@@ -338,6 +338,20 @@ class Scheduler(ABC):
     def unassign(self, wid: int, assignment: Assignment) -> None:
         """Roll back an assignment whose dispatch never happened."""
 
+    def split_oversized(self, wid: int, assignment: Assignment) -> bool:
+        """React to an assignment whose CHUNK frame exceeded the wire
+        size bound before it was ever sent.
+
+        Return ``True`` after re-queueing the chunk's cells in smaller
+        pieces (the transport keeps dispatching instead of aborting the
+        job); return ``False`` to abort. Either way the assignment must
+        be fully rolled back — the default delegates to
+        :meth:`unassign` and keeps the historical abort behavior, so
+        custom schedulers are unaffected until they opt in.
+        """
+        self.unassign(wid, assignment)
+        return False
+
     @abstractmethod
     def mark_send(self, wid: int, now: float) -> None:
         """Stamp the dispatch time (EWMA round trips start at the
@@ -580,6 +594,53 @@ class ChunkScheduler(Scheduler):
         job.attempts[assignment.chunk_id] -= 1
         if assignment.chunk_id not in job.results:
             job.pending.appendleft(assignment.chunk_id)
+
+    def split_oversized(self, wid: int, assignment: Assignment) -> bool:
+        """Halve an undispatchable chunk instead of aborting the job.
+
+        The frame-size bound is a property of the *chunk*, so requeueing
+        it whole would fail identically on every worker. Instead the
+        chunk's cells are split in two: the first half keeps the chunk
+        id (so :meth:`_JobState.done` stays satisfiable), the second
+        half registers as a fresh chunk, and both go to the front of the
+        queue. The worker's throughput estimate is halved as well so its
+        next EWMA-derived chunk shrinks too, rather than re-tripping the
+        bound on the very next carve. A chunk already down to one cell
+        cannot shrink further — that is a genuinely poison cell, and
+        ``False`` tells the transport to abort with the actionable
+        message.
+        """
+        state = self._workers.get(wid)
+        if state is not None and state.chunk_id == assignment.chunk_id:
+            state.chunk_id = None
+            state.dispatched_at = None
+            if state.ewma_rate is not None:
+                state.ewma_rate /= 2.0
+        job = self._job
+        if job is None:
+            return False
+        if assignment.speculative:
+            # The original holder still computes this chunk; the failed
+            # duplicate just refunds its speculation budget.
+            job.spec_dispatches -= 1
+            return True
+        job.attempts[assignment.chunk_id] -= 1
+        cells: List[IndexedCell] = [
+            (index, scenario, seed)
+            for scenario, pairs in assignment.chunk
+            for index, seed in pairs
+        ]
+        if len(cells) < 2:
+            job.pending.appendleft(assignment.chunk_id)
+            return False
+        mid = (len(cells) + 1) // 2
+        job.chunks[assignment.chunk_id] = group_cells(cells[:mid])
+        new_id = len(job.chunks)
+        job.chunks.append(group_cells(cells[mid:]))
+        job.attempts.append(0)
+        job.pending.appendleft(new_id)
+        job.pending.appendleft(assignment.chunk_id)
+        return True
 
     def mark_send(self, wid: int, now: float) -> None:
         state = self._workers.get(wid)

@@ -256,9 +256,15 @@ class SuiteRunner:
         backend: Optional[ExecutionBackend] = None,
         on_event: Optional[EventSink] = None,
         checkpoint_dir: Optional[str] = None,
+        engine: Optional[str] = None,
     ):
         if spill not in ("auto", "always", "never"):
             raise ValueError("spill must be 'auto', 'always', or 'never'")
+        if runner is not None and engine is not None:
+            raise ValueError(
+                "pass engine only when the suite creates its own runner; "
+                "a shared runner was already constructed with its engine"
+            )
         if runner is not None and cache is not None:
             raise ValueError(
                 "pass cache only when the suite creates its own runner; "
@@ -283,6 +289,9 @@ class SuiteRunner:
         self.backend = backend
         self.on_event = on_event
         self.checkpoint_dir = checkpoint_dir
+        from repro.runtime.batch_engine import coerce_engine
+
+        self.engine = coerce_engine(engine)
 
     # -- planning -------------------------------------------------------
 
@@ -451,7 +460,7 @@ class SuiteRunner:
             )
         checkpoint = SuiteCheckpoint(self.checkpoint_dir)
         completed = checkpoint.load_or_init(
-            plan_fingerprint(plan),
+            plan_fingerprint(plan, engine=self._effective_engine()),
             meta={
                 "experiments": [p.spec.id for p in plan.experiments],
                 "unique_cells": len(plan.unique_cells),
@@ -543,6 +552,13 @@ class SuiteRunner:
         named.poison_cells = poison
         return named
 
+    def _effective_engine(self) -> str:
+        """The engine the executing runner will actually use — the
+        shared runner's own when one was passed, else the suite's."""
+        if self.runner is not None:
+            return getattr(self.runner, "engine", "scalar")
+        return self.engine
+
     def _resolve_runner(
         self, level: ArtifactLevel, attach_cache: bool = True
     ) -> Tuple[MatrixRunner, bool]:
@@ -564,6 +580,7 @@ class SuiteRunner:
                 cache=self.cache if attach_cache else None,
                 backend=self.backend,
                 on_event=self.on_event,
+                engine=self.engine,
             ),
             True,
         )

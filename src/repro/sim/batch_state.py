@@ -1,0 +1,143 @@
+"""Vectorized per-cell state for the batch engine.
+
+One :class:`BatchCellState` holds the state of a whole chunk of
+``(scenario, seed)`` cells advancing in lockstep: per-cell clock
+perturbations (the two behavior jitters, which shift every downstream
+event time), the discrete branch outcomes (quiche second-flight
+variant, go-x-net srtt mis-initialization), and the per-field affine
+response fitted from the skeleton runs.  numpy is an optional extra —
+:func:`have_numpy` gates the whole batch path, and the engine falls
+back to the scalar simulator when it is absent.
+
+The affine evaluation deliberately mirrors scalar float arithmetic:
+``base + slope_c * dc + slope_s * ds`` evaluated left-to-right in
+float64 produces bit-identical results whether computed by numpy
+element-wise or by pure Python, so the batch engine's tolerance budget
+is spent only on the simulator's own accumulation-order differences.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+try:  # numpy is an optional accelerator, never a hard dependency
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
+from repro.impls.profile import ImplProfile
+from repro.sim.draws import BehaviorDraws
+
+
+def have_numpy() -> bool:
+    """Whether the numpy-backed batch path is available."""
+    return _np is not None
+
+
+def second_flight_variant(profile: ImplProfile, roll: float) -> Optional[int]:
+    """Datagram count the variant roll selects (``None``: no variants).
+
+    Mirrors :meth:`ClientConnection._second_flight_datagram_count`
+    exactly — same cumulative walk, same tie handling.
+    """
+    if not profile.second_flight_variants:
+        return None
+    cumulative = 0.0
+    for variant in profile.second_flight_variants:
+        cumulative += variant.probability
+        if roll <= cumulative:
+            return variant.datagrams
+    return profile.second_flight_variants[-1].datagrams
+
+
+def roll_for_variant(profile: ImplProfile, datagrams: int) -> float:
+    """A roll value in the middle of a variant's cumulative bucket."""
+    cumulative = 0.0
+    for variant in profile.second_flight_variants:
+        if variant.datagrams == datagrams:
+            return cumulative + variant.probability / 2.0
+        cumulative += variant.probability
+    raise ValueError(f"no second-flight variant with {datagrams} datagrams")
+
+
+class BatchCellState:
+    """Lockstep state arrays for one scenario's batch of seeds.
+
+    Attributes are plain numpy arrays indexed by cell position:
+
+    ``client_jitter_ms`` / ``server_jitter_ms``
+        The two per-cell clock perturbations (coalesced-crypto penalty
+        jitter and server crypto jitter) — every behavior draw that
+        shifts event times, as exact per-seed values.
+    ``variant`` / ``misinit``
+        Discrete branch outcomes; together they key the skeleton
+        ("combo") a cell replays.
+    """
+
+    def __init__(
+        self,
+        client_profile: ImplProfile,
+        server_profile: ImplProfile,
+        seeds: Sequence[int],
+    ):
+        if _np is None:  # pragma: no cover - guarded by have_numpy()
+            raise RuntimeError("numpy is required for BatchCellState")
+        self.seeds = list(seeds)
+        n = len(self.seeds)
+        self.client_jitter_ms = _np.empty(n, dtype=_np.float64)
+        self.server_jitter_ms = _np.empty(n, dtype=_np.float64)
+        self.variant = _np.zeros(n, dtype=_np.int64)  # 0: no variants
+        self.misinit = _np.zeros(n, dtype=bool)
+        pj = client_profile.penalty_jitter_ms
+        cj = server_profile.crypto_processing_jitter_ms
+        mis_p = client_profile.misinit_srtt_probability
+        for i, seed in enumerate(self.seeds):
+            client_draws = BehaviorDraws("client", seed)
+            self.client_jitter_ms[i] = client_draws.penalty_jitter(pj)
+            self.server_jitter_ms[i] = BehaviorDraws("server", seed).crypto_jitter(cj)
+            if client_profile.second_flight_variants:
+                self.variant[i] = second_flight_variant(
+                    client_profile, client_draws.second_flight_roll()
+                )
+            if mis_p > 0.0:
+                self.misinit[i] = client_draws.misinit_rng().random() < mis_p
+
+    def __len__(self) -> int:
+        return len(self.seeds)
+
+    def combos(self) -> List[Tuple[int, bool, List[int]]]:
+        """Distinct ``(variant, misinit)`` combos with member positions,
+        in first-appearance order (deterministic across runs)."""
+        order: List[Tuple[int, bool]] = []
+        members: dict = {}
+        for i in range(len(self.seeds)):
+            key = (int(self.variant[i]), bool(self.misinit[i]))
+            if key not in members:
+                members[key] = []
+                order.append(key)
+            members[key].append(i)
+        return [(variant, misinit, members[(variant, misinit)]) for variant, misinit in order]
+
+    def evaluate_affine(
+        self,
+        positions: Sequence[int],
+        base: Sequence[float],
+        slope_client: Sequence[float],
+        slope_server: Sequence[float],
+        origin_client_ms: float,
+        origin_server_ms: float,
+    ) -> "_np.ndarray":
+        """Advance the selected cells in lockstep: evaluate every float
+        field's affine response at each cell's jitter point.
+
+        Returns a ``(len(positions), len(base))`` float64 matrix.
+        """
+        idx = _np.asarray(list(positions), dtype=_np.intp)
+        dc = self.client_jitter_ms[idx] - origin_client_ms
+        ds = self.server_jitter_ms[idx] - origin_server_ms
+        base_v = _np.asarray(base, dtype=_np.float64)
+        sc = _np.asarray(slope_client, dtype=_np.float64)
+        ss = _np.asarray(slope_server, dtype=_np.float64)
+        # Left-to-right association matches scalar Python arithmetic
+        # bit-for-bit: base + sc*dc + ss*ds.
+        return base_v[None, :] + sc[None, :] * dc[:, None] + ss[None, :] * ds[:, None]

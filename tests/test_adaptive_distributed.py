@@ -22,6 +22,7 @@ from repro.runtime import MatrixRunner, SocketBackend, SuiteRunner, worker_main
 from repro.runtime.cache import ResultCache
 from repro.runtime.distributed import (
     MSG_CHUNK,
+    MSG_WELCOME,
     MSG_HEARTBEAT,
     MSG_HELLO,
     MSG_RESULT,
@@ -105,11 +106,13 @@ def test_slow_link_worker_survives_chunk_larger_than_heartbeat_window():
                 # ~8 KB per 40 ms: a ~300 KB frame takes >1.5 s, well
                 # past the 0.8 s heartbeat timeout.
                 payload = _recv_paced(sock, length, 8192, 0.04)
+                if msg_type == MSG_WELCOME:
+                    continue
                 if msg_type != MSG_CHUNK:
                     return
-                import pickle
+                from repro.runtime.wire import decode_payload
 
-                job_id, chunk_id, grouped, level = pickle.loads(payload)
+                (job_id, chunk_id, grouped, level, _engine), _ = decode_payload(payload)
                 results = run_cell_chunk(grouped, level)
                 send_frame(sock, MSG_RESULT, (job_id, chunk_id, results, None), lock=lock)
         except (ConnectionError, OSError, struct.error):
@@ -145,9 +148,11 @@ def _skewed_worker(backend, host, delay_per_cell, stop):
 
         while not stop.is_set():
             msg_type, payload = recv_frame(sock)
+            if msg_type == MSG_WELCOME:
+                continue
             if msg_type != MSG_CHUNK:
                 return
-            job_id, chunk_id, grouped, _level = payload
+            job_id, chunk_id, grouped, _level, _engine = payload
             indices = [i for _scenario, pairs in grouped for i, _seed in pairs]
             time.sleep(len(indices) * delay_per_cell)
             results = [(i, "r") for i in indices]

@@ -1,0 +1,237 @@
+"""Tests for the vectorized batch cell engine.
+
+The load-bearing properties:
+
+* Cross-validation — for every client profile and representative
+  scenario shapes, ``engine="batch"`` stats match the scalar engine
+  within the documented :data:`FLOAT_TOLERANCE_MS` (non-float fields
+  exactly).
+* Chunking independence — a cell's batch output is a pure function of
+  ``(scenario, seed)``; splitting the same cells across groups of any
+  size must not change a single bit.  This is what keeps local and
+  distributed bundles byte-identical under ``--engine batch``.
+* Graceful degradation — unsupported scenario classes and a missing
+  numpy both fall back to the scalar path bit-exactly.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.interop.runner import Runner, SIZE_10KB, Scenario
+from repro.interop.scenarios import first_server_flight_tail_loss
+from repro.quic.server import ServerMode
+from repro.runtime import ArtifactLevel, MatrixRunner, ResultCache
+from repro.runtime.artifacts import execute_cell
+from repro.runtime.batch_engine import (
+    BatchEngine,
+    ENGINES,
+    FLOAT_TOLERANCE_MS,
+    coerce_engine,
+    execute_cells,
+)
+from repro.sim import batch_state
+
+ALL_CLIENTS = (
+    "aioquic",
+    "go-x-net",
+    "mvfst",
+    "neqo",
+    "ngtcp2",
+    "picoquic",
+    "quic-go",
+    "quiche",
+)
+
+REPS = 6
+
+
+def _assert_close(batch_result, scalar_result):
+    """Batch artifact matches scalar within the documented tolerance."""
+    assert batch_result.seed == scalar_result.seed
+    for side in ("client_stats", "server_stats"):
+        got = dataclasses.asdict(getattr(batch_result, side))
+        want = dataclasses.asdict(getattr(scalar_result, side))
+        assert got.keys() == want.keys()
+        for name, expected in want.items():
+            actual = got[name]
+            if isinstance(expected, float) and isinstance(actual, float):
+                assert actual == pytest.approx(expected, abs=FLOAT_TOLERANCE_MS), name
+            else:
+                assert actual == expected, name
+    assert batch_result.duration_ms == pytest.approx(
+        scalar_result.duration_ms, abs=FLOAT_TOLERANCE_MS
+    )
+
+
+def _run_both(scenario, seeds):
+    pairs = [(i, seed) for i, seed in enumerate(seeds)]
+    scalar = execute_cells(scenario, pairs, ArtifactLevel.STATS, engine="scalar")
+    batch = execute_cells(scenario, pairs, ArtifactLevel.STATS, engine="batch")
+    assert [i for i, _a in batch] == [i for i, _a in scalar]
+    return scalar, batch
+
+
+@pytest.mark.parametrize("client", ALL_CLIENTS)
+def test_batch_cross_validates_against_scalar_clean(client):
+    from repro.impls.registry import client_profile
+
+    http = "h3" if client_profile(client).supports_http3 else "h1"
+    scenario = Scenario(
+        client=client, mode=ServerMode.WFC, http=http, rtt_ms=100.0,
+        response_size=SIZE_10KB,
+    )
+    scalar, batch = _run_both(scenario, range(REPS))
+    for (_i, s), (_j, b) in zip(scalar, batch):
+        _assert_close(b, s)
+
+
+@pytest.mark.parametrize("client", ("quic-go", "quiche", "go-x-net"))
+def test_batch_cross_validates_against_scalar_lossy_wfc(client):
+    scenario = Scenario(
+        client=client, mode=ServerMode.WFC, http="h1", rtt_ms=9.0,
+        response_size=SIZE_10KB,
+        server_to_client_loss=first_server_flight_tail_loss(ServerMode.WFC),
+    )
+    scalar, batch = _run_both(scenario, range(REPS))
+    for (_i, s), (_j, b) in zip(scalar, batch):
+        _assert_close(b, s)
+
+
+def test_batch_output_independent_of_grouping():
+    """Same cells, any split: identical bits.
+
+    This is the invariant the distributed path leans on — the scheduler
+    is free to chunk, split, and re-chunk cells without perturbing the
+    bundle.
+    """
+    scenario = Scenario(
+        client="quiche", mode=ServerMode.WFC, http="h3", rtt_ms=100.0,
+        response_size=SIZE_10KB,
+        server_to_client_loss=first_server_flight_tail_loss(ServerMode.WFC),
+    )
+    pairs = [(i, seed) for i, seed in enumerate(range(12))]
+    whole = dict(execute_cells(scenario, pairs, ArtifactLevel.STATS, engine="batch"))
+    for split in (1, 2, 5):
+        pieces = {}
+        for start in range(0, len(pairs), split):
+            pieces.update(
+                execute_cells(
+                    scenario,
+                    pairs[start : start + split],
+                    ArtifactLevel.STATS,
+                    engine="batch",
+                )
+            )
+        assert pieces.keys() == whole.keys()
+        for index, artifacts in whole.items():
+            assert pieces[index].client_stats == artifacts.client_stats
+            assert pieces[index].server_stats == artifacts.server_stats
+            assert pieces[index].duration_ms == artifacts.duration_ms
+
+
+def test_iack_with_loss_is_statically_gated_to_scalar():
+    """IACK + loss is a measured non-affine class: the engine must not
+    even try to fit it, and its output is bit-identical to scalar."""
+    scenario = Scenario(
+        client="quic-go", mode=ServerMode.IACK, http="h1", rtt_ms=9.0,
+        response_size=SIZE_10KB,
+        server_to_client_loss=first_server_flight_tail_loss(ServerMode.IACK),
+    )
+    engine = BatchEngine()
+    assert not engine.supports(scenario, ArtifactLevel.STATS)
+    pairs = [(i, seed) for i, seed in enumerate(range(4))]
+    results = engine.run_group(scenario, pairs, ArtifactLevel.STATS)
+    assert engine.stats["probe_runs"] == 0
+    assert engine.stats["cells_scalar"] == len(pairs)
+    runner = Runner()
+    for index, artifacts in results:
+        expected = execute_cell(
+            scenario, pairs[index][1], ArtifactLevel.STATS, runner=runner
+        )
+        assert artifacts.client_stats == expected.client_stats
+        assert artifacts.server_stats == expected.server_stats
+
+
+def test_trace_level_falls_back_to_scalar():
+    scenario = Scenario(client="quic-go", mode=ServerMode.WFC, rtt_ms=9.0)
+    engine = BatchEngine()
+    assert not engine.supports(scenario, ArtifactLevel.TRACE)
+
+
+@pytest.mark.skipif(
+    not batch_state.have_numpy(), reason="affine path needs numpy"
+)
+def test_fit_cache_probes_once_per_scenario():
+    scenario = Scenario(
+        client="quic-go", mode=ServerMode.WFC, http="h3", rtt_ms=100.0,
+        response_size=SIZE_10KB,
+    )
+    engine = BatchEngine()
+    pairs = [(i, seed) for i, seed in enumerate(range(4))]
+    engine.run_group(scenario, pairs, ArtifactLevel.STATS)
+    probes = engine.stats["probe_runs"]
+    assert probes > 0
+    # A second group of the same scenario — even with different seeds —
+    # reuses the cached fit instead of re-probing.
+    engine.run_group(
+        scenario, [(i, seed) for i, seed in enumerate(range(10, 14))],
+        ArtifactLevel.STATS,
+    )
+    assert engine.stats["probe_runs"] == probes
+
+
+def test_no_numpy_falls_back_to_scalar(monkeypatch):
+    monkeypatch.setattr(batch_state, "_np", None)
+    scenario = Scenario(
+        client="quiche", mode=ServerMode.WFC, http="h3", rtt_ms=100.0,
+        response_size=SIZE_10KB,
+    )
+    engine = BatchEngine()
+    assert not engine.supports(scenario, ArtifactLevel.STATS)
+    pairs = [(i, seed) for i, seed in enumerate(range(3))]
+    results = engine.run_group(scenario, pairs, ArtifactLevel.STATS)
+    assert engine.stats["cells_scalar"] == len(pairs)
+    runner = Runner()
+    for index, artifacts in results:
+        expected = execute_cell(
+            scenario, pairs[index][1], ArtifactLevel.STATS, runner=runner
+        )
+        assert artifacts.client_stats == expected.client_stats
+
+
+def test_matrix_runner_engine_batch_matches_serial_within_tolerance():
+    scenario = Scenario(
+        client="ngtcp2", mode=ServerMode.WFC, http="h3", rtt_ms=100.0,
+        response_size=SIZE_10KB,
+    )
+    serial = Runner().run_repetitions(scenario, repetitions=REPS)
+    batch = MatrixRunner(engine="batch").run_repetitions(scenario, repetitions=REPS)
+    assert len(batch) == len(serial)
+    for expected, actual in zip(serial, batch):
+        _assert_close(actual, expected)
+
+
+def test_coerce_engine_validates():
+    assert coerce_engine(None) == "scalar"
+    assert coerce_engine("batch") == "batch"
+    for engine in ENGINES:
+        assert coerce_engine(engine) == engine
+    with pytest.raises(ValueError, match="unknown engine"):
+        coerce_engine("turbo")
+
+
+def test_cache_keys_are_engine_qualified():
+    """Batch artifacts must never be served for scalar requests (or the
+    other way round): their keys differ.  Scalar keys keep the
+    historical 3-tuple shape so warm caches stay valid."""
+    cache = ResultCache(max_entries=8)
+    scenario = Scenario(client="quic-go", mode=ServerMode.WFC, rtt_ms=9.0)
+    scalar_key = cache.make_key(scenario, 0, ArtifactLevel.STATS)
+    batch_key = cache.make_key(scenario, 0, ArtifactLevel.STATS, engine="batch")
+    assert scalar_key is not None and batch_key is not None
+    assert scalar_key != batch_key
+    assert len(scalar_key) == 3
+    assert batch_key[-1] == "batch"
+    cache.put(batch_key, object())
+    assert cache.get(scalar_key) is None

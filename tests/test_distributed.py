@@ -30,6 +30,7 @@ from repro.runtime.distributed import (
     MSG_HEARTBEAT,
     MSG_HELLO,
     MSG_RESULT,
+    MSG_WELCOME,
     PROTOCOL_VERSION,
     ProtocolError,
     authenticate_client,
@@ -426,6 +427,7 @@ def test_silent_worker_dropped_by_heartbeat_timeout():
         sock = socket.create_connection((backend.host, backend.port))
         try:
             send_frame(sock, MSG_HELLO, {"version": PROTOCOL_VERSION, "pid": 0, "host": "mute"})
+            recv_frame(sock)  # WELCOME
             recv_frame(sock)  # swallow one chunk, then say nothing
             mute_ready.set()
             release.wait(timeout=30)
@@ -489,6 +491,7 @@ def test_result_with_out_of_range_chunk_id_drops_worker_not_job():
         sock = socket.create_connection((backend.host, backend.port))
         try:
             send_frame(sock, MSG_HELLO, {"version": PROTOCOL_VERSION, "pid": 0, "host": "liar"})
+            recv_frame(sock)  # WELCOME
             _, payload = recv_frame(sock)
             job_id = payload[0]
             send_frame(sock, MSG_RESULT, (job_id, 999_999, [(0, "bogus")], None))
@@ -524,6 +527,8 @@ def test_remote_chunk_error_aborts_with_traceback():
             send_frame(sock, MSG_HELLO, {"version": PROTOCOL_VERSION, "pid": 0, "host": "err"})
             while True:
                 msg_type, payload = recv_frame(sock)
+                if msg_type == MSG_WELCOME:
+                    continue
                 if msg_type != MSG_CHUNK:
                     return
                 send_frame(
@@ -562,6 +567,7 @@ def test_stale_frames_from_aborted_job_are_discarded():
         sock = socket.create_connection((backend.host, backend.port))
         try:
             send_frame(sock, MSG_HELLO, {"version": PROTOCOL_VERSION, "pid": 0, "host": "tricky"})
+            recv_frame(sock)  # WELCOME
             # job A: fail it outright
             _, payload = recv_frame(sock)
             job_a, chunk_a = payload[0], payload[1]
@@ -575,7 +581,7 @@ def test_stale_frames_from_aborted_job_are_discarded():
                 msg_type, payload = recv_frame(sock)
                 if msg_type != MSG_CHUNK:
                     return
-                job_b, chunk_b, grouped, level = payload
+                job_b, chunk_b, grouped, level, _engine = payload
                 send_frame(sock, MSG_RESULT, (job_a, chunk_b, [(0, "stale-garbage")], None))
                 send_frame(
                     sock,
@@ -684,7 +690,8 @@ def test_replacement_window_survives_spurious_wakeups():
         sock = socket.create_connection((backend.host, backend.port))
         try:
             send_frame(sock, MSG_HELLO, {"version": PROTOCOL_VERSION, "pid": 0, "host": "doom"})
-            recv_frame(sock)
+            recv_frame(sock)  # WELCOME
+            recv_frame(sock)  # take the first chunk, then die holding it
         except (ConnectionError, ProtocolError, OSError):
             pass
         finally:
@@ -725,6 +732,7 @@ def test_poison_chunk_gives_up_after_retry_bound():
         sock = socket.create_connection((backend.host, backend.port))
         try:
             send_frame(sock, MSG_HELLO, {"version": PROTOCOL_VERSION, "pid": 0, "host": "doom"})
+            recv_frame(sock)  # WELCOME
             recv_frame(sock)  # take the chunk ...
         except (ConnectionError, ProtocolError, OSError):
             pass

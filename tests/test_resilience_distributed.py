@@ -23,6 +23,7 @@ from repro.runtime.distributed import (
     MSG_HEARTBEAT,
     MSG_HELLO,
     MSG_RESULT,
+    MSG_WELCOME,
     PROTOCOL_VERSION,
     ProtocolError,
     recv_frame,
@@ -270,6 +271,7 @@ def test_worker_lost_event_orders_before_requeued_chunk_dispatch():
         sock = socket.create_connection((backend.host, backend.port))
         try:
             hello(sock, "doomed")
+            recv_frame(sock)  # WELCOME
             recv_frame(sock)  # take the first chunk ...
         except (ConnectionError, ProtocolError, OSError):
             pass
@@ -324,9 +326,11 @@ def test_duplicate_result_frames_emit_chunk_completed_once():
             hello(sock, "echo")
             while True:
                 msg_type, payload = recv_frame(sock)
+                if msg_type == MSG_WELCOME:
+                    continue
                 if msg_type != MSG_CHUNK:
                     return
-                job_id, chunk_id, grouped, level = payload
+                job_id, chunk_id, grouped, level, _engine = payload
                 frame = (job_id, chunk_id, run_cell_chunk(grouped, level), None)
                 send_frame(sock, MSG_RESULT, frame)
                 send_frame(sock, MSG_RESULT, frame)  # duplicate echo
@@ -366,7 +370,8 @@ def test_poison_abort_names_the_affected_experiments():
         sock = socket.create_connection((backend.host, backend.port))
         try:
             hello(sock, "doom")
-            recv_frame(sock)
+            recv_frame(sock)  # WELCOME
+            recv_frame(sock)  # take the chunk, then die holding it
         except (ConnectionError, ProtocolError, OSError):
             pass
         finally:
