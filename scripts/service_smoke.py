@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""CI service smoke: the ``repro serve`` daemon must survive a SIGKILL
+and serve a previously submitted suite from its durable disk cache —
+byte-identical to a direct local run.
+
+The drill (see the Service section of API.md):
+
+1. Run the reference suite locally (``repro run all --smoke --out``).
+2. Start ``repro serve`` with a one-worker pool and a durable
+   ``--cache-dir``; submit the same suite, watch its events (the
+   stream must relay at least ``suite_planned``, ``chunk_completed``
+   and ``suite_completed`` to a live client mid-run), and fetch the
+   bundle.
+3. SIGKILL the daemon — no orderly shutdown, nothing flushed.
+4. Restart it on the same cache directory, submit the identical
+   suite again, and assert the job's summary shows **only** disk-cache
+   hits (``disk_cache_misses == 0``): the warm start survived the
+   daemon's death because the cache is content-addressed files, not
+   process state.
+5. Byte-diff both fetched bundles against the direct local bundle.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SUITE = ["all", "--smoke"]
+
+
+def log(message: str) -> None:
+    print(f"service-smoke: {message}", flush=True)
+
+
+def child_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def repro(args, **kwargs) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=child_env(),
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        **kwargs,
+    )
+
+
+def check(result: subprocess.CompletedProcess, what: str) -> subprocess.CompletedProcess:
+    if result.returncode != 0:
+        print(result.stdout, flush=True)
+        print(result.stderr, file=sys.stderr, flush=True)
+        raise RuntimeError(f"{what} exited with {result.returncode}")
+    return result
+
+
+def start_daemon(cache_dir: Path, logfile: Path):
+    """Start ``repro serve`` and return ``(proc, address)`` once it
+    announces its listening address."""
+    handle = open(logfile, "ab")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--listen", "0", "--pool", "1", "--workers", "2",
+            "--cache-dir", str(cache_dir),
+        ],
+        env=child_env(),
+        cwd=REPO_ROOT,
+        stdout=subprocess.PIPE,
+        stderr=handle,
+        text=True,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"service listening on (\S+)", line)
+    if not match:
+        proc.kill()
+        raise RuntimeError(f"daemon never announced its address: {line!r}")
+    return proc, match.group(1)
+
+
+def submit_and_fetch(
+    address: str, out_dir: Path, timeout: float, expect_chunks: bool = True
+) -> dict:
+    """Submit the suite, watch its event stream live, fetch the
+    bundle; returns the job's final summary. ``expect_chunks=False``
+    for cache-warmed reruns, which replay every cell from disk and so
+    legitimately dispatch no chunks."""
+    record = json.loads(
+        check(repro(["submit", *SUITE, "--service", address]), "submit").stdout
+    )
+    job_id = record["job_id"]
+    log(f"  submitted {job_id}")
+
+    watch = check(
+        repro(["watch", job_id, "--service", address], timeout=timeout), "watch"
+    )
+    kinds = ("suite_planned", "chunk_completed", "suite_completed")
+    if not expect_chunks:
+        kinds = ("suite_planned", "suite_completed")
+    for kind in kinds:
+        if f"event: {kind}" not in watch.stdout:
+            print(watch.stdout, flush=True)
+            raise RuntimeError(f"event stream never relayed {kind}")
+    log(f"  event stream relayed {'/'.join(kinds)}")
+
+    check(
+        repro(["fetch", job_id, "--service", address, "--out", str(out_dir)]),
+        "fetch",
+    )
+    status = json.loads(
+        check(repro(["status", job_id, "--service", address]), "status").stdout
+    )
+    return status["summary"]
+
+
+def main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workdir", default="service-smoke")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="per-phase timeout in seconds")
+    args = parser.parse_args()
+
+    work = Path(args.workdir).resolve()
+    work.mkdir(parents=True, exist_ok=True)
+    cache = work / "cache"
+    direct_out = work / "direct"
+
+    log("phase 1: direct local reference bundle")
+    check(
+        repro(["run", *SUITE, "--workers", "2", "--out", str(direct_out)],
+              timeout=args.timeout),
+        "direct run",
+    )
+
+    log("phase 2: daemon #1 — cold cache")
+    daemon, address = start_daemon(cache, work / "daemon1.log")
+    try:
+        summary1 = submit_and_fetch(address, work / "bundle1", args.timeout)
+        log(f"  cold run: {summary1.get('disk_cache_hits', 0)} cache hit(s), "
+            f"{summary1.get('disk_cache_misses', 0)} miss(es)")
+    finally:
+        log("phase 3: SIGKILL the daemon")
+        daemon.kill()
+        daemon.wait(timeout=60)
+
+    log("phase 4: daemon #2 — same cache directory, after the kill")
+    daemon, address = start_daemon(cache, work / "daemon2.log")
+    try:
+        summary2 = submit_and_fetch(
+            address, work / "bundle2", args.timeout, expect_chunks=False
+        )
+        hits = summary2.get("disk_cache_hits", 0)
+        misses = summary2.get("disk_cache_misses", 0)
+        log(f"  warm run: {hits} cache hit(s), {misses} miss(es)")
+        if hits == 0 or misses != 0:
+            raise RuntimeError(
+                f"restarted daemon re-executed cells: {hits} hit(s), "
+                f"{misses} miss(es) — the durable cache did not survive"
+            )
+    finally:
+        daemon.send_signal(signal.SIGTERM)
+        try:
+            daemon.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+
+    log("phase 5: byte-diff both fetched bundles against the direct bundle")
+    names = sorted(p.name for p in direct_out.glob("*.json"))
+    if not names:
+        raise RuntimeError("direct run wrote no bundle files")
+    mismatched = []
+    for name in names:
+        reference = (direct_out / name).read_bytes()
+        for fetched_dir in (work / "bundle1", work / "bundle2"):
+            if (fetched_dir / name).read_bytes() != reference:
+                mismatched.append(f"{fetched_dir.name}/{name}")
+    if mismatched:
+        log(f"FAIL: fetched bundles differ from direct run: {mismatched}")
+        return 1
+    log(f"OK: {len(names)} bundle file(s) byte-identical across daemon "
+        "restart and direct run; warm start served entirely from disk cache")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

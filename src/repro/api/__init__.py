@@ -25,6 +25,18 @@ Run events
     cells completed, workers joined/lost, experiments completed);
     ``session.stream(request)`` wraps the same channel as an
     iterator (:class:`RunStream`).
+Jobs
+    ``session.submit(request)`` queues work without blocking and
+    returns a :class:`JobHandle` (``.status()`` / ``.events()`` /
+    ``.result()``); :class:`ServiceClient` speaks the same handle
+    surface to a ``repro serve`` daemon, with :class:`JobStatus` /
+    :class:`JobRecord` as the shared vocabulary
+    (:mod:`repro.api.jobs`).
+Durable cache
+    ``Session(cache_dir=DIR)`` attaches a content-addressed on-disk
+    result cache (:mod:`repro.runtime.disk_cache`): reruns of already
+    computed cells — same process or after a restart — replay from
+    disk with byte-identical bundles.
 Errors
     Every predictable failure is a typed exception from
     :mod:`repro.errors`, re-exported here: :class:`UnknownExperiment`,
@@ -46,7 +58,9 @@ migration table from the legacy ``run()`` entry points.
 """
 
 from repro.api.bundles import load_result, load_suite, write_bundle
+from repro.api.client import ServiceClient
 from repro.api.config import BackendConfig, DistributedConfig, LocalConfig
+from repro.api.jobs import JobHandle, JobId, JobRecord, JobStatus
 from repro.api.session import (
     RunRequest,
     Session,
@@ -61,6 +75,7 @@ from repro.errors import (
     CheckpointError,
     InvalidOverride,
     ReproError,
+    ServiceError,
     UnknownExperiment,
     WorkerAuthError,
 )
@@ -100,12 +115,18 @@ __all__ = [
     "ExperimentCompleted",
     "ExperimentResult",
     "InvalidOverride",
+    "JobHandle",
+    "JobId",
+    "JobRecord",
+    "JobStatus",
     "LocalConfig",
     "ReproError",
     "RunEvent",
     "RunRequest",
     "RunStream",
     "ScaleHint",
+    "ServiceClient",
+    "ServiceError",
     "Session",
     "SuiteCompleted",
     "SuitePlan",
@@ -132,26 +153,42 @@ def run(
     *,
     overrides=None,
     smoke=False,
+    engine="scalar",
     backend=None,
     on_event=None,
+    cache_dir=None,
     out=None,
 ):
     """One-call convenience: run a selection in an ephemeral session.
 
-    ``out`` optionally writes the versioned bundle directory before
-    returning the :class:`SuiteReport`.
+    Accepts the full :class:`RunRequest` vocabulary (``overrides``,
+    ``smoke``, ``engine``) plus session policy (``backend``,
+    ``on_event``, ``cache_dir``); ``out`` optionally writes the
+    versioned bundle directory before returning the
+    :class:`SuiteReport`.
     """
-    request = RunRequest(experiments=experiments, overrides=overrides or {}, smoke=smoke)
-    with Session(backend, on_event=on_event) as session:
+    request = RunRequest(
+        experiments=experiments, overrides=overrides or {}, smoke=smoke, engine=engine
+    )
+    with Session(backend, on_event=on_event, cache_dir=cache_dir) as session:
         report = session.run(request)
         if out is not None:
             session.write_bundle(report, out)
         return report
 
 
-def run_experiment(experiment_id, *, smoke=False, backend=None, on_event=None, **overrides):
+def run_experiment(
+    experiment_id,
+    *,
+    smoke=False,
+    engine="scalar",
+    backend=None,
+    on_event=None,
+    cache_dir=None,
+    **overrides,
+):
     """One-call convenience: run a single experiment and return its
     :class:`ExperimentResult` (keyword arguments are parameter
     overrides)."""
-    with Session(backend, on_event=on_event) as session:
-        return session.run_experiment(experiment_id, smoke=smoke, **overrides)
+    with Session(backend, on_event=on_event, cache_dir=cache_dir) as session:
+        return session.run_experiment(experiment_id, smoke=smoke, engine=engine, **overrides)

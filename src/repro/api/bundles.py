@@ -20,7 +20,23 @@ from repro.experiments.common import ExperimentResult
 from repro.runtime.suite import SuiteReport
 from repro.schema import check_bundle_version
 
-__all__ = ["load_result", "load_suite", "write_bundle"]
+__all__ = ["bundle_files", "load_result", "load_suite", "write_bundle"]
+
+
+def bundle_files(report: SuiteReport) -> Dict[str, str]:
+    """The exact bundle contents as ``filename → text``.
+
+    The single rendering of a report: :func:`write_bundle` writes
+    these strings to disk, and the ``repro serve`` daemon's ``fetch``
+    endpoint ships them over the wire — sharing one renderer is what
+    makes a fetched bundle byte-identical to a locally written one by
+    construction.
+    """
+    files: Dict[str, str] = {}
+    for exp_id, result in report.results.items():
+        files[f"{exp_id}.json"] = result.to_json() + "\n"
+    files["suite.json"] = json.dumps(report.to_dict(), indent=2) + "\n"
+    return files
 
 
 def write_bundle(report: SuiteReport, out_dir: Union[str, Path]) -> List[Path]:
@@ -29,13 +45,10 @@ def write_bundle(report: SuiteReport, out_dir: Union[str, Path]) -> List[Path]:
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     written: List[Path] = []
-    for exp_id, result in report.results.items():
-        path = out / f"{exp_id}.json"
-        path.write_text(result.to_json() + "\n")
+    for name, text in bundle_files(report).items():
+        path = out / name
+        path.write_text(text)
         written.append(path)
-    suite_path = out / "suite.json"
-    suite_path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
-    written.append(suite_path)
     return written
 
 

@@ -1,0 +1,404 @@
+"""The shared job vocabulary of the async run APIs.
+
+``Session.run`` blocks; a *job* is the non-blocking shape of the same
+work. Both the in-process :meth:`repro.api.Session.submit` and the
+``repro serve`` daemon's HTTP surface speak the types defined here —
+one vocabulary, two transports — so a caller can move from
+
+>>> handle = session.submit(request)          # in-process
+
+to
+
+>>> handle = ServiceClient(addr).submit(request)   # daemon
+
+without changing what ``handle.status()`` / ``handle.events()`` /
+``handle.result()`` mean.
+
+* :data:`JobId` / :func:`new_job_id` — opaque job names.
+* :class:`JobStatus` — the five-state lifecycle
+  (``queued → running → succeeded | failed``, plus ``cancelled``).
+* :class:`JobRecord` — the JSON-safe status document (what the
+  daemon's ``status`` endpoint returns verbatim).
+* :class:`JobHandle` — the client-side contract.
+* :class:`JobExecutor` — FIFO execution of submitted jobs on a bounded
+  pool of worker threads; backs both ``Session.submit`` (one slot:
+  a session owns a single backend) and the daemon's session pool.
+
+Cancellation is guaranteed for *queued* jobs. A *running* job is not
+interrupted — its cells are deterministic, already half-journaled to
+any attached durable cache, and tearing down a live backend mid-chunk
+would cost more than letting the suite finish — so ``cancel`` on a
+running job is recorded as a refusal (the record stays ``running``).
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field, fields, replace
+from enum import Enum
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ServiceError
+from repro.runtime.events import EventSink, RunEvent
+from repro.runtime.suite import SuiteReport
+
+__all__ = [
+    "JobExecutor",
+    "JobHandle",
+    "JobId",
+    "JobRecord",
+    "JobStatus",
+    "LocalJobHandle",
+    "new_job_id",
+]
+
+#: Opaque job identifier (``job-<hex>``); treat as a string.
+JobId = str
+
+
+def new_job_id() -> JobId:
+    return f"job-{secrets.token_hex(8)}"
+
+
+class JobStatus(str, Enum):
+    """Lifecycle of one submitted job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobStatus.SUCCEEDED, JobStatus.FAILED, JobStatus.CANCELLED)
+
+
+@dataclass
+class JobRecord:
+    """The JSON-safe status document of one job.
+
+    ``summary`` is populated on success with the report's execution
+    accounting (executed/spilled cells, in-memory and durable cache
+    hits, experiment ids) — the operational numbers that deliberately
+    stay *off* the result bundle live here instead.
+    """
+
+    job_id: JobId
+    experiments: Union[str, Tuple[str, ...]]
+    smoke: bool = False
+    engine: str = "scalar"
+    status: JobStatus = JobStatus.QUEUED
+    error: Optional[str] = None
+    #: Exception class name (``UnknownExperiment``, ``BackendError``,
+    #: ...) so remote callers can branch without parsing messages.
+    error_kind: Optional[str] = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    summary: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, JobStatus):
+                value = value.value
+            elif isinstance(value, tuple):
+                value = list(value)
+            doc[f.name] = value
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "JobRecord":
+        known = {f.name for f in fields(cls)}
+        kwargs = {name: value for name, value in doc.items() if name in known}
+        if "experiments" in kwargs and isinstance(kwargs["experiments"], list):
+            kwargs["experiments"] = tuple(kwargs["experiments"])
+        if "status" in kwargs:
+            kwargs["status"] = JobStatus(kwargs["status"])
+        return cls(**kwargs)
+
+
+class EventBuffer:
+    """Thread-safe append-only event log with live subscribers.
+
+    A subscriber sees every event from the job's start — events
+    appended before the subscription replay immediately, later ones
+    stream as they arrive — and the iterator ends when the buffer is
+    closed (the job reached a terminal state).
+    """
+
+    def __init__(self) -> None:
+        self._events: List[RunEvent] = []
+        self._closed = False
+        self._cond = threading.Condition()
+
+    def append(self, event: RunEvent) -> None:
+        with self._cond:
+            self._events.append(event)
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def subscribe(self) -> Iterator[RunEvent]:
+        index = 0
+        while True:
+            with self._cond:
+                while index >= len(self._events) and not self._closed:
+                    self._cond.wait()
+                if index < len(self._events):
+                    event = self._events[index]
+                    index += 1
+                else:  # closed and drained
+                    return
+            yield event
+
+
+class Job:
+    """Executor-internal state of one submitted job."""
+
+    def __init__(self, record: JobRecord, request: Any):
+        self.record = record
+        self.request = request
+        self.events = EventBuffer()
+        self.report: Optional[SuiteReport] = None
+        self.exception: Optional[BaseException] = None
+        self.done = threading.Event()
+        self.cancel_requested = False
+        self.lock = threading.Lock()
+
+    def snapshot(self) -> JobRecord:
+        with self.lock:
+            return replace(self.record)
+
+
+class JobHandle:
+    """Client-side view of one job — the same shape in-process
+    (:class:`LocalJobHandle`) and over the daemon API
+    (:class:`repro.api.client.ServiceJobHandle`)."""
+
+    @property
+    def job_id(self) -> JobId:
+        raise NotImplementedError
+
+    def status(self) -> JobRecord:
+        """A point-in-time :class:`JobRecord` snapshot."""
+        raise NotImplementedError
+
+    def events(self) -> Iterator[RunEvent]:
+        """Every run event from the job's start; ends when the job
+        reaches a terminal state."""
+        raise NotImplementedError
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block until the job finishes and return its result — the
+        :class:`~repro.runtime.suite.SuiteReport` in-process, the
+        fetched bundle files over the daemon API. Raises the job's
+        failure, :class:`~repro.errors.ServiceError` on cancellation,
+        or ``TimeoutError``."""
+        raise NotImplementedError
+
+    def cancel(self) -> JobRecord:
+        """Request cancellation (guaranteed only while queued) and
+        return the resulting record."""
+        raise NotImplementedError
+
+
+class LocalJobHandle(JobHandle):
+    """In-process handle backed by a :class:`JobExecutor` job."""
+
+    def __init__(self, job: Job, executor: "JobExecutor"):
+        self._job = job
+        self._executor = executor
+
+    @property
+    def job_id(self) -> JobId:
+        return self._job.record.job_id
+
+    def status(self) -> JobRecord:
+        return self._job.snapshot()
+
+    def events(self) -> Iterator[RunEvent]:
+        return self._job.events.subscribe()
+
+    def result(self, timeout: Optional[float] = None) -> SuiteReport:
+        if not self._job.done.wait(timeout):
+            raise TimeoutError(f"job {self.job_id} still executing")
+        if self._job.exception is not None:
+            raise self._job.exception
+        if self._job.report is None:
+            raise ServiceError(f"job {self.job_id} was cancelled before it ran")
+        return self._job.report
+
+    def cancel(self) -> JobRecord:
+        return self._executor.cancel(self.job_id)
+
+
+def summarize_report(report: Optional[SuiteReport]) -> Dict[str, Any]:
+    """The :attr:`JobRecord.summary` document for a finished report."""
+    if report is None:
+        return {}
+    summary: Dict[str, Any] = {
+        "experiments": sorted(report.results),
+        "executed_cells": report.executed_cells,
+        "spilled_cells": report.spilled_cells,
+        "cache_hits": report.cache_hits,
+        "cache_misses": report.cache_misses,
+    }
+    summary.update(report.extra)
+    return summary
+
+
+class JobExecutor:
+    """FIFO job execution on a bounded worker-thread pool.
+
+    ``run_job(request, event_sink)`` performs one job and returns its
+    report; it is called from pool threads, so per-thread execution
+    state (the daemon gives every pool thread its own ``Session``)
+    belongs in a ``threading.local`` inside the callable. ``workers=1``
+    serializes jobs — the in-process ``Session.submit`` configuration,
+    since one session owns one backend.
+    """
+
+    def __init__(
+        self,
+        run_job: Callable[[Any, EventSink], SuiteReport],
+        workers: int = 1,
+        name: str = "repro-jobs",
+    ):
+        if workers < 1:
+            raise ValueError("JobExecutor needs at least one worker")
+        self._run_job = run_job
+        self._name = name
+        self._queue: deque = deque()
+        self._cond = threading.Condition()
+        self._jobs: Dict[JobId, Job] = {}
+        self._order: List[JobId] = []
+        self._shutdown = False
+        self._threads = [
+            threading.Thread(target=self._serve, name=f"{name}-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission -----------------------------------------------------
+
+    def submit(self, request: Any) -> Job:
+        record = JobRecord(
+            job_id=new_job_id(),
+            experiments=getattr(request, "experiments", ()),
+            smoke=bool(getattr(request, "smoke", False)),
+            engine=getattr(request, "engine", "scalar"),
+        )
+        job = Job(record, request)
+        with self._cond:
+            if self._shutdown:
+                raise ServiceError("job executor is shut down")
+            self._jobs[record.job_id] = job
+            self._order.append(record.job_id)
+            self._queue.append(job)
+            self._cond.notify()
+        return job
+
+    def get(self, job_id: JobId) -> Optional[Job]:
+        with self._cond:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._cond:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per status value (the daemon's health document)."""
+        counts: Dict[str, int] = {status.value: 0 for status in JobStatus}
+        for job in self.jobs():
+            counts[job.snapshot().status.value] += 1
+        return counts
+
+    # -- cancellation ---------------------------------------------------
+
+    def cancel(self, job_id: JobId) -> JobRecord:
+        job = self.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        with job.lock:
+            if job.record.status is JobStatus.QUEUED:
+                job.cancel_requested = True
+                job.record.status = JobStatus.CANCELLED
+                job.record.finished_at = time.time()
+                finish = True
+            else:
+                # Running and terminal jobs are not interrupted (see
+                # the module docs); the record answers truthfully.
+                finish = False
+        if finish:
+            job.events.close()
+            job.done.set()
+        return job.snapshot()
+
+    # -- worker loop ----------------------------------------------------
+
+    def _next(self) -> Optional[Job]:
+        with self._cond:
+            while not self._queue and not self._shutdown:
+                self._cond.wait()
+            return self._queue.popleft() if self._queue else None
+
+    def _serve(self) -> None:
+        while True:
+            job = self._next()
+            if job is None:
+                return
+            with job.lock:
+                if job.cancel_requested:
+                    continue  # cancel() already finalized the record
+                job.record.status = JobStatus.RUNNING
+                job.record.started_at = time.time()
+            try:
+                report = self._run_job(job.request, job.events.append)
+            except BaseException as exc:
+                with job.lock:
+                    job.exception = exc
+                    job.record.status = JobStatus.FAILED
+                    job.record.error = str(exc)
+                    job.record.error_kind = type(exc).__name__
+                    job.record.finished_at = time.time()
+            else:
+                with job.lock:
+                    job.report = report
+                    job.record.status = JobStatus.SUCCEEDED
+                    job.record.summary = summarize_report(report)
+                    job.record.finished_at = time.time()
+            job.events.close()
+            job.done.set()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs, cancel everything still queued, and
+        (optionally) wait for running jobs to finish."""
+        with self._cond:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            queued: Sequence[Job] = list(self._queue)
+            self._queue.clear()
+            self._cond.notify_all()
+        for job in queued:
+            with job.lock:
+                job.cancel_requested = True
+                job.record.status = JobStatus.CANCELLED
+                job.record.finished_at = time.time()
+            job.events.close()
+            job.done.set()
+        if wait:
+            for thread in self._threads:
+                thread.join()

@@ -16,11 +16,13 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.api.bundles import write_bundle
 from repro.api.config import BackendConfig, LocalConfig
+from repro.api.jobs import JobExecutor, JobHandle, LocalJobHandle
 from repro.api.stream import RunStream
 from repro.errors import BackendError, InvalidOverride, UnknownExperiment
 from repro.experiments.common import ExperimentResult
 from repro.experiments.registry import REGISTRY, get_spec
 from repro.runtime.backend import ExecutionBackend
+from repro.runtime.disk_cache import DiskResultCache
 from repro.runtime.events import EventSink, RunEvent, emit
 from repro.runtime.matrix import MatrixRunner, default_workers
 from repro.runtime.suite import SuitePlan, SuiteReport, SuiteRunner
@@ -31,6 +33,7 @@ __all__ = [
     "describe_experiments",
     "expand_selection",
     "legacy_run",
+    "validate_request",
 ]
 
 #: Selection shorthand accepted everywhere an experiment list is:
@@ -65,6 +68,29 @@ def expand_selection(experiments: Union[str, Sequence[str]]) -> List[str]:
 def describe_experiments() -> List[Dict[str, Any]]:
     """Registry metadata for every experiment, in paper order."""
     return [spec.describe() for spec in REGISTRY.specs()]
+
+
+def validate_request(request: "RunRequest") -> Tuple[List[str], Dict[str, Mapping[str, Any]]]:
+    """Check a request against the registry and return its concrete
+    ``(experiment ids, overrides)``.
+
+    Raises :class:`~repro.errors.UnknownExperiment` /
+    :class:`~repro.errors.InvalidOverride` — shared by ``Session`` and
+    the ``repro serve`` daemon, which both reject bad requests at
+    submission, before any execution resource is committed."""
+    ids = expand_selection(request.experiments)
+    overrides = dict(request.overrides or {})
+    for exp_id in overrides:
+        if exp_id not in REGISTRY:
+            raise UnknownExperiment(
+                f"override targets unknown experiment {exp_id!r}; "
+                f"known: {', '.join(REGISTRY.ids())}"
+            )
+        if exp_id not in ids:
+            raise InvalidOverride(
+                f"override targets {exp_id!r}, which is not in the selection {ids}"
+            )
+    return ids, overrides
 
 
 @dataclass(frozen=True)
@@ -103,6 +129,40 @@ class RunRequest:
 
         object.__setattr__(self, "engine", coerce_engine(self.engine))
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe wire form (what ``repro submit`` sends the
+        daemon); :meth:`from_dict` reverses it."""
+        experiments: Any = self.experiments
+        if isinstance(experiments, tuple):
+            experiments = list(experiments)
+        return {
+            "experiments": experiments,
+            "overrides": {exp: dict(params) for exp, params in self.overrides.items()},
+            "smoke": self.smoke,
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "RunRequest":
+        if not isinstance(doc, Mapping):
+            raise InvalidOverride(f"run request must be a mapping, got {type(doc).__name__}")
+        experiments = doc.get("experiments")
+        if experiments is None:
+            raise InvalidOverride("run request is missing 'experiments'")
+        if isinstance(experiments, list):
+            experiments = tuple(experiments)
+        overrides = doc.get("overrides") or {}
+        if not isinstance(overrides, Mapping):
+            raise InvalidOverride(
+                f"run request 'overrides' must be a mapping, got {type(overrides).__name__}"
+            )
+        return cls(
+            experiments=experiments,
+            overrides={exp: dict(params) for exp, params in overrides.items()},
+            smoke=bool(doc.get("smoke", False)),
+            engine=doc.get("engine") or "scalar",
+        )
+
 
 class Session:
     """Owns an execution context and runs jobs against it.
@@ -130,10 +190,22 @@ class Session:
         byte-identical to an uninterrupted run. A checkpoint for a
         *different* suite raises
         :class:`~repro.errors.CheckpointError`.
+    ``cache_dir``
+        Optional durable result-cache directory (a
+        :class:`~repro.runtime.disk_cache.DiskResultCache` path, or a
+        ready-made instance to share one store across sessions): every
+        run consults it before dispatching cells and feeds it as cells
+        complete, so reruns — in this process, after a restart, or via
+        the ``repro serve`` daemon — replay cached cells instead of
+        executing them, with byte-identical bundles. Per-run hit/miss
+        deltas land on ``report.extra["disk_cache_hits"]`` /
+        ``["disk_cache_misses"]``.
 
     Sessions are context managers; :meth:`close` tears down the
     backend (telling distributed workers to exit). One job runs at a
-    time per session — the underlying backend serves a single job.
+    time per session — the underlying backend serves a single job;
+    :meth:`submit` queues jobs onto a session-owned worker thread
+    instead of blocking the caller.
     """
 
     def __init__(
@@ -144,6 +216,7 @@ class Session:
         spill_dir: Optional[str] = None,
         on_event: Optional[EventSink] = None,
         resume: Optional[str] = None,
+        cache_dir: Optional[Union[str, DiskResultCache]] = None,
     ):
         self.config = backend if backend is not None else LocalConfig()
         if not isinstance(self.config, BackendConfig):
@@ -152,6 +225,10 @@ class Session:
         self.spill_dir = spill_dir
         self.on_event = on_event
         self.resume = resume
+        if isinstance(cache_dir, str):
+            cache_dir = DiskResultCache(cache_dir)
+        self.disk_cache: Optional[DiskResultCache] = cache_dir
+        self._jobs: Optional[JobExecutor] = None
         self._backend: Optional[ExecutionBackend] = self.config.create()
         # Attached for the session's whole lifetime, not just during
         # run(): a distributed fleet assembles while the coordinator
@@ -169,10 +246,14 @@ class Session:
         self.close()
 
     def close(self) -> None:
-        """Release the backend (idempotent). Distributed workers are
-        sent an orderly SHUTDOWN."""
+        """Release the backend (idempotent). Submitted jobs still
+        queued are cancelled, a running one finishes first, and
+        distributed workers are sent an orderly SHUTDOWN."""
         if self._closed:
             return
+        if self._jobs is not None:
+            self._jobs.shutdown(wait=True)
+            self._jobs = None
         self._closed = True
         if self._backend is not None:
             self._backend.close()
@@ -232,11 +313,32 @@ class Session:
         as an iterator; ``stream.result()`` returns the report."""
         return RunStream(lambda sink: self.run(request, on_event=sink))
 
+    def submit(self, request: RunRequest) -> JobHandle:
+        """Queue a request without blocking and return a
+        :class:`~repro.api.jobs.JobHandle` —
+        ``handle.status()`` / ``handle.events()`` /
+        ``handle.result()`` mirror the daemon client's surface.
+
+        Jobs run one at a time on a session-owned worker thread (the
+        session has a single backend); submission order is execution
+        order. Invalid requests fail here, not in the job."""
+        self._validate(request)
+        if self._closed:
+            raise BackendError("session is closed")
+        if self._jobs is None:
+            self._jobs = JobExecutor(
+                lambda req, sink: self.run(req, on_event=sink),
+                workers=1,
+                name="session-jobs",
+            )
+        return LocalJobHandle(self._jobs.submit(request), self._jobs)
+
     def run_experiment(
         self,
         experiment_id: str,
         *,
         smoke: bool = False,
+        engine: str = "scalar",
         on_event: Optional[EventSink] = None,
         **overrides: Any,
     ) -> ExperimentResult:
@@ -246,6 +348,7 @@ class Session:
             experiments=(experiment_id,),
             overrides={experiment_id: overrides} if overrides else {},
             smoke=smoke,
+            engine=engine,
         )
         report = self.run(request, on_event=on_event)
         return report.results[experiment_id]
@@ -310,20 +413,7 @@ class Session:
     # -- internals ------------------------------------------------------
 
     def _validate(self, request: RunRequest) -> Tuple[List[str], Dict[str, Mapping[str, Any]]]:
-        ids = expand_selection(request.experiments)
-        overrides = dict(request.overrides or {})
-        for exp_id in overrides:
-            if exp_id not in REGISTRY:
-                raise UnknownExperiment(
-                    f"override targets unknown experiment {exp_id!r}; "
-                    f"known: {', '.join(REGISTRY.ids())}"
-                )
-            if exp_id not in ids:
-                raise InvalidOverride(
-                    f"override targets {exp_id!r}, which is not in the "
-                    f"selection {ids}"
-                )
-        return ids, overrides
+        return validate_request(request)
 
     def _suite_runner(
         self, extra_sink: Optional[EventSink], engine: Optional[str] = None
@@ -337,6 +427,7 @@ class Session:
             on_event=self._sink(extra_sink),
             checkpoint_dir=self.resume,
             engine=engine,
+            disk_cache=self.disk_cache,
         )
 
     def _workers(self) -> int:

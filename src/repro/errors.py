@@ -25,6 +25,7 @@ __all__ = [
     "CheckpointError",
     "InvalidOverride",
     "ReproError",
+    "ServiceError",
     "UnknownExperiment",
     "WorkerAuthError",
 ]
@@ -92,3 +93,13 @@ class CheckpointError(ReproError, ValueError):
     checkpointed at all."""
 
     exit_code = 8
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The ``repro serve`` job surface failed: the daemon is
+    unreachable, it answered with an error document (unknown job,
+    malformed request, protocol mismatch), a submitted job was
+    cancelled before producing a result, or the local job executor was
+    already shut down."""
+
+    exit_code = 9

@@ -28,15 +28,27 @@ echo) never emit a second :class:`ChunkCompleted` for the same chunk.
 
 Sinks run on whatever thread produced the event (including backend
 reader threads), so they must be quick and thread-safe; exceptions a
-sink raises are swallowed by :func:`emit` — observability must never
-corrupt a run. ``repro.api`` layers the public callback/iterator
-channel on top of these types.
+sink raises never propagate out of :func:`emit` — observability must
+never corrupt a run — but they are not silent either: the first
+failure of each sink is logged at warning level with the sink's name
+(further failures of the same sink are suppressed to keep a
+misbehaving observer from flooding the log once per cell).
+``repro.api`` layers the public callback/iterator channel on top of
+these types.
+
+Events also have a JSON wire form (:func:`event_to_dict` /
+:func:`event_from_dict`) used by the ``repro serve`` daemon's
+``events`` relay: every event type round-trips field for field, and a
+payload whose ``kind`` this build does not know decodes to ``None`` —
+clients skip unknown future event kinds instead of dying on them.
 """
 
 from __future__ import annotations
 
+import logging
+import weakref
 from dataclasses import dataclass, fields
-from typing import Callable, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple, Type
 
 __all__ = [
     "CellCompleted",
@@ -53,7 +65,11 @@ __all__ = [
     "WorkerJoined",
     "WorkerLost",
     "emit",
+    "event_from_dict",
+    "event_to_dict",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -212,17 +228,121 @@ class SuiteCompleted(RunEvent):
 #: Anything that consumes run events.
 EventSink = Callable[[RunEvent], None]
 
+#: Sinks whose first failure was already logged. Weak where possible so
+#: a retired sink does not pin its closure; unweakrefable sinks fall
+#: back to logging every failure (still never raising).
+_warned_sinks: "weakref.WeakSet" = weakref.WeakSet()
+
 
 def emit(sink: Optional[EventSink], event: RunEvent) -> None:
     """Deliver ``event`` to ``sink`` if one is attached.
 
-    Sink exceptions are swallowed: events fire from worker-serving
+    Sink exceptions never propagate — events fire from worker-serving
     threads and between chunk dispatches, where a raising observer
-    would kill a run that is otherwise succeeding.
+    would kill a run that is otherwise succeeding — but the *first*
+    failure of each sink is logged at warning level with the sink's
+    name, so a broken observer is diagnosable instead of silently
+    dropping every event.
     """
     if sink is None:
         return
     try:
         sink(event)
     except Exception:
-        pass
+        try:
+            already_warned = sink in _warned_sinks
+            if not already_warned:
+                _warned_sinks.add(sink)
+        except TypeError:  # unweakrefable sink: warn every time
+            already_warned = False
+        if not already_warned:
+            name = (
+                getattr(sink, "__qualname__", None)
+                or getattr(sink, "__name__", None)
+                or repr(sink)
+            )
+            logger.warning(
+                "event sink %s raised on %s; the run continues and further "
+                "errors from this sink are suppressed",
+                name,
+                event.kind,
+                exc_info=True,
+            )
+
+
+# -- JSON wire form -----------------------------------------------------
+
+#: Every event type this build knows, by wire ``kind``. The daemon's
+#: ``events`` relay ships these as JSON; a decoder seeing a kind not in
+#: this table skips the event rather than failing (forward compat).
+EVENT_TYPES: Dict[str, Type[RunEvent]] = {
+    cls.kind: cls
+    for cls in (
+        SuitePlanned,
+        ChunkDispatched,
+        ChunkCompleted,
+        ChunkSpeculated,
+        CellCompleted,
+        WorkerJoined,
+        WorkerLost,
+        WorkerDrained,
+        ExperimentCompleted,
+        SuiteCompleted,
+    )
+}
+
+
+def event_to_dict(event: RunEvent) -> Dict[str, Any]:
+    """One event as a JSON-safe dict: ``{"kind": ..., <fields>}``.
+
+    Tuples become lists (JSON has no tuple) and a
+    :class:`ChunkCacheStats` payload nests as a plain dict;
+    :func:`event_from_dict` reverses both.
+    """
+    payload: Dict[str, Any] = {"kind": event.kind}
+    for field_info in fields(event):
+        value = getattr(event, field_info.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        elif isinstance(value, ChunkCacheStats):
+            value = {f.name: getattr(value, f.name) for f in fields(value)}
+        payload[field_info.name] = value
+    return payload
+
+
+def event_from_dict(payload: Dict[str, Any]) -> Optional[RunEvent]:
+    """Decode one wire event, or ``None`` for unknown/unusable kinds.
+
+    ``None`` (not an exception) is the forward-compatibility contract:
+    a client older than its daemon must skip event kinds it does not
+    know, never die on them. Extra fields in a known kind are ignored
+    for the same reason; a known kind *missing* a required field also
+    decodes to ``None`` (a half-spoken event is as undecodable as an
+    unknown one).
+    """
+    if not isinstance(payload, dict):
+        return None
+    cls = EVENT_TYPES.get(payload.get("kind"))
+    if cls is None:
+        return None
+    kwargs: Dict[str, Any] = {}
+    for field_info in fields(cls):
+        name = field_info.name
+        if name not in payload:
+            if name == "cache":  # optional ChunkCompleted payload
+                kwargs[name] = None
+                continue
+            return None
+        value = payload[name]
+        if name == "experiments" and isinstance(value, list):
+            value = tuple(value)
+        elif name == "cache" and isinstance(value, dict):
+            try:
+                value = ChunkCacheStats(**value)
+            except TypeError:
+                return None
+        kwargs[name] = value
+    try:
+        return cls(**kwargs)
+    except TypeError:
+        return None

@@ -34,6 +34,7 @@ from repro.runtime.artifacts import ArtifactLevel
 from repro.runtime.backend import ExecutionBackend
 from repro.runtime.cache import ResultCache, scenario_key
 from repro.runtime.checkpoint import SuiteCheckpoint, plan_fingerprint
+from repro.runtime.disk_cache import DiskResultCache
 from repro.runtime.events import (
     EventSink,
     ExperimentCompleted,
@@ -232,6 +233,20 @@ class SuiteRunner:
         distributed backend, :class:`ExperimentCompleted`,
         :class:`SuiteCompleted`). On a caller-owned ``backend`` the
         sink is attached for the duration of each :meth:`run`.
+    ``disk_cache``
+        Optional durable content-addressed result cache (a
+        :class:`~repro.runtime.disk_cache.DiskResultCache` or a
+        directory path): planned unique cells whose fingerprint is
+        already stored are *replayed* instead of dispatched — exactly
+        like checkpoint resume, so served bundles stay byte-identical
+        to uncached runs — and freshly executed cells are stored for
+        every later run, surviving process, daemon, and fleet
+        restarts. ``full``-level plans skip the cache (live endpoints
+        are unpicklable), as do scenarios that defeat value identity.
+        Per-run hit/miss accounting lands on
+        ``report.extra["disk_cache_hits"/"disk_cache_misses"]``
+        (deliberately off the bundle: bytes must not depend on cache
+        warmth).
     ``checkpoint_dir``
         Optional crash-safe checkpoint directory (see
         :mod:`repro.runtime.checkpoint`): completed cells are
@@ -257,6 +272,7 @@ class SuiteRunner:
         on_event: Optional[EventSink] = None,
         checkpoint_dir: Optional[str] = None,
         engine: Optional[str] = None,
+        disk_cache: Optional[Union[str, DiskResultCache]] = None,
     ):
         if spill not in ("auto", "always", "never"):
             raise ValueError("spill must be 'auto', 'always', or 'never'")
@@ -289,6 +305,9 @@ class SuiteRunner:
         self.backend = backend
         self.on_event = on_event
         self.checkpoint_dir = checkpoint_dir
+        if isinstance(disk_cache, str):
+            disk_cache = DiskResultCache(disk_cache)
+        self.disk_cache = disk_cache
         from repro.runtime.batch_engine import coerce_engine
 
         self.engine = coerce_engine(engine)
@@ -381,6 +400,8 @@ class SuiteRunner:
         runner, owned_runner = self._resolve_runner(plan.artifact_level, attach_cache=store is None)
         cache = runner.cache
         hits0, misses0 = (cache.hits, cache.misses) if cache else (0, 0)
+        disk = self.disk_cache
+        disk0 = (disk.hits, disk.misses) if disk is not None else (0, 0)
         # Distributed backends accumulate worker-resident cache hits;
         # snapshot so the run's delta can be reported. Deliberately kept
         # out of to_dict(): bundle bytes must not depend on how warm the
@@ -428,6 +449,9 @@ class SuiteRunner:
             )
             if wc0 is not None:
                 report.extra["worker_cache_hits"] = backend.stats.worker_cache_hits - wc0
+            if disk is not None:
+                report.extra["disk_cache_hits"] = disk.hits - disk0[0]
+                report.extra["disk_cache_misses"] = disk.misses - disk0[1]
             emit(
                 self.on_event,
                 SuiteCompleted(
@@ -497,6 +521,28 @@ class SuiteRunner:
             # suite keeps the same peak-memory bound as a fresh one.
             artifacts.scenario = cells[slot].scenario
             entries_by_slot[slot] = store.put(artifacts) if store is not None else artifacts
+        # Durable disk cache: replay any cell whose content address is
+        # already stored — exactly like checkpoint resume above, so the
+        # served bundle stays byte-identical — and remember the keys of
+        # the misses so freshly executed cells feed the cache below.
+        disk = self.disk_cache
+        disk_keys: Dict[int, str] = {}
+        if disk is not None and plan.artifact_level is not ArtifactLevel.FULL:
+            engine = self._effective_engine()
+            for slot, cell in enumerate(cells):
+                if slot in entries_by_slot:
+                    continue
+                key = disk.fingerprint(
+                    cell.scenario, cell.seed, plan.artifact_level, engine=engine
+                )
+                if key is None:
+                    continue
+                artifacts = disk.get(key)
+                if artifacts is None:
+                    disk_keys[slot] = key
+                    continue
+                artifacts.scenario = cell.scenario
+                entries_by_slot[slot] = store.put(artifacts) if store is not None else artifacts
         positions = [slot for slot in range(len(cells)) if slot not in entries_by_slot]
         pending = [cells[slot] for slot in positions]
         if pending:
@@ -519,6 +565,8 @@ class SuiteRunner:
                     batch = runner.run_cells(pending[start : start + batch_size])
                     for offset, artifacts in enumerate(batch):
                         slot = positions[start + offset]
+                        if disk is not None and slot in disk_keys:
+                            disk.put(disk_keys[slot], artifacts)
                         entries_by_slot[slot] = (
                             store.put(artifacts) if store is not None else artifacts
                         )
@@ -602,7 +650,20 @@ def run_suite(
     smoke: bool = False,
     **runner_kwargs: Any,
 ) -> SuiteReport:
-    """One-call convenience wrapper over :class:`SuiteRunner`."""
+    """Deprecated one-call wrapper over :class:`SuiteRunner`.
+
+    Use :func:`repro.api.run` — same one-call shape, plus typed backend
+    configs, ``engine=`` selection, events, and bundle writing.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.runtime.run_suite() is deprecated; use repro.api.run(...) — "
+        "the façade validates selections, takes typed backend configs and "
+        "engine=, streams events, and writes versioned bundles",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return SuiteRunner(workers=workers, **runner_kwargs).run(
         experiments, overrides=overrides, smoke=smoke
     )

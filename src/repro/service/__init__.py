@@ -1,0 +1,29 @@
+"""``repro.service`` — the always-on experiment service.
+
+``python -m repro serve`` turns the reproduction into a daemon: a
+bounded pool of persistent :class:`~repro.api.Session` slots executes
+submitted :class:`~repro.api.RunRequest` jobs, a durable
+content-addressed result cache (:mod:`repro.runtime.disk_cache`) makes
+reruns — across daemon *and* machine restarts — replay instead of
+recompute, and a stdlib-only HTTP/1.1 surface exposes
+``submit`` / ``status`` / ``events`` / ``fetch`` / ``cancel`` /
+``health`` to any client. :class:`repro.api.ServiceClient` is the
+bundled typed client; ``repro submit/status/watch/fetch`` are the CLI
+verbs over it.
+
+Layers (transport-free core first, so everything is testable without
+a socket):
+
+* :mod:`repro.service.manager` — jobs, session pool, cache;
+* :mod:`repro.service.http` — minimal asyncio HTTP/1.1 plumbing;
+* :mod:`repro.service.daemon` — the listening server tying them
+  together.
+
+See the *Service* section of API.md for the endpoint and wire-format
+reference.
+"""
+
+from repro.service.daemon import ServiceDaemon
+from repro.service.manager import ServiceManager
+
+__all__ = ["ServiceDaemon", "ServiceManager"]

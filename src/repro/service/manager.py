@@ -1,0 +1,174 @@
+"""The ``repro serve`` daemon's job brain: sessions, jobs, cache.
+
+:class:`ServiceManager` is the transport-free core of the daemon —
+everything the HTTP layer (:mod:`repro.service.daemon`) does is a thin
+translation onto these methods, so the whole job surface is testable
+without opening a socket.
+
+It owns:
+
+* a :class:`~repro.api.jobs.JobExecutor` with ``pool`` worker threads,
+  each lazily binding its **own** persistent
+  :class:`~repro.api.Session` (a session owns one backend; pooling
+  sessions, not backends, is what lets ``pool`` suites run
+  concurrently while each stays serially consistent);
+* the shared durable :class:`~repro.runtime.disk_cache.DiskResultCache`
+  every pooled session consults — the reason a restarted daemon serves
+  a previously computed suite without re-executing a single cell;
+* the job table: submit / status / events / bundle / cancel / health.
+
+Requests are validated against the experiment registry at submission
+(:func:`~repro.api.session.validate_request`), so a typo'd experiment
+id fails the ``submit`` call instead of producing a job that is born
+dead.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.api.bundles import bundle_files
+from repro.api.config import LocalConfig
+from repro.api.jobs import JobExecutor, JobRecord, JobStatus
+from repro.api.session import RunRequest, Session, validate_request
+from repro.errors import ServiceError
+from repro.runtime.disk_cache import DiskResultCache
+from repro.runtime.events import EventSink, RunEvent
+from repro.runtime.suite import SuiteReport
+from repro.schema import BUNDLE_SCHEMA_VERSION
+
+__all__ = ["ServiceManager"]
+
+
+class ServiceManager:
+    """Job manager + session pool + durable cache (see module docs).
+
+    ``pool``
+        Concurrent suites; each pool slot keeps one persistent
+        :class:`~repro.api.Session` alive across jobs.
+    ``cache_dir``
+        Durable result-cache directory shared by every pooled session
+        (a path or a ready :class:`DiskResultCache`); ``None`` runs
+        without one.
+    ``workers``
+        Per-session local pool size passed to
+        :class:`~repro.api.LocalConfig` — 2 by default so suites
+        parallelize (and emit ``chunk_*`` events) inside each slot.
+    """
+
+    def __init__(
+        self,
+        *,
+        pool: int = 1,
+        cache_dir: Optional[Union[str, DiskResultCache]] = None,
+        workers: int = 2,
+        spill: str = "auto",
+    ):
+        if pool < 1:
+            raise ServiceError("service pool needs at least one slot")
+        if isinstance(cache_dir, str):
+            cache_dir = DiskResultCache(cache_dir)
+        self.cache: Optional[DiskResultCache] = cache_dir
+        self.pool = pool
+        self.workers = workers
+        self.spill = spill
+        self.started_at = time.time()
+        self._slot = threading.local()
+        self._sessions: List[Session] = []
+        self._lock = threading.Lock()
+        self._executor = JobExecutor(self._run_job, workers=pool, name="repro-serve")
+
+    # -- pool -----------------------------------------------------------
+
+    def _session(self) -> Session:
+        """This pool thread's persistent session (created on first
+        use, reused for every later job on the thread)."""
+        session = getattr(self._slot, "session", None)
+        if session is None:
+            session = Session(
+                LocalConfig(workers=self.workers),
+                spill=self.spill,
+                cache_dir=self.cache,
+            )
+            self._slot.session = session
+            with self._lock:
+                self._sessions.append(session)
+        return session
+
+    def _run_job(self, request: RunRequest, sink: EventSink) -> SuiteReport:
+        return self._session().run(request, on_event=sink)
+
+    # -- job surface ----------------------------------------------------
+
+    def submit(self, doc: Union[RunRequest, Dict[str, Any]]) -> JobRecord:
+        """Validate and enqueue one run request; returns the queued
+        :class:`JobRecord` (its ``job_id`` names the job from now on)."""
+        request = doc if isinstance(doc, RunRequest) else RunRequest.from_dict(doc)
+        validate_request(request)
+        return self._executor.submit(request).snapshot()
+
+    def _job(self, job_id: str):
+        job = self._executor.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        return job
+
+    def status(self, job_id: str) -> JobRecord:
+        return self._job(job_id).snapshot()
+
+    def jobs(self) -> List[JobRecord]:
+        return [job.snapshot() for job in self._executor.jobs()]
+
+    def events(self, job_id: str) -> Iterator[RunEvent]:
+        """Every event of one job from its start; the iterator ends
+        when the job reaches a terminal state."""
+        return self._job(job_id).events.subscribe()
+
+    def bundle(self, job_id: str) -> Dict[str, Any]:
+        """The finished job's result as a schema-stamped bundle
+        document: ``{"schema_version", "job_id", "files": {name →
+        exact text}}`` — the same strings
+        :func:`~repro.api.bundles.write_bundle` puts on disk, so a
+        fetched bundle is byte-identical to a local run's by
+        construction."""
+        job = self._job(job_id)
+        record = job.snapshot()
+        if not record.status.terminal:
+            raise ServiceError(f"job {job_id} is {record.status.value}; fetch needs a finished job")
+        if record.status is not JobStatus.SUCCEEDED or job.report is None:
+            raise ServiceError(
+                f"job {job_id} {record.status.value}"
+                + (f": {record.error}" if record.error else "")
+            )
+        return {
+            "schema_version": BUNDLE_SCHEMA_VERSION,
+            "job_id": job_id,
+            "files": bundle_files(job.report),
+        }
+
+    def cancel(self, job_id: str) -> JobRecord:
+        return self._executor.cancel(job_id)
+
+    def health(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "status": "ok",
+            "pool": self.pool,
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "jobs": self._executor.counts(),
+            "cache": self.cache.stats() if self.cache is not None else None,
+            "cache_dir": self.cache.directory if self.cache is not None else None,
+        }
+        return doc
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Cancel queued jobs, finish running ones, and close every
+        pooled session (idempotent)."""
+        self._executor.shutdown(wait=True)
+        with self._lock:
+            sessions, self._sessions = self._sessions, []
+        for session in sessions:
+            session.close()

@@ -20,6 +20,7 @@ from repro.api import (
     WorkerAuthError,
     load_result,
     load_suite,
+    run,
     run_experiment,
     write_bundle,
 )
@@ -309,3 +310,48 @@ def test_every_registered_experiment_routes_its_shim_through_the_api():
         module = importlib.import_module(module_name)
         source = inspect.getsource(module.run)
         assert "legacy_run" in source, module_name
+
+
+# -- module-level convenience parity ------------------------------------
+
+
+def test_run_request_round_trips_through_dict():
+    request = RunRequest(
+        ("fig6", "fig12"),
+        overrides={"fig6": {"repetitions": 1}},
+        smoke=True,
+        engine="batch",
+    )
+    doc = request.to_dict()
+    assert doc["experiments"] == ["fig6", "fig12"]
+    assert RunRequest.from_dict(json.loads(json.dumps(doc))) == request
+
+
+def test_run_request_from_dict_rejects_garbage():
+    with pytest.raises(InvalidOverride):
+        RunRequest.from_dict("not a mapping")
+    with pytest.raises(InvalidOverride):
+        RunRequest.from_dict({"smoke": True})  # no experiments
+
+
+def test_module_level_run_accepts_engine_and_cache_dir(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    cold = run("fig6", smoke=True, engine="scalar", cache_dir=cache_dir)
+    assert cold.extra["disk_cache_misses"] > 0
+    warm = run("fig6", smoke=True, engine="scalar", cache_dir=cache_dir)
+    assert warm.extra["disk_cache_misses"] == 0
+    assert warm.results["fig6"].rows == cold.results["fig6"].rows
+
+
+def test_module_level_run_experiment_accepts_engine():
+    pytest.importorskip("numpy")
+    scalar = run_experiment("fig6", smoke=True, engine="scalar")
+    batch = run_experiment("fig6", smoke=True, engine="batch")
+    assert scalar.rows == batch.rows  # engines agree on the physics
+
+
+def test_session_run_experiment_engine_parity_with_run():
+    with Session() as session:
+        via_experiment = session.run_experiment("fig6", smoke=True, engine="scalar")
+        via_run = session.run(RunRequest("fig6", smoke=True, engine="scalar"))
+    assert via_experiment.rows == via_run.results["fig6"].rows

@@ -1,0 +1,308 @@
+"""The ``repro serve`` stack: ServiceManager (transport-free),
+ServiceDaemon + ServiceClient over real sockets, live event relay
+mid-run, and the durable-cache warm start that must survive a daemon
+death with byte-identical bundles."""
+
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import (
+    JobStatus,
+    RunRequest,
+    ServiceClient,
+    ServiceError,
+    Session,
+    UnknownExperiment,
+)
+from repro.api.bundles import bundle_files
+from repro.api.client import error_type, parse_service_address
+from repro.errors import BackendError
+from repro.runtime.events import ChunkCompleted, SuiteCompleted, SuitePlanned
+from repro.schema import BUNDLE_SCHEMA_VERSION
+from repro.service import ServiceDaemon, ServiceManager
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+# -- manager (no sockets) -----------------------------------------------
+
+
+@pytest.fixture()
+def manager(tmp_path):
+    mgr = ServiceManager(pool=1, cache_dir=str(tmp_path / "cache"), workers=2)
+    yield mgr
+    mgr.close()
+
+
+def _wait_terminal(manager, job_id, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        record = manager.status(job_id)
+        if record.status.terminal:
+            return record
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} never reached a terminal state")
+
+
+def test_manager_submit_runs_and_bundles(manager):
+    record = manager.submit({"experiments": ["fig6"], "smoke": True})
+    assert record.status in (JobStatus.QUEUED, JobStatus.RUNNING)
+    record = _wait_terminal(manager, record.job_id)
+    assert record.status is JobStatus.SUCCEEDED
+    assert record.summary["experiments"] == ["fig6"]
+
+    bundle = manager.bundle(record.job_id)
+    assert bundle["schema_version"] == BUNDLE_SCHEMA_VERSION
+    assert set(bundle["files"]) == {"fig6.json", "suite.json"}
+
+    with Session() as session:
+        direct = session.run(RunRequest("fig6", smoke=True))
+    assert bundle["files"] == bundle_files(direct)
+
+
+def test_manager_rejects_bad_submissions(manager):
+    with pytest.raises(UnknownExperiment):
+        manager.submit({"experiments": ["not-real"], "smoke": True})
+    with pytest.raises(Exception):
+        manager.submit({"smoke": True})  # no experiments
+    assert manager.jobs() == []  # nothing was queued
+
+
+def test_manager_bundle_refuses_non_succeeded(manager):
+    record = manager.submit(
+        {"experiments": ["fig6"], "smoke": True, "overrides": {"fig6": {"nope": 1}}}
+    )
+    record = _wait_terminal(manager, record.job_id)
+    assert record.status is JobStatus.FAILED
+    with pytest.raises(ServiceError):
+        manager.bundle(record.job_id)
+
+
+def test_manager_health_reports_cache_and_pool(manager, tmp_path):
+    health = manager.health()
+    assert health["status"] == "ok"
+    assert health["pool"] == 1
+    assert health["cache_dir"] == str(tmp_path / "cache")
+    assert health["jobs"] == {
+        "queued": 0,
+        "running": 0,
+        "succeeded": 0,
+        "failed": 0,
+        "cancelled": 0,
+    }
+    assert health["uptime_s"] >= 0
+
+
+def test_manager_rejects_empty_pool(tmp_path):
+    with pytest.raises(ServiceError):
+        ServiceManager(pool=0)
+
+
+# -- daemon + client over sockets ---------------------------------------
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    mgr = ServiceManager(pool=1, cache_dir=str(tmp_path / "cache"), workers=2)
+    server = ServiceDaemon(mgr, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.run, daemon=True)
+    thread.start()
+    assert server.wait_started(timeout=10)
+    yield server
+    server.stop()
+    thread.join(timeout=10)
+    mgr.close()
+
+
+def test_client_health_and_unknown_job(daemon):
+    client = ServiceClient(daemon.address)
+    health = client.health()
+    assert health["status"] == "ok"
+    with pytest.raises(ServiceError):
+        client.status("job-doesnotexist")
+    with pytest.raises(ServiceError):
+        client.fetch("job-doesnotexist")
+
+
+def test_client_submit_streams_events_and_fetches_byte_identical(daemon):
+    client = ServiceClient(daemon.address)
+    record = client.submit(RunRequest("fig6", smoke=True))
+    job_id = record.job_id
+
+    # The event stream is consumed while the job runs — a live relay,
+    # not a post-hoc dump. It must carry the planned/chunk/completed
+    # trio end to end.
+    events = list(client.events(job_id))
+    kinds = {type(event) for event in events}
+    assert SuitePlanned in kinds
+    assert ChunkCompleted in kinds  # workers=2 → chunked dispatch
+    assert SuiteCompleted in kinds
+
+    final = client.wait(job_id, timeout=60)
+    assert final.status is JobStatus.SUCCEEDED
+
+    files = client.fetch(job_id)
+    with Session() as session:
+        direct = session.run(RunRequest("fig6", smoke=True))
+    assert files == bundle_files(direct)
+
+
+def test_client_fetch_to_writes_bundle(daemon, tmp_path):
+    client = ServiceClient(daemon.address)
+    record = client.submit(RunRequest("fig6", smoke=True))
+    client.wait(record.job_id, timeout=60)
+    out = tmp_path / "out"
+    written = client.fetch_to(record.job_id, str(out))
+    assert sorted(os.path.basename(p) for p in written) == [
+        "fig6.json",
+        "suite.json",
+    ]
+    doc = json.loads((out / "suite.json").read_text())
+    assert doc["schema_version"] == BUNDLE_SCHEMA_VERSION
+
+
+def test_client_failed_job_raises_typed_error(daemon):
+    client = ServiceClient(daemon.address)
+    with pytest.raises(UnknownExperiment):
+        client.submit(RunRequest("not-an-experiment", smoke=True))
+
+
+def test_client_jobs_listing(daemon):
+    client = ServiceClient(daemon.address)
+    record = client.submit(RunRequest("fig6", smoke=True))
+    listed = client.jobs()
+    assert record.job_id in {r.job_id for r in listed}
+    client.wait(record.job_id, timeout=60)
+
+
+def test_warm_resubmit_is_served_from_disk_cache(daemon):
+    client = ServiceClient(daemon.address)
+    first = client.submit(RunRequest("fig6", smoke=True))
+    cold = client.wait(first.job_id, timeout=60)
+    assert cold.summary["disk_cache_misses"] > 0
+
+    second = client.submit(RunRequest("fig6", smoke=True))
+    warm = client.wait(second.job_id, timeout=60)
+    assert warm.summary["disk_cache_hits"] == cold.summary["disk_cache_misses"]
+    assert warm.summary["disk_cache_misses"] == 0
+    assert client.fetch(second.job_id) == client.fetch(first.job_id)
+
+
+def test_unix_socket_daemon(tmp_path):
+    if not hasattr(socket, "AF_UNIX"):
+        pytest.skip("platform has no unix sockets")
+    path = str(tmp_path / "repro.sock")
+    mgr = ServiceManager(pool=1, workers=2)
+    server = ServiceDaemon(mgr, socket_path=path)
+    thread = threading.Thread(target=server.run, daemon=True)
+    thread.start()
+    try:
+        assert server.wait_started(timeout=10)
+        assert server.address == f"unix:{path}"
+        client = ServiceClient(server.address)
+        assert client.health()["status"] == "ok"
+    finally:
+        server.stop()
+        thread.join(timeout=10)
+        mgr.close()
+    assert not os.path.exists(path)  # socket unlinked on shutdown
+
+
+# -- client plumbing ----------------------------------------------------
+
+
+def test_parse_service_address_forms():
+    assert parse_service_address("unix:/tmp/x.sock") == ("unix", "/tmp/x.sock")
+    assert parse_service_address("127.0.0.1:8080") == ("tcp", ("127.0.0.1", 8080))
+    assert parse_service_address("[::1]:8080") == ("tcp", ("::1", 8080))
+    with pytest.raises(ServiceError):
+        parse_service_address("no-port-here")
+    with pytest.raises(ServiceError):
+        parse_service_address("host:not-a-number")
+
+
+def test_error_type_mapping():
+    assert error_type("UnknownExperiment") is UnknownExperiment
+    assert error_type("BackendError") is BackendError
+    assert error_type("ValueError") is ServiceError  # not a repro error
+    assert error_type("NoSuchThing") is ServiceError
+    assert error_type(None) is ServiceError
+
+
+def test_client_connection_refused_is_service_error():
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()  # nothing listens here any more
+    client = ServiceClient(f"127.0.0.1:{port}", timeout=2.0)
+    with pytest.raises(ServiceError):
+        client.health()
+
+
+# -- the durable warm start survives a SIGKILL --------------------------
+
+
+def test_cache_survives_daemon_sigkill_byte_identical(tmp_path):
+    """The acceptance drill in miniature: kill -9 the daemon, restart
+    it on the same cache directory, and the resubmitted suite must be
+    served from disk (zero misses) with byte-identical bundle files."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    cache_dir = tmp_path / "cache"
+
+    def start():
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--listen", "0", "--pool", "1", "--workers", "2",
+                "--cache-dir", str(cache_dir),
+            ],
+            env=env,
+            cwd=REPO_ROOT,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+        line = proc.stdout.readline()
+        match = re.search(r"service listening on (\S+)", line)
+        assert match, f"daemon never announced its address: {line!r}"
+        return proc, match.group(1)
+
+    proc, address = start()
+    try:
+        client = ServiceClient(address)
+        record = client.submit(RunRequest("fig6", smoke=True))
+        cold = client.wait(record.job_id, timeout=120)
+        assert cold.status is JobStatus.SUCCEEDED
+        cold_files = client.fetch(record.job_id)
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+
+    proc, address = start()
+    try:
+        client = ServiceClient(address)
+        record = client.submit(RunRequest("fig6", smoke=True))
+        warm = client.wait(record.job_id, timeout=120)
+        assert warm.status is JobStatus.SUCCEEDED
+        assert warm.summary["disk_cache_hits"] > 0
+        assert warm.summary["disk_cache_misses"] == 0
+        assert client.fetch(record.job_id) == cold_files
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()

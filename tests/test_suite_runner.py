@@ -94,9 +94,10 @@ def test_suite_auto_spill_off_for_stats_plans():
 
 
 def test_suite_mixed_kinds_runs_model_and_wild_without_cells():
-    report = run_suite(
-        ["table2", "table5", "fig6"], overrides={"fig6": {"repetitions": 1}}
-    )
+    with pytest.deprecated_call():
+        report = run_suite(
+            ["table2", "table5", "fig6"], overrides={"fig6": {"repetitions": 1}}
+        )
     assert set(report.results) == {"table2", "table5", "fig6"}
     assert report.results["table2"].extra["matches"]
     assert report.executed_cells == 16
