@@ -72,6 +72,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 from repro.experiments import fig12_server_flight_loss_rtts as fig12  # noqa: E402
 from repro.experiments import fig6_server_flight_loss as fig6  # noqa: E402
@@ -713,6 +714,16 @@ def main(argv=None) -> int:
     )
     print(json.dumps(report["benchmarks"]["suite_distributed_cached"], indent=2),
           flush=True)
+    # Below ~50k targets the per-scan fixed costs (pool spawn, fleet
+    # handshake) dominate the timing legs and the gated protocol ratio
+    # gets noisy; 50k keeps it stable while the RSS 10x leg stays quick.
+    from bench_stream import STREAM_TARGETS, bench_stream_scan
+
+    stream_targets = 50_000 if args.quick else STREAM_TARGETS
+    print(f"streaming scan: {stream_targets} targets (+10x RSS leg) ...",
+          flush=True)
+    report["benchmarks"]["stream_scan"] = bench_stream_scan(stream_targets, rounds)
+    print(json.dumps(report["benchmarks"]["stream_scan"], indent=2), flush=True)
 
     if args.seed_ref:
         print(f"seed commit reference ({args.seed_ref}) ...", flush=True)

@@ -1,0 +1,221 @@
+"""Streaming wild-scan benchmark: throughput and memory flatness.
+
+Two properties of the :mod:`repro.wild.stream` pipeline are measured:
+
+* **Throughput** — targets/second for one synthetic scan on the
+  in-process pool vs a two-worker distributed fleet, both at identical
+  parallelism. On one machine the ratio isolates the wire protocol's
+  overhead per shard (a shard travels as a ~200-byte range descriptor
+  and returns as a sketch, so it should sit near 1.0).
+* **RSS flatness** — the coordinator's peak RSS for a 1x scan vs a
+  10x scan, each measured as ``ru_maxrss`` of a fresh subprocess. The
+  pipeline's contract is that coordinator memory is independent of
+  target count (bounded in-flight shards, constant-size sketches), so
+  ``rss_1x / rss_10x`` sits near 1.0; any per-target state drags it
+  toward ``0.1``. In the full run the 10x leg is a **1M-target scan**
+  — the flatness number doubles as the scale acceptance check.
+
+Both ratios compare legs measured the same way on the same machine,
+so they are declared in ``stable_ratios`` and gated by
+``check_regression.py``. ``bench_parallel.py`` embeds this entry in
+its report; standalone usage::
+
+    PYTHONPATH=src python benchmarks/bench_stream.py            # print entry
+    PYTHONPATH=src python benchmarks/bench_stream.py --merge BENCH_parallel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.runtime.backend import LocalBackend  # noqa: E402
+from repro.runtime.distributed import SocketBackend  # noqa: E402
+from repro.wild.stream import ScanRequest, StreamCoordinator  # noqa: E402
+
+#: Full-run 1x target count; the RSS leg also runs 10x (= 1M targets).
+STREAM_TARGETS = 100_000
+
+
+def _request(targets: int) -> ScanRequest:
+    return ScanRequest(
+        source={"kind": "synthetic", "count": targets, "seed": 11},
+        shard_size=5000,
+        vantage_names=("Hamburg",),
+        days=1,
+    ).validated()
+
+
+def _best_of(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _child_env() -> dict:
+    env = dict(os.environ)
+    env.pop("REPRO_AUTH_KEY", None)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def _spawn_worker(backend: SocketBackend) -> subprocess.Popen:
+    # Cacheless: best-of re-runs the identical scan, and warm worker
+    # caches would measure the memo instead of the protocol.
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "worker",
+            "--connect", backend.address, "--retry", "30", "--no-cache",
+        ],
+        env=_child_env(), cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def _coordinator_rss(targets: int, workers: int = 2) -> dict:
+    """Peak RSS of a fresh coordinator process running one scan.
+
+    ``ru_maxrss`` of the subprocess itself (Linux: KiB) — the
+    coordinator is where an accidentally materialized target list or
+    an unbounded in-flight window would show up; pool workers hold one
+    shard each by construction.
+    """
+    script = (
+        "import json, resource, time\n"
+        "from repro.runtime.backend import LocalBackend\n"
+        "from repro.wild.stream import ScanRequest, StreamCoordinator\n"
+        "request = ScanRequest(\n"
+        f"    source={{'kind': 'synthetic', 'count': {targets}, 'seed': 11}},\n"
+        "    shard_size=5000, vantage_names=('Hamburg',), days=1,\n"
+        ").validated()\n"
+        "start = time.perf_counter()\n"
+        f"with LocalBackend({workers}) as backend:\n"
+        "    report = StreamCoordinator(backend, request).run()\n"
+        "print(json.dumps({\n"
+        "    'rss_kb': resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,\n"
+        "    'elapsed_s': round(time.perf_counter() - start, 3),\n"
+        "    'targets': report.sketch.targets,\n"
+        "}))\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        env=_child_env(), cwd=REPO_ROOT,
+        check=True, capture_output=True, text=True,
+    )
+    measured = json.loads(out.stdout.strip().splitlines()[-1])
+    if measured["targets"] != targets:
+        raise RuntimeError(
+            f"RSS child scanned {measured['targets']} targets, wanted {targets}"
+        )
+    return measured
+
+
+def bench_stream_scan(targets: int, rounds: int) -> dict:
+    """The ``stream_scan`` benchmark entry (see module docstring)."""
+    request = _request(targets)
+
+    def local() -> None:
+        with LocalBackend(2) as backend:
+            StreamCoordinator(backend, request).run()
+
+    legs: dict = {}
+    legs["local_2w_s"] = _best_of(local, rounds)
+    legs["local_targets_per_s"] = round(targets / legs["local_2w_s"])
+
+    backend = SocketBackend(port=0, min_workers=2)
+    workers = [_spawn_worker(backend) for _ in range(2)]
+    try:
+        backend.wait_for_workers(2, timeout=60)
+        legs["distributed_2w_s"] = _best_of(
+            lambda: StreamCoordinator(backend, request).run(), rounds
+        )
+    finally:
+        backend.close()
+        for proc in workers:
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+    legs["distributed_targets_per_s"] = round(targets / legs["distributed_2w_s"])
+    legs["speedup_stream_distributed_2w_vs_local_2w"] = round(
+        legs["local_2w_s"] / legs["distributed_2w_s"], 2
+    )
+
+    one = _coordinator_rss(targets)
+    ten = _coordinator_rss(targets * 10)
+    legs["coordinator_rss_1x_kb"] = one["rss_kb"]
+    legs["coordinator_rss_10x_kb"] = ten["rss_kb"]
+    legs["scan_10x_s"] = ten["elapsed_s"]
+    legs["rss_flatness_1x_vs_10x"] = round(one["rss_kb"] / ten["rss_kb"], 2)
+
+    return {
+        "workload": {
+            "source": "synthetic",
+            "targets": targets,
+            "rss_leg_targets": [targets, targets * 10],
+            "shard_size": 5000,
+            "vantages": 1,
+            "days": 1,
+            "workers": 2,
+        },
+        "local_leg": "StreamCoordinator on the in-process pool (LocalBackend)",
+        "distributed_leg": (
+            "StreamCoordinator on a SocketBackend serving two localhost "
+            "'repro worker' subprocesses (shards as range descriptors, "
+            "results as sketches)"
+        ),
+        "rss_leg": (
+            "ru_maxrss of a fresh coordinator subprocess at 1x vs 10x "
+            "targets; flat memory keeps the quotient near 1.0, a "
+            "materialized target list drags it toward 0.1"
+        ),
+        **legs,
+        # Both gated ratios compare identically-shaped legs on one
+        # machine: protocol overhead at equal parallelism, and the
+        # memory-flatness quotient (dimensionless on any host).
+        "stable_ratios": [
+            "speedup_stream_distributed_2w_vs_local_2w",
+            "rss_flatness_1x_vs_10x",
+        ],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--targets", type=int, default=STREAM_TARGETS,
+                        help="1x target count (the RSS leg also runs 10x)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="best-of rounds per timing leg")
+    parser.add_argument("--merge", default=None, metavar="REPORT_JSON",
+                        help="merge the entry into an existing benchmark "
+                             "report (e.g. the committed BENCH_parallel.json)")
+    args = parser.parse_args(argv)
+
+    print(f"stream scan: {args.targets} targets (+10x RSS leg) ...", flush=True)
+    entry = bench_stream_scan(args.targets, args.rounds)
+    print(json.dumps(entry, indent=2), flush=True)
+    if args.merge:
+        path = Path(args.merge)
+        report = json.loads(path.read_text())
+        report.setdefault("benchmarks", {})["stream_scan"] = entry
+        path.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"merged stream_scan entry into {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

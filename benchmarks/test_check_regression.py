@@ -46,6 +46,8 @@ def test_committed_baseline_gates_only_same_parallelism_ratios():
         "suite_distributed.speedup_distributed_2w_vs_local_2w",
         "suite_distributed_cached.speedup_cached_vs_cold",
         "suite_distributed_v4.result_bytes_raw_vs_wire",
+        "stream_scan.speedup_stream_distributed_2w_vs_local_2w",
+        "stream_scan.rss_flatness_1x_vs_10x",
     }
     # hardware-dependent worker-scaling ratios must never be gated
     assert not any(key.endswith("w_vs_serial") for key in tracked)

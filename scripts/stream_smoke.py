@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""CI stream smoke: a distributed 100k-target streaming scan must
+survive a coordinator SIGKILL and resume to a summary byte-identical
+to an uninterrupted local run.
+
+The drill (see the streaming section of PERFORMANCE.md):
+
+1. Run the reference scan in-process (``repro scan --backend local``).
+2. Start a two-worker fleet with ``--rejoin`` so it outlives the
+   coordinator.
+3. Run the same scan on ``--backend distributed`` with ``--resume``,
+   SIGKILL the coordinator as soon as the shard journal shows
+   progress, then relaunch the identical command to resume.
+4. Byte-diff the resumed summary JSON against the local reference —
+   the sketch merge is exactly order-independent, so "equal" here
+   means equal bytes, not equal-within-tolerance.
+"""
+
+import argparse
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SCAN = [
+    "scan",
+    "--source", "synthetic",
+    "--targets", "100000",
+    "--shard-size", "2000",
+    "--vantage", "Hamburg",
+    "--days", "1",
+    "--seed", "7",
+]
+
+
+def log(message: str) -> None:
+    print(f"stream-smoke: {message}", flush=True)
+
+
+def child_env() -> dict:
+    env = dict(os.environ)
+    env.pop("REPRO_AUTH_KEY", None)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def repro(args, log_path: Path) -> subprocess.Popen:
+    handle = open(log_path, "ab")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        env=child_env(),
+        cwd=REPO_ROOT,
+        stdout=handle,
+        stderr=subprocess.STDOUT,
+    )
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def wait_ok(proc: subprocess.Popen, what: str, timeout: float) -> None:
+    if proc.wait(timeout=timeout) != 0:
+        raise RuntimeError(f"{what} exited with {proc.returncode}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workdir", default="stream-smoke",
+                        help="scratch directory for summaries, checkpoint, logs")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="overall per-phase timeout in seconds")
+    args = parser.parse_args()
+
+    work = Path(args.workdir).resolve()
+    work.mkdir(parents=True, exist_ok=True)
+    reference = work / "reference.json"
+    resumed = work / "resumed.json"
+    ckpt = work / "checkpoint"
+    port = free_port()
+
+    log("phase 1: reference scan on --backend local")
+    wait_ok(
+        repro([*SCAN, "--backend", "local", "--workers", "2",
+               "--out", str(reference)], work / "local.log"),
+        "local reference scan", args.timeout,
+    )
+
+    log("phase 2: two workers with --rejoin")
+    workers = [
+        repro(["worker", "--connect", f"127.0.0.1:{port}", "--retry", "120",
+               "--rejoin", "120"], work / f"worker{i}.log")
+        for i in range(2)
+    ]
+
+    coordinator_cmd = [
+        *SCAN, "--backend", "distributed", "--listen", str(port),
+        "--min-workers", "2", "--resume", str(ckpt), "--out", str(resumed),
+    ]
+    log("phase 3: coordinator scan, SIGKILLed once the shard journal shows progress")
+    victim = repro(coordinator_cmd, work / "coordinator-1.log")
+    deadline = time.monotonic() + args.timeout
+    while not list(ckpt.glob("cells-*.pkl")) and victim.poll() is None:
+        if time.monotonic() > deadline:
+            victim.kill()
+            raise RuntimeError("no shard journal segment appeared in time")
+        time.sleep(0.01)
+    if victim.poll() is None:
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=60)
+        log(f"  coordinator killed mid-scan "
+            f"({len(list(ckpt.glob('cells-*.pkl')))} journal segment(s) on disk)")
+    else:
+        # The scan outran the kill window; the resume below is then a
+        # pure journal replay, which must still be byte-identical.
+        log("  coordinator finished before the kill window; resuming anyway")
+
+    log("phase 4: relaunch the identical command to resume")
+    wait_ok(repro(coordinator_cmd, work / "coordinator-2.log"),
+            "resumed coordinator scan", args.timeout)
+
+    log("phase 5: byte-diff resumed summary against the local reference")
+    for proc in workers:
+        proc.terminate()
+    for proc in workers:
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+    if not reference.exists() or not resumed.exists():
+        log("FAIL: a scan wrote no summary file")
+        failure_dump(work)
+        return 1
+    if reference.read_bytes() != resumed.read_bytes():
+        log("FAIL: resumed distributed summary differs from the local reference")
+        failure_dump(work)
+        return 1
+    resumed_log = (work / "coordinator-2.log").read_text(errors="replace")
+    if " 0 resumed" in resumed_log:
+        log("FAIL: the resumed run replayed no journaled shards")
+        failure_dump(work)
+        return 1
+    log("OK: 100k-target scan survived a coordinator SIGKILL; resumed "
+        "summary byte-identical to the uninterrupted local run")
+    return 0
+
+
+def failure_dump(work: Path) -> None:
+    for logfile in sorted(work.glob("*.log")):
+        print(f"\n===== {logfile.name} =====", flush=True)
+        print(logfile.read_text(errors="replace"), flush=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -89,6 +89,9 @@ from repro.runtime.events import (
     EventSink,
     ExperimentCompleted,
     RunEvent,
+    ScanCompleted,
+    ShardCompleted,
+    ShardDispatched,
     SuiteCompleted,
     SuitePlanned,
     WorkerDrained,
@@ -98,6 +101,7 @@ from repro.runtime.events import (
 from repro.runtime.scheduler import ScaleHint
 from repro.runtime.suite import SuitePlan, SuiteReport
 from repro.schema import BUNDLE_SCHEMA_VERSION
+from repro.wild.stream import ScanReport, ScanRequest
 
 __all__ = [
     "BUNDLE_SCHEMA_VERSION",
@@ -125,9 +129,14 @@ __all__ = [
     "RunRequest",
     "RunStream",
     "ScaleHint",
+    "ScanCompleted",
+    "ScanReport",
+    "ScanRequest",
     "ServiceClient",
     "ServiceError",
     "Session",
+    "ShardCompleted",
+    "ShardDispatched",
     "SuiteCompleted",
     "SuitePlan",
     "SuitePlanned",

@@ -22,6 +22,7 @@ never dies.
 from __future__ import annotations
 
 import json
+import os
 import socket
 import time
 from pathlib import Path
@@ -79,12 +80,21 @@ class ServiceClient:
     ``timeout`` covers connection setup and every non-streaming
     request; the ``events`` stream, which legitimately idles between
     cells, is unbounded once its headers arrive.
+
+    ``token`` is the daemon's bearer secret (``repro serve
+    --auth-token``); when omitted, the ``REPRO_SERVICE_TOKEN``
+    environment variable supplies it, matching how the address
+    defaults from ``REPRO_SERVICE``. Every request carries it as
+    ``Authorization: Bearer <token>``.
     """
 
-    def __init__(self, address: str, *, timeout: float = 30.0):
+    def __init__(self, address: str, *, timeout: float = 30.0, token: Optional[str] = None):
         self.address = address
         self.family, self.target = parse_service_address(address)
         self.timeout = timeout
+        if token is None:
+            token = os.environ.get("REPRO_SERVICE_TOKEN", "").strip() or None
+        self.token = token
 
     # -- transport ------------------------------------------------------
 
@@ -105,11 +115,13 @@ class ServiceClient:
         if body is not None:
             payload = json.dumps(body).encode("utf-8")
         host = self.target if self.family == "unix" else f"{self.target[0]}:{self.target[1]}"
+        auth = f"Authorization: Bearer {self.token}\r\n" if self.token else ""
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {host}\r\n"
             "Connection: close\r\n"
-            "Content-Type: application/json\r\n"
+            + auth
+            + "Content-Type: application/json\r\n"
             f"Content-Length: {len(payload)}\r\n\r\n"
         )
         sock.sendall(head.encode("latin-1") + payload)

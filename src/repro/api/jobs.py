@@ -242,9 +242,15 @@ class LocalJobHandle(JobHandle):
 
 
 def summarize_report(report: Optional[SuiteReport]) -> Dict[str, Any]:
-    """The :attr:`JobRecord.summary` document for a finished report."""
+    """The :attr:`JobRecord.summary` document for a finished report
+    (suite accounting, or a scan report's shard accounting)."""
     if report is None:
         return {}
+    if not isinstance(report, SuiteReport):  # streaming scan job
+        accounting = getattr(report, "accounting", None)
+        doc = dict(accounting()) if callable(accounting) else {}
+        doc["fingerprint"] = getattr(report, "fingerprint", "")
+        return doc
     summary: Dict[str, Any] = {
         "experiments": sorted(report.results),
         "executed_cells": report.executed_cells,

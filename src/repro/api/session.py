@@ -333,6 +333,60 @@ class Session:
             )
         return LocalJobHandle(self._jobs.submit(request), self._jobs)
 
+    def scan(
+        self,
+        request: "Any",
+        *,
+        on_event: Optional[EventSink] = None,
+        checkpoint_dir: Optional[str] = None,
+        window: Optional[int] = None,
+    ) -> "Any":
+        """Run a streaming wild scan through the session's backend.
+
+        ``request`` is a :class:`~repro.wild.stream.ScanRequest` (or
+        its ``to_dict`` document). The scan shares the session's
+        execution context end to end: shards dispatch over the
+        session backend (local pool or distributed fleet), completed
+        shards journal into ``checkpoint_dir`` (defaulting to the
+        session's ``resume`` directory) so a killed coordinator
+        resumes with a byte-identical summary, and the session's
+        ``cache_dir`` disk cache serves unchanged shards across scans.
+        Returns a :class:`~repro.wild.stream.ScanReport`; memory stays
+        flat in the target count (see PERFORMANCE.md).
+        """
+        from repro.wild.stream import ScanRequest, StreamCoordinator
+
+        if self._closed:
+            raise BackendError("session is closed")
+        if isinstance(request, Mapping):
+            request = ScanRequest.from_dict(dict(request))
+        if not isinstance(request, ScanRequest):
+            raise InvalidOverride(
+                f"scan request must be a ScanRequest or mapping, got {type(request).__name__}"
+            )
+        # The serial reference config creates no backend object; scans
+        # always dispatch through one, so borrow an ephemeral pool.
+        backend = self._backend
+        ephemeral = backend is None
+        if ephemeral:
+            from repro.runtime.backend import LocalBackend
+
+            backend = LocalBackend(max(1, self._workers()))
+            backend.set_event_sink(self._sink(on_event))
+        try:
+            coordinator = StreamCoordinator(
+                backend,
+                request,
+                checkpoint_dir=checkpoint_dir if checkpoint_dir is not None else self.resume,
+                disk_cache=self.disk_cache,
+                sink=self._sink(on_event),
+                window=window,
+            )
+            return coordinator.run()
+        finally:
+            if ephemeral:
+                backend.close()
+
     def run_experiment(
         self,
         experiment_id: str,

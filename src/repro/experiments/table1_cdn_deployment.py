@@ -65,29 +65,68 @@ def cells(params: Params) -> List[Cell]:
     return []
 
 
+def _streamed_measurements(
+    params: Params, vantage_names: List[str]
+) -> tuple:
+    """The streamed engine's cross-validation path: the same scan
+    through :mod:`repro.wild.stream` shards instead of in-memory
+    passes.
+
+    With the analytic engine the per-probe rng is keyed by
+    ``(seed, vantage, day, domain)`` — independent of sharding — so
+    counts and per-pass deployment shares are *exactly* equal to the
+    in-memory path (identical integer tallies, identical divisions);
+    only sketched percentiles carry the documented alpha tolerance.
+    The batch engine draws one rng stream per pass, which sharding
+    necessarily splits: statistically equivalent, not draw-identical.
+    """
+    from repro.runtime.backend import LocalBackend
+    from repro.wild.stream import ScanRequest, StreamCoordinator
+
+    request = ScanRequest(
+        source={
+            "kind": "tranco",
+            "list_size": params["list_size"],
+            "seed": params["seed"],
+        },
+        shard_size=min(int(params["list_size"]), 5_000),
+        vantage_names=tuple(vantage_names),
+        days=params["days"],
+        seed=params["seed"],
+        probe_engine=params["engine"],
+    )
+    with LocalBackend(max(1, params["workers"])) as backend:
+        report = StreamCoordinator(backend, request).run()
+    counts = {Cdn(value): n for value, n in report.sketch.cdn_domains.items()}
+    return report.deployment_measurements(), counts
+
+
 def aggregate(results: CellResults, params: Params) -> ExperimentResult:
     list_size, days, seed = params["list_size"], params["days"], params["seed"]
     vantage_names = params["vantage_names"]
     if vantage_names is None:
         vantage_names = sorted(VANTAGE_POINTS)
-    generator = TrancoGenerator(list_size=list_size, seed=seed)
-    domains = generator.quic_domains()
-    counts: Dict[Cdn, int] = {}
-    for domain in domains:
-        counts[domain.cdn] = counts.get(domain.cdn, 0) + 1
-    tasks = [
-        (vantage_name, day, list_size, seed, params["engine"])
-        for vantage_name in vantage_names
-        for day in range(days)
-    ]
-    #: shares[(vantage, day)][cdn] = share
-    measurements: List[Dict[Cdn, float]] = parallel_map(
-        _measure_pass,
-        tasks,
-        workers=params["workers"],
-        initializer=set_shared_input,
-        initargs=(domains,),
-    )
+    if params["streamed"]:
+        measurements, counts = _streamed_measurements(params, vantage_names)
+    else:
+        generator = TrancoGenerator(list_size=list_size, seed=seed)
+        domains = generator.quic_domains()
+        counts = {}
+        for domain in domains:
+            counts[domain.cdn] = counts.get(domain.cdn, 0) + 1
+        tasks = [
+            (vantage_name, day, list_size, seed, params["engine"])
+            for vantage_name in vantage_names
+            for day in range(days)
+        ]
+        #: shares[(vantage, day)][cdn] = share
+        measurements = parallel_map(
+            _measure_pass,
+            tasks,
+            workers=params["workers"],
+            initializer=set_shared_input,
+            initargs=(domains,),
+        )
     rows: List[List[object]] = []
     for cdn in Cdn:
         shares = [m.get(cdn, 0.0) * 100.0 for m in measurements]
@@ -137,6 +176,7 @@ SPEC = register(
             "seed": 0,
             "workers": 0,
             "engine": "analytic",
+            "streamed": False,
         },
         smoke={"list_size": 5_000, "days": 1, "vantage_names": ("Sao Paulo",)},
     )

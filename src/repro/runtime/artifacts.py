@@ -119,7 +119,18 @@ def execute_cell(
     level: ArtifactLevel,
     runner: Optional[Runner] = None,
 ) -> RunArtifacts:
-    """Run one (scenario, seed) cell at the requested artifact level."""
+    """Run one (scenario, seed) cell at the requested artifact level.
+
+    Cells are usually ``(Scenario, seed)`` pairs, but any object with
+    an ``execute_task(seed=..., level=...)`` method rides the same
+    rails: the runtime (backends, scheduler, checkpoint journal,
+    caches) stays agnostic about what a cell computes, which is how
+    the streaming scan pipeline ships probe shards over the fleet
+    without a second protocol.
+    """
+    task = getattr(scenario, "execute_task", None)
+    if callable(task):
+        return task(seed=seed, level=level)
     if runner is None:
         runner = Runner()
     keep = level is not ArtifactLevel.STATS

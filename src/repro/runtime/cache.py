@@ -39,7 +39,16 @@ def loss_pattern_key(pattern: Optional[LossPattern]) -> Optional[str]:
 
 def scenario_key(scenario: Scenario) -> Optional[Tuple[Any, ...]]:
     """A hashable value key for a scenario, or ``None`` if any field
-    defeats value-identity (custom loss patterns)."""
+    defeats value-identity (custom loss patterns).
+
+    Task cells (objects with a ``task_key()`` method — see
+    :func:`repro.runtime.artifacts.execute_cell`) define their own
+    value identity; everything downstream (in-memory memo, durable
+    disk cache) keys them exactly like scenarios.
+    """
+    task_key = getattr(scenario, "task_key", None)
+    if callable(task_key):
+        return task_key()
     c2s = loss_pattern_key(scenario.client_to_server_loss)
     s2c = loss_pattern_key(scenario.server_to_client_loss)
     if c2s is None or s2c is None:

@@ -59,6 +59,9 @@ __all__ = [
     "EventSink",
     "ExperimentCompleted",
     "RunEvent",
+    "ScanCompleted",
+    "ShardCompleted",
+    "ShardDispatched",
     "SuiteCompleted",
     "SuitePlanned",
     "WorkerDrained",
@@ -205,6 +208,53 @@ class WorkerDrained(RunEvent):
 
 
 @dataclass(frozen=True)
+class ShardDispatched(RunEvent):
+    """A streaming-scan shard (one rank range of targets) entered the
+    in-flight window and was handed to the execution backend."""
+
+    kind = "shard_dispatched"
+
+    shard_index: int
+    targets: int
+    #: Total shards in the scan (for progress displays).
+    total_shards: int
+
+
+@dataclass(frozen=True)
+class ShardCompleted(RunEvent):
+    """A shard's sketch came back and was merged into the scan state.
+
+    ``source`` records how the outcome was produced: ``"executed"``
+    (probed on the fleet), ``"disk_cache"`` (served unchanged from the
+    durable cache), or ``"checkpoint"`` (replayed from a resumed
+    journal).
+    """
+
+    kind = "shard_completed"
+
+    shard_index: int
+    targets: int
+    completed_shards: int
+    total_shards: int
+    source: str
+
+
+@dataclass(frozen=True)
+class ScanCompleted(RunEvent):
+    """The streaming scan finished; the merged sketch summary is being
+    returned."""
+
+    kind = "scan_completed"
+
+    targets: int
+    probes: int
+    shards: int
+    executed_shards: int
+    cached_shards: int
+    resumed_shards: int
+
+
+@dataclass(frozen=True)
 class ExperimentCompleted(RunEvent):
     """One experiment's aggregator produced its result."""
 
@@ -286,6 +336,9 @@ EVENT_TYPES: Dict[str, Type[RunEvent]] = {
         WorkerJoined,
         WorkerLost,
         WorkerDrained,
+        ShardDispatched,
+        ShardCompleted,
+        ScanCompleted,
         ExperimentCompleted,
         SuiteCompleted,
     )

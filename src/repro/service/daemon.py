@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import hmac
 import logging
 import os
 import threading
@@ -77,11 +78,13 @@ class ServiceDaemon:
         socket_path: Optional[str] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        auth_token: Optional[str] = None,
     ):
         self.manager = manager
         self.socket_path = socket_path
         self.host = host
         self.port = port
+        self.auth_token = auth_token or None
         self.address: Optional[str] = None
         self._started = threading.Event()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -158,7 +161,20 @@ class ServiceDaemon:
                 writer.close()
                 await writer.wait_closed()
 
+    def _authorized(self, request: HttpRequest) -> bool:
+        """Bearer-token gate: with ``auth_token`` set, every endpoint
+        (the job API runs arbitrary registered experiments) demands
+        ``Authorization: Bearer <token>``, compared constant-time."""
+        if self.auth_token is None:
+            return True
+        scheme, _, value = request.headers.get("authorization", "").partition(" ")
+        return scheme.lower() == "bearer" and hmac.compare_digest(
+            value.strip(), self.auth_token
+        )
+
     async def _route(self, request: HttpRequest, writer) -> None:
+        if not self._authorized(request):
+            raise HttpError(401, "missing or invalid bearer token")
         parts = [part for part in request.path.split("/") if part]
         if parts[:1] != ["v1"]:
             raise HttpError(404, f"unknown path {request.path!r}")

@@ -42,6 +42,7 @@ MAX_BODY_BYTES = 4 * 1024 * 1024
 REASONS = {
     200: "OK",
     400: "Bad Request",
+    401: "Unauthorized",
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",

@@ -42,6 +42,17 @@ from repro.schema import BUNDLE_SCHEMA_VERSION
 __all__ = ["ServiceManager"]
 
 
+class _ScanJob:
+    """A submitted streaming scan, shaped like a run request for the
+    job table (``{"scan": {ScanRequest doc}}`` on the wire)."""
+
+    def __init__(self, request: Any):
+        self.request = request
+        self.experiments = "scan"
+        self.engine = request.probe_engine
+        self.smoke = False
+
+
 class ServiceManager:
     """Job manager + session pool + durable cache (see module docs).
 
@@ -97,14 +108,27 @@ class ServiceManager:
                 self._sessions.append(session)
         return session
 
-    def _run_job(self, request: RunRequest, sink: EventSink) -> SuiteReport:
+    def _run_job(self, request: Any, sink: EventSink) -> Any:
+        if isinstance(request, _ScanJob):
+            return self._session().scan(request.request, on_event=sink)
         return self._session().run(request, on_event=sink)
 
     # -- job surface ----------------------------------------------------
 
     def submit(self, doc: Union[RunRequest, Dict[str, Any]]) -> JobRecord:
-        """Validate and enqueue one run request; returns the queued
-        :class:`JobRecord` (its ``job_id`` names the job from now on)."""
+        """Validate and enqueue one request; returns the queued
+        :class:`JobRecord` (its ``job_id`` names the job from now on).
+
+        A ``{"scan": {ScanRequest doc}}`` document submits a streaming
+        wild scan instead of a suite — same job table, events relay,
+        and fetch surface (the bundle is one ``scan.json``)."""
+        if isinstance(doc, dict) and "scan" in doc:
+            from repro.wild.stream import ScanRequest
+
+            scan_doc = doc["scan"]
+            if not isinstance(scan_doc, dict):
+                raise ServiceError('"scan" must carry a ScanRequest document')
+            return self._executor.submit(_ScanJob(ScanRequest.from_dict(scan_doc))).snapshot()
         request = doc if isinstance(doc, RunRequest) else RunRequest.from_dict(doc)
         validate_request(request)
         return self._executor.submit(request).snapshot()
@@ -142,10 +166,14 @@ class ServiceManager:
                 f"job {job_id} {record.status.value}"
                 + (f": {record.error}" if record.error else "")
             )
+        if isinstance(job.report, SuiteReport):
+            files = bundle_files(job.report)
+        else:  # a streaming scan job: one summary document
+            files = {"scan.json": job.report.to_json()}
         return {
             "schema_version": BUNDLE_SCHEMA_VERSION,
             "job_id": job_id,
-            "files": bundle_files(job.report),
+            "files": files,
         }
 
     def cancel(self, job_id: str) -> JobRecord:

@@ -1,0 +1,440 @@
+"""The streaming scan coordinator: flat memory, any backend, resumable.
+
+:class:`StreamCoordinator` turns a :class:`ScanRequest` into shard
+tasks and pumps them through an existing
+:class:`~repro.runtime.backend.ExecutionBackend` in bounded *waves*:
+at most ``window`` shards are in flight or buffered at any moment, and
+a completed shard's :class:`~repro.wild.stream.sketch.ScanSketch` is
+merged into the running total and dropped. Coordinator memory is
+O(window x sketch) + O(shard count x 2 ints) — independent of the
+target count, which is what lets one process drive a million-target
+scan with the same RSS as a hundred-thousand-target one.
+
+Durability reuses the PR 6/PR 8 machinery verbatim:
+
+* every completed shard is journaled through the backend's
+  result-observer hook into a :class:`~repro.runtime.checkpoint
+  .SuiteCheckpoint` whose manifest is pinned to
+  :func:`scan_fingerprint` — ``repro scan --resume DIR`` after a
+  coordinator SIGKILL replays the journal and dispatches only the
+  remainder, and because sketch merge is exactly order-independent
+  the resumed summary is byte-identical to an uninterrupted run's;
+* the content-addressed :class:`~repro.runtime.disk_cache
+  .DiskResultCache` is consulted per shard before dispatch and fed
+  after, so a re-scan over unchanged targets is served from disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidOverride
+from repro.runtime.artifacts import ArtifactLevel, RunArtifacts
+from repro.runtime.backend import ExecutionBackend
+from repro.runtime.checkpoint import SuiteCheckpoint
+from repro.runtime.disk_cache import DiskResultCache
+from repro.runtime.events import (
+    EventSink,
+    ScanCompleted,
+    ShardCompleted,
+    ShardDispatched,
+    emit,
+)
+from repro.wild.asdb import Cdn
+from repro.wild.stream.shard import SHARD_CODE_VERSION, ShardOutcome, ShardProbeTask
+from repro.wild.stream.sketch import DEFAULT_ALPHA, SKETCH_VERSION, ScanSketch
+from repro.wild.stream.source import shard_ranges, source_from_spec
+from repro.wild.vantage import VANTAGE_POINTS
+
+__all__ = [
+    "ScanReport",
+    "ScanRequest",
+    "StreamCoordinator",
+    "scan_fingerprint",
+]
+
+#: Default targets per shard: big enough that dispatch overhead
+#: amortizes, small enough that a shard's probe lists stay cheap on a
+#: worker and the resume granularity is useful.
+DEFAULT_SHARD_SIZE = 5_000
+
+PROBE_ENGINES = ("analytic", "batch")
+
+
+@dataclass(frozen=True)
+class ScanRequest:
+    """Everything that identifies one streaming scan.
+
+    ``source`` is a :meth:`~repro.wild.stream.source.TargetSource.spec`
+    document (JSON-safe), so requests cross the service wire as-is.
+    """
+
+    source: Dict[str, Any]
+    shard_size: int = DEFAULT_SHARD_SIZE
+    vantage_names: Optional[Tuple[str, ...]] = None
+    days: int = 1
+    seed: int = 0
+    probe_engine: str = "analytic"
+    alpha: float = DEFAULT_ALPHA
+
+    def validated(self) -> "ScanRequest":
+        source_from_spec(self.source)  # raises InvalidOverride on bad specs
+        if self.shard_size <= 0:
+            raise InvalidOverride("shard size must be positive")
+        if self.days <= 0:
+            raise InvalidOverride("a scan needs at least one day")
+        if self.probe_engine not in PROBE_ENGINES:
+            raise InvalidOverride(
+                f"unknown probe engine {self.probe_engine!r}; expected one of {PROBE_ENGINES}"
+            )
+        for name in self.resolved_vantages():
+            if name not in VANTAGE_POINTS:
+                raise InvalidOverride(
+                    f"unknown vantage point {name!r}; expected one of {sorted(VANTAGE_POINTS)}"
+                )
+        if not 0.0 < self.alpha < 1.0:
+            raise InvalidOverride("sketch alpha must be in (0, 1)")
+        return self
+
+    def resolved_vantages(self) -> Tuple[str, ...]:
+        if self.vantage_names is None:
+            return tuple(sorted(VANTAGE_POINTS))
+        return tuple(self.vantage_names)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "source": dict(self.source),
+            "shard_size": self.shard_size,
+            "vantage_names": (
+                None if self.vantage_names is None else list(self.vantage_names)
+            ),
+            "days": self.days,
+            "seed": self.seed,
+            "probe_engine": self.probe_engine,
+            "alpha": self.alpha,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "ScanRequest":
+        if not isinstance(doc, dict) or not isinstance(doc.get("source"), dict):
+            raise InvalidOverride("scan request document needs a 'source' spec dict")
+        vantages = doc.get("vantage_names")
+        return cls(
+            source=dict(doc["source"]),
+            shard_size=int(doc.get("shard_size", DEFAULT_SHARD_SIZE)),
+            vantage_names=None if vantages is None else tuple(str(v) for v in vantages),
+            days=int(doc.get("days", 1)),
+            seed=int(doc.get("seed", 0)),
+            probe_engine=str(doc.get("probe_engine", "analytic")),
+            alpha=float(doc.get("alpha", DEFAULT_ALPHA)),
+        ).validated()
+
+
+def scan_fingerprint(request: ScanRequest) -> str:
+    """Content-address one scan: everything that determines what a
+    shard index means, including the sketch and shard code versions —
+    a checkpoint journaled by different semantics must not resume."""
+    doc = {
+        "kind": "wild-stream-scan",
+        "shard_code_version": SHARD_CODE_VERSION,
+        "sketch_version": SKETCH_VERSION,
+        "source": request.source,
+        "shard_size": request.shard_size,
+        "vantage_names": list(request.resolved_vantages()),
+        "days": request.days,
+        "seed": request.seed,
+        "probe_engine": request.probe_engine,
+        "alpha": request.alpha,
+    }
+    payload = json.dumps(doc, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+@dataclass
+class ScanReport:
+    """The result of one streaming scan.
+
+    :meth:`summary` is deterministic in the scan identity and merged
+    sketch — two scans of the same request render byte-identical JSON
+    regardless of sharding interleave, resume history, or cache hits.
+    The execution :meth:`accounting` (what ran vs. what was served from
+    journal/cache, wall time) deliberately lives outside the summary.
+    """
+
+    request: ScanRequest
+    sketch: ScanSketch
+    total_shards: int
+    executed_shards: int = 0
+    cached_shards: int = 0
+    resumed_shards: int = 0
+    duration_s: float = 0.0
+    fingerprint: str = ""
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "scan": {
+                "fingerprint": self.fingerprint,
+                "source": dict(self.request.source),
+                "shard_size": self.request.shard_size,
+                "shards": self.total_shards,
+                "vantage_names": list(self.request.resolved_vantages()),
+                "days": self.request.days,
+                "seed": self.request.seed,
+                "probe_engine": self.request.probe_engine,
+            },
+            "sketch": self.sketch.summary(),
+        }
+
+    def accounting(self) -> Dict[str, Any]:
+        return {
+            "executed_shards": self.executed_shards,
+            "cached_shards": self.cached_shards,
+            "resumed_shards": self.resumed_shards,
+            "duration_s": round(self.duration_s, 3),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.summary(), indent=2, sort_keys=True) + "\n"
+
+    def deployment_measurements(self) -> List[Dict[Cdn, float]]:
+        """Per-(vantage, day) IACK share dicts in the same order
+        table1's in-memory path builds them — its cross-validation
+        bridge (exact: integer tallies divided identically)."""
+        shares = self.sketch.deployment_shares()
+        out: List[Dict[Cdn, float]] = []
+        for vantage_name in self.request.resolved_vantages():
+            for day in range(self.request.days):
+                pass_shares = shares.get((vantage_name, day), {})
+                out.append({Cdn(value): share for value, share in pass_shares.items()})
+        return out
+
+    def render(self) -> str:
+        doc = self.summary()
+        lines = [
+            f"scan {doc['scan']['source']['kind']}: "
+            f"{self.sketch.targets} targets, {self.sketch.quic_targets} QUIC, "
+            f"{self.sketch.probes} probes "
+            f"({len(doc['scan']['vantage_names'])} vantages x {self.request.days} days)",
+            f"shards: {self.total_shards} total, {self.executed_shards} executed, "
+            f"{self.cached_shards} disk-cached, {self.resumed_shards} resumed "
+            f"in {self.duration_s:.1f}s",
+            "",
+            f"{'CDN':<12} {'domains':>9} {'IACK':>9} {'share %':>8}",
+        ]
+        for cdn_value, row in doc["sketch"]["cdns"].items():
+            lines.append(
+                f"{cdn_value:<12} {row['domains']:>9} {row['iack_domains']:>9} "
+                f"{row['share_pct']:>8.2f}"
+            )
+        lines.append("")
+        lines.append(f"{'metric':<22} {'p50':>9} {'p90':>9} {'p99':>9} {'max':>9}")
+        for metric, row in doc["sketch"]["metrics"].items():
+            cells = [
+                "-" if row[q] is None else f"{row[q]:.2f}" for q in ("p50", "p90", "p99", "max")
+            ]
+            lines.append(
+                f"{metric:<22} {cells[0]:>9} {cells[1]:>9} {cells[2]:>9} {cells[3]:>9}"
+            )
+        return "\n".join(lines)
+
+
+class StreamCoordinator:
+    """Dispatches one scan over an execution backend in bounded waves.
+
+    The coordinator does not own the backend — sessions hand theirs
+    in — but it does own the scan's checkpoint and event flow. One
+    coordinator instance runs one scan (:meth:`run` is not reentrant).
+    """
+
+    def __init__(
+        self,
+        backend: ExecutionBackend,
+        request: ScanRequest,
+        *,
+        checkpoint_dir: Optional[str] = None,
+        disk_cache: Optional[DiskResultCache] = None,
+        sink: Optional[EventSink] = None,
+        window: Optional[int] = None,
+    ):
+        self.backend = backend
+        self.request = request.validated()
+        self.checkpoint_dir = checkpoint_dir
+        self.disk_cache = disk_cache
+        self.sink = sink
+        if window is not None and window < 1:
+            raise InvalidOverride("in-flight shard window must be >= 1")
+        self._window = window
+        self.fingerprint = scan_fingerprint(self.request)
+
+    # -- shard plumbing -------------------------------------------------
+
+    def _task(self, shard_index: int, start: int, stop: int) -> ShardProbeTask:
+        return ShardProbeTask(
+            source_spec=self.request.source,
+            start=start,
+            stop=stop,
+            shard_index=shard_index,
+            vantage_names=self.request.resolved_vantages(),
+            days=self.request.days,
+            probe_seed=self.request.seed,
+            probe_engine=self.request.probe_engine,
+            alpha=self.request.alpha,
+        )
+
+    def window(self) -> int:
+        """In-flight shard bound: explicit, or 2 waves per slot."""
+        if self._window is not None:
+            return self._window
+        return max(2, 2 * max(1, self.backend.parallelism()))
+
+    @staticmethod
+    def _waves(pending: Sequence[int], window: int) -> Iterator[List[int]]:
+        for start in range(0, len(pending), window):
+            yield list(pending[start : start + window])
+
+    def _usable_outcome(self, artifacts: Optional[RunArtifacts]) -> Optional[ShardOutcome]:
+        if isinstance(artifacts, ShardOutcome) and isinstance(artifacts.sketch, ScanSketch):
+            if artifacts.sketch.version == SKETCH_VERSION:
+                return artifacts
+        return None
+
+    # -- the scan -------------------------------------------------------
+
+    def run(self) -> ScanReport:
+        started = time.perf_counter()
+        request = self.request
+        source = source_from_spec(request.source)
+        ranges = shard_ranges(source.size, request.shard_size)
+        total_shards = len(ranges)
+        sketch = ScanSketch(alpha=request.alpha)
+        report = ScanReport(
+            request=request,
+            sketch=sketch,
+            total_shards=total_shards,
+            fingerprint=self.fingerprint,
+        )
+
+        checkpoint: Optional[SuiteCheckpoint] = None
+        done = 0
+        pending: List[int] = []
+        if self.checkpoint_dir is not None:
+            checkpoint = SuiteCheckpoint(self.checkpoint_dir)
+            journaled = checkpoint.load_or_init(
+                self.fingerprint,
+                meta={"kind": "wild-stream-scan", "request": request.to_dict()},
+            )
+            for shard_index in range(total_shards):
+                outcome = self._usable_outcome(journaled.get(shard_index))
+                if outcome is None:
+                    pending.append(shard_index)
+                    continue
+                sketch.merge(outcome.sketch)
+                report.resumed_shards += 1
+                done += 1
+                start, stop = ranges[shard_index]
+                emit(
+                    self.sink,
+                    ShardCompleted(
+                        shard_index=shard_index,
+                        targets=stop - start,
+                        completed_shards=done,
+                        total_shards=total_shards,
+                        source="checkpoint",
+                    ),
+                )
+        else:
+            pending = list(range(total_shards))
+
+        observer = checkpoint.record if checkpoint is not None else None
+        self.backend.set_result_observer(observer)
+        try:
+            for wave in self._waves(pending, self.window()):
+                to_run: List[Tuple[int, ShardProbeTask, Optional[str]]] = []
+                for shard_index in wave:
+                    start, stop = ranges[shard_index]
+                    task = self._task(shard_index, start, stop)
+                    key = None
+                    if self.disk_cache is not None:
+                        key = self.disk_cache.fingerprint(
+                            task, request.seed, ArtifactLevel.STATS
+                        )
+                        outcome = self._usable_outcome(self.disk_cache.get(key))
+                        if outcome is not None:
+                            sketch.merge(outcome.sketch)
+                            report.cached_shards += 1
+                            done += 1
+                            # Journal the hit too: a resume must not
+                            # depend on the cache still being attached.
+                            if checkpoint is not None:
+                                checkpoint.record([(shard_index, outcome)])
+                            emit(
+                                self.sink,
+                                ShardCompleted(
+                                    shard_index=shard_index,
+                                    targets=stop - start,
+                                    completed_shards=done,
+                                    total_shards=total_shards,
+                                    source="disk_cache",
+                                ),
+                            )
+                            continue
+                    to_run.append((shard_index, task, key))
+                if not to_run:
+                    continue
+                for shard_index, task, _key in to_run:
+                    start, stop = ranges[shard_index]
+                    emit(
+                        self.sink,
+                        ShardDispatched(
+                            shard_index=shard_index,
+                            targets=stop - start,
+                            total_shards=total_shards,
+                        ),
+                    )
+                cells = [(shard_index, task, request.seed) for shard_index, task, _ in to_run]
+                results = self.backend.run_cells(cells, ArtifactLevel.STATS.value, chunk_size=1)
+                keys = {shard_index: key for shard_index, _task, key in to_run}
+                for shard_index, artifacts in sorted(results):
+                    outcome = self._usable_outcome(artifacts)
+                    if outcome is None:
+                        raise InvalidOverride(
+                            f"shard {shard_index} returned "
+                            f"{type(artifacts).__name__}, not a usable ShardOutcome"
+                        )
+                    sketch.merge(outcome.sketch)
+                    report.executed_shards += 1
+                    done += 1
+                    if self.disk_cache is not None:
+                        self.disk_cache.put(keys.get(shard_index), outcome)
+                    start, stop = ranges[shard_index]
+                    emit(
+                        self.sink,
+                        ShardCompleted(
+                            shard_index=shard_index,
+                            targets=stop - start,
+                            completed_shards=done,
+                            total_shards=total_shards,
+                            source="executed",
+                        ),
+                    )
+        finally:
+            self.backend.set_result_observer(None)
+
+        report.duration_s = time.perf_counter() - started
+        emit(
+            self.sink,
+            ScanCompleted(
+                targets=sketch.targets,
+                probes=sketch.probes,
+                shards=total_shards,
+                executed_shards=report.executed_shards,
+                cached_shards=report.cached_shards,
+                resumed_shards=report.resumed_shards,
+            ),
+        )
+        return report

@@ -19,6 +19,9 @@ from repro.runtime.events import (
     ChunkDispatched,
     ChunkSpeculated,
     ExperimentCompleted,
+    ScanCompleted,
+    ShardCompleted,
+    ShardDispatched,
     SuiteCompleted,
     SuitePlanned,
     WorkerDrained,
@@ -54,6 +57,22 @@ SAMPLES = [
     WorkerDrained(worker_id=3),
     ExperimentCompleted(experiment_id="fig6", rows=8),
     SuiteCompleted(executed_cells=32, spilled_cells=32, cache_hits=0),
+    ShardDispatched(shard_index=7, targets=5000, total_shards=20),
+    ShardCompleted(
+        shard_index=7,
+        targets=5000,
+        completed_shards=8,
+        total_shards=20,
+        source="disk_cache",
+    ),
+    ScanCompleted(
+        targets=100_000,
+        probes=30_123,
+        shards=20,
+        executed_shards=12,
+        cached_shards=5,
+        resumed_shards=3,
+    ),
 ]
 
 

@@ -306,3 +306,112 @@ def test_cache_survives_daemon_sigkill_byte_identical(tmp_path):
             proc.wait(timeout=30)
         except subprocess.TimeoutExpired:
             proc.kill()
+
+
+# -- bearer-token auth ---------------------------------------------------
+
+
+@pytest.fixture()
+def authed_daemon(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_SERVICE_TOKEN", raising=False)
+    mgr = ServiceManager(pool=1, workers=1)
+    server = ServiceDaemon(mgr, host="127.0.0.1", port=0, auth_token="hunter2")
+    thread = threading.Thread(target=server.run, daemon=True)
+    thread.start()
+    assert server.wait_started(timeout=10)
+    yield server
+    server.stop()
+    thread.join(timeout=10)
+    mgr.close()
+
+
+def test_unauthenticated_requests_get_401(authed_daemon):
+    client = ServiceClient(authed_daemon.address)
+    assert client.token is None
+    with pytest.raises(ServiceError, match="bearer token"):
+        client.health()
+    with pytest.raises(ServiceError, match="bearer token"):
+        client.submit(RunRequest("fig6", smoke=True))
+    # the events stream path enforces the same gate
+    with pytest.raises(ServiceError, match="bearer token"):
+        next(iter(client.events("job-doesnotmatter")))
+
+
+def test_wrong_token_is_rejected(authed_daemon):
+    client = ServiceClient(authed_daemon.address, token="wrong")
+    with pytest.raises(ServiceError, match="bearer token"):
+        client.health()
+
+
+def test_matching_token_passes(authed_daemon):
+    client = ServiceClient(authed_daemon.address, token="hunter2")
+    assert client.health()["status"] == "ok"
+
+
+def test_token_defaults_from_environment(authed_daemon, monkeypatch):
+    monkeypatch.setenv("REPRO_SERVICE_TOKEN", "hunter2")
+    client = ServiceClient(authed_daemon.address)
+    assert client.token == "hunter2"
+    assert client.health()["status"] == "ok"
+
+
+def test_daemon_without_token_accepts_anonymous(daemon):
+    assert ServiceClient(daemon.address).health()["status"] == "ok"
+
+
+def test_raw_http_401_status_line(authed_daemon):
+    host, port = authed_daemon.address.rsplit(":", 1)
+    with socket.create_connection((host, int(port)), timeout=10) as sock:
+        sock.sendall(b"GET /v1/health HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        head = sock.makefile("rb").readline().decode("latin-1")
+    assert head.startswith("HTTP/1.1 401 Unauthorized")
+
+
+# -- streaming scan jobs --------------------------------------------------
+
+
+SCAN_DOC = {
+    "scan": {
+        "source": {"kind": "synthetic", "count": 4000, "seed": 3},
+        "shard_size": 1000,
+        "vantage_names": ["Hamburg"],
+        "days": 1,
+    }
+}
+
+
+def test_manager_runs_scan_jobs(manager):
+    record = manager.submit(SCAN_DOC)
+    assert record.experiments == "scan"
+    record = _wait_terminal(manager, record.job_id)
+    assert record.status is JobStatus.SUCCEEDED
+    assert record.summary["executed_shards"] == 4
+    assert record.summary["fingerprint"]
+
+    bundle = manager.bundle(record.job_id)
+    assert set(bundle["files"]) == {"scan.json"}
+    doc = json.loads(bundle["files"]["scan.json"])
+    assert doc["sketch"]["targets"] == 4000
+
+    kinds = {event.kind for event in manager.events(record.job_id)}
+    assert {"shard_dispatched", "shard_completed", "scan_completed"} <= kinds
+
+
+def test_manager_rejects_malformed_scan_jobs(manager):
+    with pytest.raises(ServiceError):
+        manager.submit({"scan": "not a dict"})
+    from repro.errors import InvalidOverride
+
+    with pytest.raises(InvalidOverride):
+        manager.submit({"scan": {"source": {"kind": "carrier-pigeon"}}})
+    assert manager.jobs() == []
+
+
+def test_scan_job_over_the_wire_matches_local(daemon):
+    client = ServiceClient(daemon.address)
+    handle = client.submit(SCAN_DOC)
+    files = handle.result(timeout=120)
+    assert set(files) == {"scan.json"}
+    with Session() as session:
+        local = session.scan(SCAN_DOC["scan"])
+    assert files["scan.json"] == local.to_json()

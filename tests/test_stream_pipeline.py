@@ -1,0 +1,218 @@
+"""The streaming wild-scan pipeline end to end.
+
+What must hold: target sources stream lazily and deterministically,
+summaries are independent of sharding geometry, a SIGKILLed-and-resumed
+scan renders a byte-identical summary, the disk cache serves unchanged
+shards, and the streamed engine reproduces table1's in-memory numbers
+exactly (analytic engine).
+"""
+
+import json
+
+import pytest
+
+import repro.api as api
+from repro.errors import InvalidOverride
+from repro.experiments.registry import get_spec
+from repro.runtime.backend import LocalBackend
+from repro.runtime.disk_cache import DiskResultCache
+from repro.wild.stream import (
+    ScanRequest,
+    StreamCoordinator,
+    SyntheticSource,
+    TrancoSource,
+    scan_fingerprint,
+    shard_ranges,
+    source_from_spec,
+)
+from repro.wild.tranco import TrancoGenerator
+
+
+def synthetic_request(count=6000, shard_size=1000, **overrides):
+    doc = {
+        "source": {"kind": "synthetic", "count": count, "seed": 3},
+        "shard_size": shard_size,
+        "vantage_names": ("Hamburg",),
+        "days": 1,
+    }
+    doc.update(overrides)
+    return ScanRequest.from_dict(doc)
+
+
+def run_scan(request, *, checkpoint_dir=None, disk_cache=None, sink=None, window=None):
+    with LocalBackend(2) as backend:
+        return StreamCoordinator(
+            backend,
+            request,
+            checkpoint_dir=checkpoint_dir,
+            disk_cache=disk_cache,
+            sink=sink,
+            window=window,
+        ).run()
+
+
+# -- target sources -----------------------------------------------------
+
+
+def test_tranco_iter_domains_streams_the_same_list():
+    generator = TrancoGenerator(list_size=2000, seed=5)
+    assert list(generator.iter_domains()) == generator.generate()
+    # any sub-range equals the same slice of the full list
+    full = generator.generate()
+    assert list(generator.iter_domains(101, 350)) == full[100:350]
+
+
+def test_sources_iterate_range_consistently():
+    for source in (TrancoSource(1500, seed=2), SyntheticSource(1500, seed=2)):
+        full = list(source.iter_range(0, source.size))
+        assert len(full) == 1500
+        assert list(source.iter_range(400, 900)) == full[400:900]
+        rebuilt = source_from_spec(source.spec())
+        assert list(rebuilt.iter_range(0, 50)) == full[:50]
+
+
+def test_shard_ranges_cover_exactly():
+    ranges = shard_ranges(10_500, 4_000)
+    assert ranges == [(0, 4000), (4000, 8000), (8000, 10500)]
+    assert shard_ranges(5, 100) == [(0, 5)]
+
+
+def test_bad_source_spec_is_typed():
+    with pytest.raises(InvalidOverride):
+        source_from_spec({"kind": "carrier-pigeon"})
+    with pytest.raises(InvalidOverride):
+        source_from_spec({"kind": "synthetic", "count": -1, "seed": 0})
+    with pytest.raises(InvalidOverride):
+        source_from_spec({"kind": "synthetic"})  # missing keys
+
+
+# -- scan request -------------------------------------------------------
+
+
+def test_scan_request_roundtrip_and_fingerprint():
+    request = synthetic_request()
+    again = ScanRequest.from_dict(json.loads(json.dumps(request.to_dict())))
+    assert again == request
+    assert scan_fingerprint(again) == scan_fingerprint(request)
+    # the fingerprint pins scan semantics, so any knob changes it
+    assert scan_fingerprint(synthetic_request(shard_size=500)) != scan_fingerprint(request)
+
+
+def test_scan_request_validation_is_typed():
+    with pytest.raises(InvalidOverride):
+        synthetic_request(days=0)
+    with pytest.raises(InvalidOverride):
+        synthetic_request(probe_engine="quantum")
+    with pytest.raises(InvalidOverride):
+        synthetic_request(vantage_names=("Atlantis",))
+    with pytest.raises(InvalidOverride):
+        ScanRequest.from_dict({"source": {"kind": "nope"}})
+
+
+# -- coordinator --------------------------------------------------------
+
+
+def test_summary_is_independent_of_sharding_geometry():
+    reference = run_scan(synthetic_request(shard_size=1000))
+    resharded = run_scan(synthetic_request(shard_size=777))
+    assert resharded.sketch.summary() == reference.sketch.summary()
+    assert resharded.sketch.targets == 6000
+
+
+def test_shard_events_tell_the_whole_story():
+    events = []
+    report = run_scan(synthetic_request(), sink=events.append, window=3)
+    kinds = [event.kind for event in events]
+    assert kinds.count("shard_dispatched") == 6
+    assert kinds.count("shard_completed") == 6
+    assert kinds[-1] == "scan_completed"
+    completed = [e for e in events if e.kind == "shard_completed"]
+    assert [e.completed_shards for e in completed] == list(range(1, 7))
+    assert {e.source for e in completed} == {"executed"}
+    assert report.executed_shards == 6
+
+
+def test_killed_scan_resumes_to_byte_identical_summary(tmp_path, monkeypatch):
+    request = synthetic_request()
+    reference = run_scan(request)
+
+    checkpoint_dir = str(tmp_path / "scan-ckpt")
+    backend = LocalBackend(2)
+    real_run_cells = backend.run_cells
+    calls = {"n": 0}
+
+    def crash_after_first_wave(cells, level, chunk_size=1):
+        if calls["n"] >= 1:
+            raise RuntimeError("simulated coordinator death")
+        calls["n"] += 1
+        return real_run_cells(cells, level, chunk_size=chunk_size)
+
+    monkeypatch.setattr(backend, "run_cells", crash_after_first_wave)
+    with backend:
+        coordinator = StreamCoordinator(
+            backend, request, checkpoint_dir=checkpoint_dir, window=2
+        )
+        with pytest.raises(RuntimeError):
+            coordinator.run()
+
+    resumed = run_scan(request, checkpoint_dir=checkpoint_dir)
+    assert resumed.resumed_shards == 2  # the journaled first wave
+    assert resumed.executed_shards == 4
+    assert resumed.to_json() == reference.to_json()
+
+
+def test_resume_refuses_checkpoints_of_other_scans(tmp_path):
+    from repro.errors import CheckpointError
+
+    checkpoint_dir = str(tmp_path / "ckpt")
+    run_scan(synthetic_request(), checkpoint_dir=checkpoint_dir)
+    # A different scan fingerprint must refuse the directory outright —
+    # silently grafting foreign shard results would corrupt the sketch.
+    with pytest.raises(CheckpointError):
+        run_scan(synthetic_request(seed=99), checkpoint_dir=checkpoint_dir)
+
+
+def test_disk_cache_serves_a_rescan_byte_identically(tmp_path):
+    cache = DiskResultCache(str(tmp_path / "cache"))
+    request = synthetic_request()
+    first = run_scan(request, disk_cache=cache)
+    second = run_scan(request, disk_cache=cache)
+    assert first.executed_shards == 6
+    assert second.executed_shards == 0
+    assert second.cached_shards == 6
+    assert second.to_json() == first.to_json()
+
+
+# -- the API facade -----------------------------------------------------
+
+
+def test_session_scan_accepts_documents_and_rejects_junk():
+    with api.Session() as session:  # serial config: ephemeral backend
+        report = session.scan(
+            {
+                "source": {"kind": "synthetic", "count": 3000, "seed": 1},
+                "shard_size": 1000,
+                "vantage_names": ["Hamburg"],
+                "days": 1,
+            }
+        )
+        assert report.sketch.targets == 3000
+        with pytest.raises(InvalidOverride):
+            session.scan("not a request")
+
+
+def test_streamed_table1_matches_in_memory_exactly():
+    spec = get_spec("table1")
+    params = dict(spec.defaults)
+    params.update(
+        {
+            "list_size": 6000,
+            "days": 2,
+            "vantage_names": ("Sao Paulo", "Hamburg"),
+            "workers": 2,
+        }
+    )
+    in_memory = spec.aggregate({}, params)
+    streamed = spec.aggregate({}, dict(params, streamed=True))
+    # exact — counts and shares come from identical integer tallies
+    assert streamed.rows == in_memory.rows
