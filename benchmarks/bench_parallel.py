@@ -39,6 +39,12 @@ Legs:
   RESULT byte counters with negotiated compression on vs off; the
   gated number is a byte ratio, not a timing.
 
+* **profile_sweep_distributed**: the recovery-profile lab sweep
+  (``lab_cc``: fig6's tail-loss scenario × CC variant) on a 2-worker
+  localhost fleet vs the local 2-worker pool — non-default profiles
+  are statically gated off the batch engine, so this measures the
+  scalar fallback under the full wire protocol.
+
 Every entry emits ``speedup_<leg>_vs_<baseline>`` ratio keys that are
 computed identically in ``--quick`` and full runs (both legs measured
 in the same process on the same machine). Each entry also declares a
@@ -422,6 +428,68 @@ def bench_distributed(repetitions: int, rounds: int) -> dict:
     }
 
 
+def bench_profile_sweep(repetitions: int, rounds: int) -> dict:
+    """The ``lab_cc`` recovery-profile sweep (fig6's tail-loss
+    scenario × CC variant) served to two localhost ``repro worker``
+    processes vs the local 2-worker pool.
+
+    Every non-default profile is statically gated off the batch engine
+    (`BatchEngine.supports`), so both legs execute the sweep on the
+    scalar path — the gated ratio isolates the wire protocol's
+    overhead on profile-sweep workloads at identical parallelism.
+    """
+    overrides = {"lab_cc": {"repetitions": repetitions}}
+
+    def local(workers: int) -> None:
+        SuiteRunner(workers=workers).run(["lab_cc"], overrides=overrides)
+
+    legs: dict = {}
+    legs["local_serial_s"] = _best_of(lambda: local(0), rounds)
+    legs["local_2w_s"] = _best_of(lambda: local(2), rounds)
+    backend = SocketBackend(port=0, min_workers=2)
+    # Cacheless workers, as in suite_distributed: best-of re-runs the
+    # identical sweep and warm caches would hide the protocol cost.
+    workers = [_spawn_local_worker(backend, "--no-cache") for _ in range(2)]
+    try:
+        backend.wait_for_workers(2, timeout=60)
+        legs["distributed_2w_s"] = _best_of(
+            lambda: SuiteRunner(backend=backend).run(
+                ["lab_cc"], overrides=overrides
+            ),
+            rounds,
+        )
+    finally:
+        backend.close()
+        for proc in workers:
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+    legs["speedup_profiles_distributed_2w_vs_local_2w"] = round(
+        legs["local_2w_s"] / legs["distributed_2w_s"], 2
+    )
+    return {
+        "workload": {
+            "experiments": ["lab_cc"],
+            "profiles": ["default", "cubic"],
+            "http": "h1",
+            "repetitions": repetitions,
+            "workers": 2,
+        },
+        "local_leg": "SuiteRunner on the in-process 2-worker pool",
+        "distributed_leg": (
+            "SuiteRunner on a SocketBackend serving two localhost "
+            "'repro worker' subprocesses (profiles on the scalar path "
+            "by the batch engine's static gate)"
+        ),
+        **legs,
+        # Both gated legs run 2 workers on the same host → the protocol
+        # overhead ratio is machine-stable.
+        "stable_ratios": ["speedup_profiles_distributed_2w_vs_local_2w"],
+    }
+
+
 def bench_distributed_v4(repetitions: int, rounds: int) -> dict:
     """Protocol v4 wire volume: the fig12+fig6 suite against a fresh
     2-worker fleet with negotiated compression on vs forced off.
@@ -695,6 +763,17 @@ def main(argv=None) -> int:
     )
     print(json.dumps(report["benchmarks"]["suite_distributed"], indent=2),
           flush=True)
+    print(
+        f"profile sweep lab_cc (2 localhost workers): {sweep_reps} reps ...",
+        flush=True,
+    )
+    report["benchmarks"]["profile_sweep_distributed"] = bench_profile_sweep(
+        sweep_reps, rounds
+    )
+    print(
+        json.dumps(report["benchmarks"]["profile_sweep_distributed"], indent=2),
+        flush=True,
+    )
     print(
         f"distributed v4 wire volume (compression on/off): {sweep_reps} reps ...",
         flush=True,

@@ -44,6 +44,7 @@ def test_committed_baseline_gates_only_same_parallelism_ratios():
         "table1.speedup_batch_vs_serial",
         "suite_fig12_fig6.speedup_suite_vs_standalone",
         "suite_distributed.speedup_distributed_2w_vs_local_2w",
+        "profile_sweep_distributed.speedup_profiles_distributed_2w_vs_local_2w",
         "suite_distributed_cached.speedup_cached_vs_cold",
         "suite_distributed_v4.result_bytes_raw_vs_wire",
         "stream_scan.speedup_stream_distributed_2w_vs_local_2w",

@@ -47,4 +47,9 @@ EXPERIMENT_INDEX = {
     "table3": "repro.experiments.table3_server_ack_delay",
     "table4": "repro.experiments.table4_client_defaults",
     "table5": "repro.experiments.table5_as_numbers",
+    # Recovery-lab sweeps (post-paper extensions; see the "Recovery
+    # profiles" section of API.md).
+    "lab_cc": "repro.experiments.lab_cc_server_flight_loss",
+    "lab_rtt": "repro.experiments.lab_rtt_profiles",
+    "lab_ge": "repro.experiments.lab_ge_bursty_loss",
 }

@@ -22,6 +22,7 @@ from repro.qlog.writer import QlogWriter
 from repro.quic.certs import Certificate, SMALL_CERTIFICATE
 from repro.quic.client import ClientConnection
 from repro.quic.connection import ConnectionStats
+from repro.quic.profiles import get_recovery_profile
 from repro.quic.server import ServerConfig, ServerConnection, ServerMode
 from repro.sim.draws import BehaviorDraws
 from repro.sim.engine import EventLoop
@@ -51,6 +52,11 @@ class Scenario:
     server_to_client_loss: Optional[LossPattern] = None
     pad_instant_ack: bool = False
     timeout_ms: float = 60_000.0
+    #: Named recovery-lab strategy bundle (see
+    #: :mod:`repro.quic.profiles`); carried as a string so the scenario
+    #: stays hashable and cheap to pickle. ``"default"`` reproduces the
+    #: pre-lab stack byte-identically.
+    recovery_profile: str = "default"
 
     def with_mode(self, mode: ServerMode) -> "Scenario":
         return replace(self, mode=mode)
@@ -62,10 +68,13 @@ class Scenario:
                 f" loss(c2s={self.client_to_server_loss!r},"
                 f" s2c={self.server_to_client_loss!r})"
             )
+        profile = ""
+        if self.recovery_profile != "default":
+            profile = f" profile={self.recovery_profile}"
         return (
             f"{self.client}/{self.http} {self.mode.name} rtt={self.rtt_ms}ms "
             f"dt={self.delta_t_ms}ms cert={self.certificate.name} "
-            f"size={self.response_size}B{loss}"
+            f"size={self.response_size}B{loss}{profile}"
         )
 
 
@@ -135,6 +144,10 @@ class Runner:
         loop = EventLoop()
         tracer = Tracer(capture=capture_trace)
         profile = client_profile(scenario.client)
+        # Both endpoints run the scenario's recovery-lab profile: the
+        # sweeps compare whole-path strategy changes, not asymmetric
+        # deployments.
+        rprofile = get_recovery_profile(scenario.recovery_profile)
         http_client = semantics_for(scenario.http)
         http_server = semantics_for(scenario.http)
         # Loss patterns are deep-copied per run: stateful patterns
@@ -180,6 +193,7 @@ class Runner:
             ),
             name="client",
             draws=draws_client,
+            recovery_profile=rprofile,
         )
         server_config = ServerConfig(
             mode=scenario.mode,
@@ -199,6 +213,7 @@ class Runner:
             ),
             name="server",
             draws=draws_server,
+            recovery_profile=rprofile,
         )
         server.set_request_spec(request)
         client.attach_transport(

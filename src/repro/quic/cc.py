@@ -1,15 +1,26 @@
-"""Congestion control (RFC 9002 §7): NewReno-style controller.
+"""Congestion control (RFC 9002 §7): pluggable controller strategies.
 
 Handshake flights are far below the initial window, so congestion
 control only shapes the bulk-transfer experiments (the 10 MB transfer
-of Figure 11). A faithful-but-simple NewReno with slow start,
-congestion avoidance, and a recovery period is sufficient for the
-paper's purposes.
+of Figure 11) and the recovery-lab sweeps. The shared
+:class:`CongestionController` base owns the window accounting every
+strategy needs (bytes in flight, recovery-episode gating); concrete
+strategies supply the growth and reduction rules:
+
+* :class:`NewRenoController` — byte-counting NewReno, the default and
+  the behavior every paper figure was validated against;
+* :class:`CubicController` — a CUBIC-style variant (RFC 9438 window
+  curve with a Reno-friendly floor), available to the recovery lab via
+  :mod:`repro.quic.profiles`.
+
+Strategies are looked up by name through :data:`CC_CONTROLLERS` /
+:func:`make_controller` so a :class:`~repro.quic.profiles
+.RecoveryProfile` can carry the choice as a plain hashable string.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Type
 
 #: RFC 9002 §7.2: initial window of 10 max datagrams.
 INITIAL_WINDOW_PACKETS = 10
@@ -17,9 +28,21 @@ MAX_DATAGRAM = 1200
 MINIMUM_WINDOW = 2 * MAX_DATAGRAM
 LOSS_REDUCTION_FACTOR = 0.5
 
+#: CUBIC aggressiveness constant (RFC 9438 §4.1), in segments/s³.
+CUBIC_C = 0.4
+#: CUBIC multiplicative-decrease factor (RFC 9438 §4.6).
+CUBIC_BETA = 0.7
 
-class NewRenoController:
-    """Byte-counting NewReno congestion controller."""
+
+class CongestionController:
+    """Window accounting shared by every congestion-control strategy.
+
+    Subclasses implement :meth:`on_packet_acked` /
+    :meth:`on_packets_lost`; everything else (sending, discard, the
+    recovery-episode gate) is strategy-independent bookkeeping.
+    """
+
+    name = "base"
 
     def __init__(self, max_datagram_size: int = MAX_DATAGRAM):
         self.max_datagram_size = max_datagram_size
@@ -41,31 +64,142 @@ class NewRenoController:
     def on_packet_sent(self, size: int) -> None:
         self.bytes_in_flight += size
 
-    def on_packet_acked(self, size: int, time_sent_ms: float) -> None:
+    def on_packet_discarded(self, size: int) -> None:
+        """Remove a packet from flight without a congestion reaction
+        (e.g. when keys are discarded)."""
         self.bytes_in_flight = max(0, self.bytes_in_flight - size)
-        if (
+
+    def _in_recovery(self, sent_ms: float) -> bool:
+        """Whether a packet sent at ``sent_ms`` belongs to the current
+        recovery episode (RFC 9002 §7.3.1)."""
+        return (
             self.recovery_start_time_ms is not None
-            and time_sent_ms <= self.recovery_start_time_ms
-        ):
+            and sent_ms <= self.recovery_start_time_ms
+        )
+
+    def on_packet_acked(
+        self, size: int, time_sent_ms: float, now_ms: Optional[float] = None
+    ) -> None:
+        raise NotImplementedError
+
+    def on_packets_lost(
+        self, total_size: int, latest_sent_ms: float, now_ms: float
+    ) -> None:
+        raise NotImplementedError
+
+
+class NewRenoController(CongestionController):
+    """Byte-counting NewReno congestion controller."""
+
+    name = "newreno"
+
+    def on_packet_acked(
+        self, size: int, time_sent_ms: float, now_ms: Optional[float] = None
+    ) -> None:
+        self.bytes_in_flight = max(0, self.bytes_in_flight - size)
+        if self._in_recovery(time_sent_ms):
             return  # recovery period: no growth for pre-recovery packets
         if self.in_slow_start():
             self.cwnd += size
         else:
             self.cwnd += self.max_datagram_size * size // max(self.cwnd, 1)
 
-    def on_packets_lost(self, total_size: int, latest_sent_ms: float, now_ms: float) -> None:
+    def on_packets_lost(
+        self, total_size: int, latest_sent_ms: float, now_ms: float
+    ) -> None:
         self.bytes_in_flight = max(0, self.bytes_in_flight - total_size)
-        if (
-            self.recovery_start_time_ms is not None
-            and latest_sent_ms <= self.recovery_start_time_ms
-        ):
+        if self._in_recovery(latest_sent_ms):
             return  # already reacted to this loss episode
         self.loss_events += 1
         self.recovery_start_time_ms = now_ms
         self.cwnd = max(int(self.cwnd * LOSS_REDUCTION_FACTOR), MINIMUM_WINDOW)
         self.ssthresh = self.cwnd
 
-    def on_packet_discarded(self, size: int) -> None:
-        """Remove a packet from flight without a congestion reaction
-        (e.g. when keys are discarded)."""
+
+class CubicController(CongestionController):
+    """CUBIC-style congestion controller (RFC 9438, simplified).
+
+    Congestion avoidance follows the cubic window curve
+    ``W(t) = C·(t − K)³ + W_max`` (in segments, ``t`` in seconds since
+    the current epoch started), with a Reno-style additive floor so the
+    window never grows slower than NewReno would. Loss applies the
+    ``β = 0.7`` multiplicative decrease and starts a new epoch. Fully
+    deterministic — no randomness beyond what the simulator feeds it —
+    so recovery-lab sweeps stay reproducible per seed.
+    """
+
+    name = "cubic"
+
+    def __init__(self, max_datagram_size: int = MAX_DATAGRAM):
+        super().__init__(max_datagram_size)
+        #: Window (in segments) at the last multiplicative decrease.
+        self._w_max_segments = 0.0
+        #: Time offset (seconds) at which the cubic curve re-reaches
+        #: ``W_max``: ``K = ((W_max·(1−β))/C)^(1/3)``.
+        self._k_s = 0.0
+        self._epoch_start_ms: Optional[float] = None
+
+    def on_packet_acked(
+        self, size: int, time_sent_ms: float, now_ms: Optional[float] = None
+    ) -> None:
         self.bytes_in_flight = max(0, self.bytes_in_flight - size)
+        if self._in_recovery(time_sent_ms):
+            return
+        if self.in_slow_start():
+            self.cwnd += size
+            return
+        # The endpoint passes the ack-processing time; standalone use
+        # (unit tests) may omit it, in which case the send time stands
+        # in — still deterministic, merely a flatter curve.
+        when_ms = now_ms if now_ms is not None else time_sent_ms
+        if self._epoch_start_ms is None:
+            self._epoch_start_ms = when_ms
+        t_s = max(0.0, (when_ms - self._epoch_start_ms) / 1000.0)
+        w_cubic_segments = CUBIC_C * (t_s - self._k_s) ** 3 + self._w_max_segments
+        target = int(w_cubic_segments * self.max_datagram_size)
+        reno_step = self.max_datagram_size * size // max(self.cwnd, 1)
+        if target > self.cwnd:
+            # Concave/convex region: close a per-ack fraction of the
+            # gap to the cubic curve, never slower than Reno.
+            cubic_step = (target - self.cwnd) * size // max(self.cwnd, 1)
+            self.cwnd += max(reno_step, cubic_step)
+        else:
+            # TCP-friendly region below the curve.
+            self.cwnd += reno_step
+
+    def on_packets_lost(
+        self, total_size: int, latest_sent_ms: float, now_ms: float
+    ) -> None:
+        self.bytes_in_flight = max(0, self.bytes_in_flight - total_size)
+        if self._in_recovery(latest_sent_ms):
+            return
+        self.loss_events += 1
+        self.recovery_start_time_ms = now_ms
+        self._w_max_segments = self.cwnd / self.max_datagram_size
+        self._k_s = (self._w_max_segments * (1.0 - CUBIC_BETA) / CUBIC_C) ** (
+            1.0 / 3.0
+        )
+        self._epoch_start_ms = None
+        self.cwnd = max(int(self.cwnd * CUBIC_BETA), MINIMUM_WINDOW)
+        self.ssthresh = self.cwnd
+
+
+#: Strategy registry: profile-facing name → controller class.
+CC_CONTROLLERS: Dict[str, Type[CongestionController]] = {
+    NewRenoController.name: NewRenoController,
+    CubicController.name: CubicController,
+}
+
+
+def make_controller(
+    name: str, max_datagram_size: int = MAX_DATAGRAM
+) -> CongestionController:
+    """Instantiate a congestion controller by registry name."""
+    try:
+        cls = CC_CONTROLLERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown congestion controller {name!r}; "
+            f"known: {sorted(CC_CONTROLLERS)}"
+        ) from None
+    return cls(max_datagram_size)

@@ -42,8 +42,17 @@ class ClientConnection(Endpoint):
         qlog: Optional[QlogWriter] = None,
         name: str = "client",
         draws=None,
+        recovery_profile=None,
     ):
-        super().__init__(loop, profile, rng=rng, qlog=qlog, name=name, draws=draws)
+        super().__init__(
+            loop,
+            profile,
+            rng=rng,
+            qlog=qlog,
+            name=name,
+            draws=draws,
+            recovery_profile=recovery_profile,
+        )
         if not profile.supports_http3 and http.name == "http/3":
             raise ValueError(f"{profile.name} does not implement HTTP/3")
         self.http = http

@@ -18,7 +18,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.impls.profile import ImplProfile
 from repro.qlog.events import EventCategory, MetricsUpdated, PacketEvent
 from repro.qlog.writer import QlogWriter
-from repro.quic.cc import NewRenoController
+from repro.quic.cc import make_controller
 from repro.quic.cid import CidRegistry
 from repro.quic.coalescing import Datagram, coalesce, pad_initial
 from repro.quic.frames import (
@@ -33,6 +33,7 @@ from repro.quic.frames import (
     StreamFrame,
 )
 from repro.quic.packet import INITIAL_MIN_DATAGRAM, Packet, PacketType, Space
+from repro.quic.profiles import DEFAULT_PROFILE, RecoveryProfile
 from repro.quic.recovery import Recovery, RecoveryConfig, SentPacket
 from repro.quic.streams import StreamSet
 from repro.quic.tls import CryptoReceiveBuffer, CryptoSendBuffer
@@ -181,9 +182,15 @@ class Endpoint:
         qlog: Optional[QlogWriter] = None,
         name: str = "endpoint",
         draws: Optional[BehaviorDraws] = None,
+        recovery_profile: Optional[RecoveryProfile] = None,
     ):
         self.loop = loop
         self.profile = profile
+        #: The recovery-lab strategy bundle (CC / loss detection / ack
+        #: policy); the default reproduces the pre-lab stack exactly.
+        self.recovery_profile = (
+            recovery_profile if recovery_profile is not None else DEFAULT_PROFILE
+        )
         self.rng = rng if rng is not None else random.Random(0)
         #: Behavior randomness. Without an explicit ``draws`` the legacy
         #: shared-stream semantics apply (draws interleave on ``rng``).
@@ -206,11 +213,13 @@ class Endpoint:
                 ),
                 misinit_srtt_probability=profile.misinit_srtt_probability,
                 misinit_srtt_ms=profile.misinit_srtt_ms,
+                loss_detector=self.recovery_profile.loss_detector,
             ),
             rng=self.draws.misinit_rng(),
             is_client=self.is_client,
         )
-        self.cc = NewRenoController()
+        self.cc = make_controller(self.recovery_profile.cc)
+        self._ack_policy = self.recovery_profile.make_ack_policy()
         self.streams = StreamSet()
         self.cids = CidRegistry()
         self.crypto_send: Dict[Space, CryptoSendBuffer] = {
@@ -454,7 +463,7 @@ class Endpoint:
         result = self.recovery.on_ack_received(space, ack, self.loop.now)
         for sp in result.newly_acked:
             if sp.in_flight:
-                self.cc.on_packet_acked(sp.size, sp.time_sent_ms)
+                self.cc.on_packet_acked(sp.size, sp.time_sent_ms, now_ms=self.loop.now)
             self._mark_frames_acked(space, sp)
         if result.rtt_sample_ms is not None:
             if self.stats.first_rtt_sample_ms is None:
@@ -736,11 +745,16 @@ class Endpoint:
             self.send_packets(ack_packets)
         app_state = self._ack_state[Space.APPLICATION]
         if app_state.needs_ack and self._has_app_keys:
-            if app_state.eliciting_since_ack >= self.profile.ack_every_n:
+            # The ack policy strategy decides the cadence; the default
+            # policy reads it straight off the ImplProfile.
+            if app_state.eliciting_since_ack >= self._ack_policy.ack_every_n(
+                self.profile
+            ):
                 self._send_app_ack()
             elif self._ack_timer is None:
                 self._ack_timer = self.loop.call_later(
-                    self.profile.max_ack_delay_ms, self._on_ack_timer
+                    self._ack_policy.max_ack_delay_ms(self.profile),
+                    self._on_ack_timer,
                 )
 
     def _suppress_immediate_ack(self, space: Space) -> bool:

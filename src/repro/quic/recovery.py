@@ -79,6 +79,133 @@ class RecoveryConfig:
     #: (go-x-net quirk) and the value it is mis-initialized to.
     misinit_srtt_probability: float = 0.0
     misinit_srtt_ms: float = 90.0
+    #: Loss-detection strategy (:data:`LOSS_DETECTORS` name):
+    #: ``"rfc9002"`` combines the packet and time thresholds (§6.1),
+    #: ``"packet"`` / ``"time"`` isolate one axis for the recovery lab.
+    loss_detector: str = "rfc9002"
+
+
+class LossDetector:
+    """Strategy interface for the RFC 9002 §6.1 loss-classification seam.
+
+    :meth:`classify` judges one outstanding packet already covered by
+    ``largest_acked`` and returns ``(lost, loss_time_candidate_ms)``:
+    either the packet is declared lost now, or an optional deadline at
+    which the time threshold would declare it (``None`` when the
+    strategy sets no loss timer and leaves the tail to the PTO).
+
+    The time condition MUST be the exact float expression the loss
+    timer fires on (``time_sent + loss_delay <= now + 1e-9``, mirroring
+    :meth:`Recovery.detect_lost_on_timer`). Phrasing it as
+    ``time_sent <= now - loss_delay`` is mathematically identical but
+    rounds differently, and a candidate landing one ulp below ``now``
+    then re-arms the timer at the same instant forever — a same-time
+    livelock.
+    """
+
+    name = "base"
+
+    def classify(
+        self,
+        *,
+        packet_number: int,
+        time_sent_ms: float,
+        largest_acked: int,
+        now_ms: float,
+        loss_delay_ms: float,
+        packet_threshold: int,
+    ) -> Tuple[bool, Optional[float]]:
+        raise NotImplementedError
+
+
+class Rfc9002LossDetector(LossDetector):
+    """Packet- **and** time-threshold detection — the RFC 9002 default."""
+
+    name = "rfc9002"
+
+    def classify(
+        self,
+        *,
+        packet_number: int,
+        time_sent_ms: float,
+        largest_acked: int,
+        now_ms: float,
+        loss_delay_ms: float,
+        packet_threshold: int,
+    ) -> Tuple[bool, Optional[float]]:
+        candidate = time_sent_ms + loss_delay_ms
+        if (
+            candidate <= now_ms + 1e-9
+            or largest_acked - packet_number >= packet_threshold
+        ):
+            return True, None
+        return False, candidate
+
+
+class PacketThresholdLossDetector(LossDetector):
+    """Reordering-threshold detection only: a packet is lost when
+    ``packet_threshold`` later packets were acknowledged. No loss timer
+    is ever armed — undetected tail losses wait for the PTO, which is
+    exactly the degradation the recovery-lab sweeps measure."""
+
+    name = "packet"
+
+    def classify(
+        self,
+        *,
+        packet_number: int,
+        time_sent_ms: float,
+        largest_acked: int,
+        now_ms: float,
+        loss_delay_ms: float,
+        packet_threshold: int,
+    ) -> Tuple[bool, Optional[float]]:
+        if largest_acked - packet_number >= packet_threshold:
+            return True, None
+        return False, None
+
+
+class TimeThresholdLossDetector(LossDetector):
+    """Time-threshold detection only: a packet is lost once it has
+    been outstanding for ``time_threshold × max(srtt, latest_rtt)``
+    past an acknowledged successor; the packet-count shortcut is off,
+    so isolated reordering never declares loss early."""
+
+    name = "time"
+
+    def classify(
+        self,
+        *,
+        packet_number: int,
+        time_sent_ms: float,
+        largest_acked: int,
+        now_ms: float,
+        loss_delay_ms: float,
+        packet_threshold: int,
+    ) -> Tuple[bool, Optional[float]]:
+        candidate = time_sent_ms + loss_delay_ms
+        if candidate <= now_ms + 1e-9:
+            return True, None
+        return False, candidate
+
+
+#: Strategy registry: config-facing name → detector class.
+LOSS_DETECTORS = {
+    Rfc9002LossDetector.name: Rfc9002LossDetector,
+    PacketThresholdLossDetector.name: PacketThresholdLossDetector,
+    TimeThresholdLossDetector.name: TimeThresholdLossDetector,
+}
+
+
+def make_loss_detector(name: str) -> LossDetector:
+    """Instantiate a loss detector by registry name."""
+    try:
+        cls = LOSS_DETECTORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown loss detector {name!r}; known: {sorted(LOSS_DETECTORS)}"
+        ) from None
+    return cls()
 
 
 class RttEstimator:
@@ -232,6 +359,7 @@ class Recovery:
     ):
         self.config = config
         self.is_client = is_client
+        self.loss_detector = make_loss_detector(config.loss_detector)
         self.estimator = RttEstimator(
             variant=config.rtt_variant,
             rng=rng,
@@ -395,24 +523,28 @@ class Recovery:
             return []
         lost: List[SentPacket] = []
         loss_delay = self._loss_delay_ms()
-        lost_send_time = now_ms - loss_delay
+        detector = self.loss_detector
         for pn in sorted(state.sent):
             sp = state.sent[pn]
             if pn > state.largest_acked:
                 continue
             if sp.declared_lost:
                 continue
-            if (
-                sp.time_sent_ms <= lost_send_time
-                or state.largest_acked - pn >= self.config.packet_threshold
-            ):
+            is_lost, candidate = detector.classify(
+                packet_number=pn,
+                time_sent_ms=sp.time_sent_ms,
+                largest_acked=state.largest_acked,
+                now_ms=now_ms,
+                loss_delay_ms=loss_delay,
+                packet_threshold=self.config.packet_threshold,
+            )
+            if is_lost:
                 sp.declared_lost = True
                 if sp.ack_eliciting and sp.in_flight:
                     state.ack_eliciting_in_flight_count -= 1
                 sp.in_flight = False
                 lost.append(sp)
-            else:
-                candidate = sp.time_sent_ms + loss_delay
+            elif candidate is not None:
                 if state.loss_time_ms is None or candidate < state.loss_time_ms:
                     state.loss_time_ms = candidate
         self._state_version += 1

@@ -89,8 +89,17 @@ class ServerConnection(Endpoint):
         qlog: Optional[QlogWriter] = None,
         name: str = "server",
         draws=None,
+        recovery_profile=None,
     ):
-        super().__init__(loop, profile, rng=rng, qlog=qlog, name=name, draws=draws)
+        super().__init__(
+            loop,
+            profile,
+            rng=rng,
+            qlog=qlog,
+            name=name,
+            draws=draws,
+            recovery_profile=recovery_profile,
+        )
         self.http = http
         self.config = config if config is not None else ServerConfig()
         self.amplification = AmplificationLimiter()

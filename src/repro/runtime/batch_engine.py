@@ -144,6 +144,11 @@ class BatchEngine:
             return False
         if not have_numpy():
             return False
+        if scenario.recovery_profile != "default":
+            # Recovery-lab profiles (non-default CC, loss detection, or
+            # ack policy) have no verified affine structure; they run on
+            # the scalar path until one is proven per profile.
+            return False
         if scenario.mode is ServerMode.IACK and (
             scenario.client_to_server_loss is not None
             or scenario.server_to_client_loss is not None

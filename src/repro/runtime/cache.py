@@ -16,7 +16,14 @@ from __future__ import annotations
 from typing import Any, Dict, Optional, Tuple
 
 from repro.interop.runner import Scenario
-from repro.sim.loss import CompositeLoss, IndexedLoss, LossPattern, NoLoss, RandomLoss
+from repro.sim.loss import (
+    CompositeLoss,
+    GilbertElliottLoss,
+    IndexedLoss,
+    LossPattern,
+    NoLoss,
+    RandomLoss,
+)
 
 
 def loss_pattern_key(pattern: Optional[LossPattern]) -> Optional[str]:
@@ -29,6 +36,8 @@ def loss_pattern_key(pattern: Optional[LossPattern]) -> Optional[str]:
         return f"idx:{sorted(pattern.indices)}"
     if isinstance(pattern, RandomLoss):
         return f"rand:{pattern.rate}:{pattern.seed}"
+    if isinstance(pattern, GilbertElliottLoss):
+        return f"ge:{pattern.p}:{pattern.r}:{pattern.h}:{pattern.seed}"
     if isinstance(pattern, CompositeLoss):
         parts = [loss_pattern_key(p) for p in pattern.patterns]
         if any(part is None for part in parts):
@@ -53,7 +62,7 @@ def scenario_key(scenario: Scenario) -> Optional[Tuple[Any, ...]]:
     s2c = loss_pattern_key(scenario.server_to_client_loss)
     if c2s is None or s2c is None:
         return None
-    return (
+    key: Tuple[Any, ...] = (
         scenario.client,
         scenario.mode.value,
         scenario.http,
@@ -68,6 +77,13 @@ def scenario_key(scenario: Scenario) -> Optional[Tuple[Any, ...]]:
         scenario.pad_instant_ack,
         scenario.timeout_ms,
     )
+    if scenario.recovery_profile != "default":
+        # Appended only for non-default profiles: default scenarios keep
+        # their historical 13-field shape, so pre-lab disk-cache entries
+        # and cross-version key comparisons stay valid (the same idiom
+        # as make_key's engine qualifier below).
+        key = key + (scenario.recovery_profile,)
+    return key
 
 
 class ResultCache:

@@ -85,6 +85,58 @@ class RandomLoss(LossPattern):
         return f"RandomLoss(rate={self.rate}, seed={self.seed})"
 
 
+class GilbertElliottLoss(LossPattern):
+    """Two-state Markov (Gilbert-Elliott) burst loss.
+
+    The link alternates between a *good* state (no loss) and a *bad*
+    state where each datagram is delivered only with probability
+    ``h``. ``p`` is the per-datagram good→bad transition probability,
+    ``r`` the bad→good recovery probability; the expected burst length
+    is ``1/r`` datagrams. The classic Gilbert model is ``h=0`` (every
+    bad-state datagram is dropped).
+
+    The state walk is driven by a private :class:`random.Random`
+    seeded with ``seed``; :meth:`reset` restores the initial (good)
+    state and re-seeds, so repetitions of one scenario see identical
+    loss sequences.
+    """
+
+    def __init__(self, p: float, r: float, h: float = 0.0, seed: int = 0):
+        for label, value in (("p", p), ("r", r), ("h", h)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"Gilbert-Elliott {label} must be in [0, 1], got {value}"
+                )
+        self.p = p
+        self.r = r
+        self.h = h
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._bad = False
+
+    def should_drop(self, index: int, size: int) -> bool:
+        rng = self._rng
+        drop = self._bad and rng.random() >= self.h
+        # Transition after the verdict: the state seen by datagram n+1
+        # is a function of the state at datagram n only.
+        if self._bad:
+            if rng.random() < self.r:
+                self._bad = False
+        elif rng.random() < self.p:
+            self._bad = True
+        return drop
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._bad = False
+
+    def __repr__(self) -> str:
+        return (
+            f"GilbertElliottLoss(p={self.p}, r={self.r}, "
+            f"h={self.h}, seed={self.seed})"
+        )
+
+
 class CompositeLoss(LossPattern):
     """Drop when *any* member pattern drops."""
 
@@ -113,10 +165,20 @@ def parse_loss_spec(spec: Optional[str]) -> LossPattern:
     """Parse a compact textual loss spec.
 
     ``""`` or ``None`` → :class:`NoLoss`; ``"2,3"`` → indexed loss;
-    ``"p0.01"`` → 1 % random loss. Used by the example CLIs.
+    ``"p0.01"`` → 1 % random loss; ``"ge:p,r,h"`` (``h`` optional,
+    default 0) → Gilbert-Elliott burst loss. Used by the example CLIs.
     """
     if not spec:
         return NoLoss()
+    if spec.startswith("ge:"):
+        parts = [part for part in spec[3:].split(",") if part]
+        if len(parts) not in (2, 3):
+            raise ValueError(
+                f"Gilbert-Elliott spec must be 'ge:p,r' or 'ge:p,r,h', got {spec!r}"
+            )
+        p, r = float(parts[0]), float(parts[1])
+        h = float(parts[2]) if len(parts) == 3 else 0.0
+        return GilbertElliottLoss(p, r, h)
     if spec.startswith("p"):
         return RandomLoss(float(spec[1:]))
     return IndexedLoss(int(part) for part in spec.split(",") if part)

@@ -56,7 +56,8 @@ def test_session_run_experiment_kwargs_are_overrides():
 def test_all_selection_expands_to_the_registry():
     with Session() as session:
         plan = session.plan(RunRequest("all", smoke=True))
-    assert len(plan.experiments) == 19
+    # 19 paper artifacts + the 3 recovery-lab sweeps.
+    assert len(plan.experiments) == 22
 
 
 def test_module_level_run_experiment_convenience():

@@ -18,6 +18,7 @@ from repro.experiments import (
 def test_index_lists_every_paper_artifact():
     expected = {f"fig{i}" for i in (2, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16)}
     expected |= {f"table{i}" for i in range(1, 6)}
+    expected |= {"lab_cc", "lab_rtt", "lab_ge"}  # recovery-lab sweeps
     assert set(EXPERIMENT_INDEX) == expected
 
 

@@ -1,0 +1,87 @@
+"""Golden-bundle regression for the recovery-profile refactor.
+
+``tests/golden/smoke/`` holds the bundles of ``repro run <all paper
+artifacts> --smoke`` captured *before* congestion control, loss
+detection, and ACK policy became pluggable strategies. The default
+:class:`~repro.quic.profiles.RecoveryProfile` must keep reproducing
+those bytes exactly — locally and through the distributed backend —
+otherwise the refactor changed simulator behaviour rather than just
+its seams.
+"""
+
+import threading
+from pathlib import Path
+
+from repro.api import (
+    DistributedConfig,
+    LocalConfig,
+    RunRequest,
+    Session,
+    write_bundle,
+)
+from repro.runtime import worker_main
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden" / "smoke"
+
+#: The ids whose bundles were captured at the pre-refactor HEAD. This
+#: is spelled out (rather than "all") because "all" has since grown
+#: the recovery-lab sweeps, which have no golden counterpart.
+PAPER_IDS = (
+    "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+    "table1", "table2", "table3", "table4", "table5",
+)
+
+
+def _golden_bytes(name: str) -> bytes:
+    path = GOLDEN_DIR / name
+    assert path.is_file(), f"missing golden bundle {path}"
+    return path.read_bytes()
+
+
+def test_golden_dir_matches_paper_artifact_list():
+    names = sorted(p.name for p in GOLDEN_DIR.iterdir())
+    assert names == sorted([f"{i}.json" for i in PAPER_IDS] + ["suite.json"])
+
+
+def test_default_profile_reproduces_golden_bundles_locally(tmp_path):
+    """Serial in-process run of every paper artifact: each experiment
+    bundle AND the suite manifest must be byte-identical to the
+    pre-refactor capture."""
+    with Session(LocalConfig(workers=0)) as session:
+        report = session.run(RunRequest(PAPER_IDS, smoke=True))
+    written = write_bundle(report, tmp_path)
+    assert sorted(p.name for p in written) == sorted(
+        p.name for p in GOLDEN_DIR.iterdir()
+    )
+    for path in written:
+        assert path.read_bytes() == _golden_bytes(path.name), (
+            f"{path.name} diverged from the pre-refactor golden bundle"
+        )
+
+
+def test_default_profile_reproduces_golden_bundles_distributed(tmp_path):
+    """fig6 + fig12 (the loss-sweep workhorses) over a two-worker TCP
+    fleet: per-experiment bundles must match the golden capture bit
+    for bit no matter how chunks interleave across workers."""
+    config = DistributedConfig(listen=0, min_workers=2)
+    with Session(config) as session:
+        host, port = session.address.rsplit(":", 1)
+        threads = [
+            threading.Thread(
+                target=worker_main,
+                args=(host, int(port)),
+                kwargs={"retry_for": 5.0},
+                daemon=True,
+            )
+            for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        report = session.run(RunRequest(("fig6", "fig12"), smoke=True))
+    written = {p.name: p for p in write_bundle(report, tmp_path)}
+    for name in ("fig6.json", "fig12.json"):
+        assert written[name].read_bytes() == _golden_bytes(name), (
+            f"{name} diverged from the golden bundle under the "
+            "distributed backend"
+        )

@@ -4,6 +4,7 @@ import pytest
 
 from repro.sim.loss import (
     CompositeLoss,
+    GilbertElliottLoss,
     IndexedLoss,
     NoLoss,
     RandomLoss,
@@ -74,3 +75,74 @@ def test_parse_loss_spec_variants():
     rnd = parse_loss_spec("p0.25")
     assert isinstance(rnd, RandomLoss)
     assert rnd.rate == 0.25
+
+
+def test_gilbert_elliott_parameter_bounds():
+    for bad in (
+        {"p": 1.5, "r": 0.5},
+        {"p": 0.5, "r": -0.1},
+        {"p": 0.5, "r": 0.5, "h": 2.0},
+    ):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(**bad)
+
+
+def test_gilbert_elliott_is_deterministic_after_reset():
+    pattern = GilbertElliottLoss(p=0.2, r=0.5, h=0.25, seed=11)
+    first = [pattern.should_drop(i, 1200) for i in range(1, 200)]
+    pattern.reset()
+    second = [pattern.should_drop(i, 1200) for i in range(1, 200)]
+    assert first == second
+    assert any(first) and not all(first)
+
+
+def test_gilbert_elliott_extremes():
+    # p=0: never leaves the good state — lossless.
+    never_bad = GilbertElliottLoss(p=0.0, r=0.5)
+    assert not any(never_bad.should_drop(i, 1) for i in range(1, 200))
+    # p=1, r=0, h=0: enters the bad state after datagram 1 and stays.
+    always_bad = GilbertElliottLoss(p=1.0, r=0.0, h=0.0)
+    verdicts = [always_bad.should_drop(i, 1) for i in range(1, 50)]
+    assert verdicts[0] is False and all(verdicts[1:])
+    # h=1: bad state still delivers everything.
+    harmless = GilbertElliottLoss(p=1.0, r=0.0, h=1.0)
+    assert not any(harmless.should_drop(i, 1) for i in range(1, 200))
+
+
+def test_gilbert_elliott_bursts_have_expected_shape():
+    pattern = GilbertElliottLoss(p=0.05, r=0.5, h=0.0, seed=3)
+    verdicts = [pattern.should_drop(i, 1200) for i in range(1, 2001)]
+    bursts = []
+    run = 0
+    for v in verdicts:
+        if v:
+            run += 1
+        elif run:
+            bursts.append(run)
+            run = 0
+    assert bursts, "expected at least one loss burst"
+    # Mean burst length should be near 1/r = 2 (loose envelope).
+    mean = sum(bursts) / len(bursts)
+    assert 1.0 <= mean <= 4.0
+
+
+def test_parse_loss_spec_gilbert_elliott_and_repr_round_trip():
+    ge = parse_loss_spec("ge:0.05,0.5,0.25")
+    assert isinstance(ge, GilbertElliottLoss)
+    assert (ge.p, ge.r, ge.h) == (0.05, 0.5, 0.25)
+    # h is optional and defaults to the classic Gilbert model (h=0).
+    classic = parse_loss_spec("ge:0.1,0.4")
+    assert (classic.p, classic.r, classic.h) == (0.1, 0.4, 0.0)
+    # repr round-trips through eval to an equivalent pattern.
+    clone = eval(repr(ge))  # noqa: S307 - test-only round-trip
+    assert isinstance(clone, GilbertElliottLoss)
+    assert (clone.p, clone.r, clone.h, clone.seed) == (ge.p, ge.r, ge.h, ge.seed)
+    drops_a = [ge.should_drop(i, 1) for i in range(1, 100)]
+    drops_b = [clone.should_drop(i, 1) for i in range(1, 100)]
+    assert drops_a == drops_b
+
+
+def test_parse_loss_spec_gilbert_elliott_rejects_malformed():
+    for bad in ("ge:", "ge:0.1", "ge:0.1,0.2,0.3,0.4"):
+        with pytest.raises(ValueError):
+            parse_loss_spec(bad)
